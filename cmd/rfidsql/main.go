@@ -1,0 +1,47 @@
+// Command rfidsql is an interactive SQL shell over the deferred-cleansing
+// engine. Statements end with ';'; '\h' lists the meta-commands.
+//
+//	rfidsql                       # empty database
+//	rfidsql -workload 5 -pct 10   # pre-loaded RFIDGen workload + paper rules
+//	rfidsql -open /path/to/saved  # restore a \save'd database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/shell"
+)
+
+var (
+	workload = flag.Int("workload", 0, "generate an RFIDGen workload at this scale (0 = empty db)")
+	pct      = flag.Int("pct", 10, "anomaly percentage for -workload")
+	openDir  = flag.String("open", "", "open a saved database directory")
+)
+
+func main() {
+	flag.Parse()
+	db := repro.Open()
+	if *openDir != "" {
+		var err error
+		db, err = repro.OpenDir(*openDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfidsql: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	sh := shell.New(db, os.Stdout)
+	if *workload > 0 {
+		if err := sh.Meta(fmt.Sprintf(`\workload %d %d`, *workload, *pct)); err != nil {
+			fmt.Fprintf(os.Stderr, "rfidsql: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println(`deferred-cleansing SQL shell — \h for help, \q to quit`)
+	if err := sh.Run(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "rfidsql: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Dwell analysis: the paper's benchmark query q1 end to end — how long do
+// shipments spend between consecutive locations? — over a generated
+// supply-chain workload with injected anomalies, comparing the dirty
+// answer with the deferred-cleansing answer and showing the rewrite the
+// engine chose.
+//
+//	go run ./examples/dwellanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db := repro.Open()
+	fmt.Println("generating RFID workload (scale 4, 20% anomalies)...")
+	if err := db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: 4, AnomalyPct: 20, Seed: 7}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefinePaperRules(); err != nil {
+		log.Fatal(err)
+	}
+
+	// q1 from Figure 6: bring each read together with its predecessor via
+	// SQL/OLAP, then average the gaps per location pair. The three
+	// time-bounded rules (reader, duplicate, replacing) are applied at
+	// query time.
+	const q1 = `
+		WITH v1 AS (
+		  SELECT biz_loc AS current_loc, rtime,
+		         MAX(rtime) OVER (PARTITION BY epc ORDER BY rtime
+		                          ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING) AS prev_time,
+		         MAX(biz_loc) OVER (PARTITION BY epc ORDER BY rtime
+		                            ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING) AS prev_loc
+		  FROM caseR)
+		SELECT l1.site, l2.site, AVG(rtime - prev_time) AS avg_dwell, COUNT(*) AS hops
+		FROM v1, locs l1, locs l2
+		WHERE v1.prev_loc = l1.gln AND v1.current_loc = l2.gln
+		GROUP BY l1.site, l2.site
+		ORDER BY hops DESC
+		LIMIT 8`
+	rules := []string{"reader", "duplicate", "replacing"}
+
+	dirty, err := db.Query(q1, repro.WithStrategy(repro.Dirty))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := db.Query(q1, repro.WithRules(rules...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nchosen rewrite: %s (est cost %.0f); candidates:\n", clean.Rewrite.Strategy, clean.Rewrite.EstCost)
+	for _, c := range clean.Rewrite.Candidates {
+		fmt.Printf("  %-9s pushes=%d cost=%.0f\n", c.Strategy, c.Pushes, c.EstCost)
+	}
+
+	fmt.Println("\ntop site-to-site dwell times (dirty vs cleansed):")
+	fmt.Printf("%-28s %-28s %-18s %-18s\n", "from", "to", "dirty avg", "cleansed avg")
+	cleanByPair := map[string]string{}
+	for _, r := range clean.Data {
+		cleanByPair[r[0].Str()+"→"+r[1].Str()] = r[2].String()
+	}
+	for _, r := range dirty.Data {
+		key := r[0].Str() + "→" + r[1].Str()
+		fmt.Printf("%-28s %-28s %-18s %-18s\n", r[0].Str(), r[1].Str(), r[2], cleanByPair[key])
+	}
+	fmt.Println("\nanomalies shift dwell averages (duplicates shrink them, stray")
+	fmt.Println("transport reads fragment hops); the cleansed column is computed")
+	fmt.Println("at query time without touching the stored data.")
+}

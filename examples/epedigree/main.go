@@ -1,0 +1,143 @@
+// E-pedigree tracking: the motivating scenario the paper's introduction
+// gives for why cleansing must be deferred — pharmaceutical pedigree laws
+// require raw read history to be preserved, so anomalies can only be
+// compensated at query time. This example builds a pedigree trail with a
+// back-and-forth cycle and a missed case read, keeps the stored data
+// untouched, and lets two different "applications" query the same table
+// under different rule sets (the paper's core argument against eager
+// cleansing).
+//
+//	go run ./examples/epedigree
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	db := repro.Open()
+	mustCreate(db)
+
+	// Application A (shelf-space planning) wants to SEE the back-room
+	// cycles; application B (pedigree reporting) wants them collapsed and
+	// missed reads compensated. Same stored table, different rules.
+	if _, err := db.DefineRule(`
+		DEFINE collapse_cycles ON reads
+		AS (A, B, C)
+		WHERE A.biz_loc = C.biz_loc AND A.biz_loc <> B.biz_loc
+		ACTION DELETE B`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineRule(`
+		DEFINE compensate_r1 ON reads FROM reads_with_pallet
+		AS (X, A, Y)
+		WHERE A.is_pallet = 1 AND ((X.is_pallet = 0 AND A.biz_loc = X.biz_loc AND A.rtime - X.rtime < 5 mins)
+			OR (Y.is_pallet = 0 AND A.biz_loc = Y.biz_loc AND Y.rtime - A.rtime < 5 mins))
+		ACTION MODIFY A.has_case_nearby = 1`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineRule(`
+		DEFINE compensate_r2 ON reads FROM reads_with_pallet
+		AS (A, *B)
+		WHERE A.is_pallet = 0 OR (A.has_case_nearby = 0 AND B.has_case_nearby = 1)
+		ACTION KEEP A`); err != nil {
+		log.Fatal(err)
+	}
+
+	const trail = `SELECT rtime, biz_loc FROM reads WHERE epc = 'case-7' ORDER BY rtime`
+
+	show(db, "raw pedigree trail (stored data, preserved by law)", trail, repro.WithStrategy(repro.Dirty))
+	show(db, "application A: cycles visible (no rules)", trail, repro.WithStrategy(repro.Dirty))
+	show(db, "application B: cycles collapsed + missed read compensated",
+		trail, repro.WithRules("collapse_cycles", "compensate_r1", "compensate_r2"))
+
+	fmt.Println("\nThe stored table never changed; each application evolved its own")
+	fmt.Println("anomaly definitions and got answers over its own cleansed view.")
+}
+
+func mustCreate(db *repro.DB) {
+	for _, ddl := range []struct {
+		name string
+		cols []repro.ColumnDef
+	}{
+		{"reads", []repro.ColumnDef{
+			{Name: "epc", Kind: repro.KindString}, {Name: "rtime", Kind: repro.KindTime},
+			{Name: "biz_loc", Kind: repro.KindString},
+		}},
+		{"pallet_reads", []repro.ColumnDef{
+			{Name: "epc", Kind: repro.KindString}, {Name: "rtime", Kind: repro.KindTime},
+			{Name: "biz_loc", Kind: repro.KindString},
+		}},
+		{"pallet_of", []repro.ColumnDef{
+			{Name: "child_epc", Kind: repro.KindString}, {Name: "parent_epc", Kind: repro.KindString},
+		}},
+	} {
+		if err := db.CreateTable(ddl.name, ddl.cols...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	t0 := time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC)
+	at := func(h int) repro.Value { return repro.NewTime(t0.Add(time.Duration(h) * time.Hour)) }
+	r := func(epc string, h int, loc string) []repro.Value {
+		return []repro.Value{repro.NewString(epc), at(h), repro.NewString(loc)}
+	}
+	// case-7: manufacturer → wholesaler floor ↔ back room cycle → floor →
+	// pharmacy. Its wholesaler *receiving* read was missed (only the
+	// pallet saw it).
+	if err := db.Insert("reads",
+		r("case-7", 0, "manufacturer"),
+		// receiving read missing here (hour 24)
+		r("case-7", 48, "wholesaler floor"),
+		r("case-7", 50, "back room"), // shelf overflow cycle
+		r("case-7", 55, "wholesaler floor"),
+		r("case-7", 58, "back room"),
+		r("case-7", 62, "wholesaler floor"),
+		r("case-7", 96, "pharmacy"),
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert("pallet_reads",
+		r("pallet-1", 0, "manufacturer"),
+		r("pallet-1", 24, "wholesaler receiving"), // the compensating read
+		r("pallet-1", 48, "wholesaler floor"),
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert("pallet_of",
+		[]repro.Value{repro.NewString("case-7"), repro.NewString("pallet-1")},
+	); err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range []string{"reads", "pallet_reads"} {
+		if err := db.BuildIndex(t, "rtime"); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Analyze(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The compensation input: case reads ∪ pallet reads propagated to
+	// each case EPC (Example 5 of the paper).
+	if err := db.CreateView("reads_with_pallet", `
+		SELECT epc, rtime, biz_loc, 0 AS is_pallet FROM reads
+		UNION ALL
+		SELECT pallet_of.child_epc AS epc, pallet_reads.rtime, pallet_reads.biz_loc, 1 AS is_pallet
+		FROM pallet_reads, pallet_of WHERE pallet_reads.epc = pallet_of.parent_epc`); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func show(db *repro.DB, label, q string, opts ...repro.QueryOption) {
+	rows, err := db.Query(q, opts...)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	fmt.Printf("\n%s:\n", label)
+	for _, r := range rows.Data {
+		fmt.Printf("  %s  %s\n", r[0], r[1].Str())
+	}
+}

@@ -1,0 +1,84 @@
+// Package catalog holds the database namespace: base tables, registered
+// views (used for cleansing-rule inputs like the paper's pallet-read union
+// in Example 5), and nothing else — the rules catalog lives one layer up,
+// in internal/rules, because rules are per-application artifacts rather
+// than storage objects.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/storage"
+)
+
+// Database is a named collection of tables and views.
+type Database struct {
+	tables map[string]*storage.Table
+	views  map[string]sqlast.Stmt
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: map[string]*storage.Table{}, views: map[string]sqlast.Stmt{}}
+}
+
+// AddTable registers a base table; the name must be unused.
+func (d *Database) AddTable(t *storage.Table) error {
+	name := strings.ToLower(t.Name)
+	if _, exists := d.tables[name]; exists {
+		return fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, exists := d.views[name]; exists {
+		return fmt.Errorf("catalog: %q already names a view", name)
+	}
+	d.tables[name] = t
+	return nil
+}
+
+// Table looks up a base table.
+func (d *Database) Table(name string) (*storage.Table, bool) {
+	t, ok := d.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// AddView registers a named view definition.
+func (d *Database) AddView(name string, q sqlast.Stmt) error {
+	name = strings.ToLower(name)
+	if _, exists := d.tables[name]; exists {
+		return fmt.Errorf("catalog: %q already names a table", name)
+	}
+	if _, exists := d.views[name]; exists {
+		return fmt.Errorf("catalog: view %q already exists", name)
+	}
+	d.views[name] = q
+	return nil
+}
+
+// View looks up a view definition.
+func (d *Database) View(name string) (sqlast.Stmt, bool) {
+	v, ok := d.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// ViewNames returns all view names, sorted.
+func (d *Database) ViewNames() []string {
+	names := make([]string, 0, len(d.views))
+	for n := range d.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableNames returns all base-table names, sorted.
+func (d *Database) TableNames() []string {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,69 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func newTable(name string) *storage.Table {
+	return storage.NewTable(name, schema.New(schema.Col(name, "x", types.KindInt)))
+}
+
+func TestTableRegistration(t *testing.T) {
+	db := NewDatabase()
+	if err := db.AddTable(newTable("t1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(newTable("T1")); err == nil {
+		t.Error("duplicate table (case-insensitive) must fail")
+	}
+	if _, ok := db.Table("T1"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := db.Table("nosuch"); ok {
+		t.Error("missing table found")
+	}
+}
+
+func TestViewRegistration(t *testing.T) {
+	db := NewDatabase()
+	if err := db.AddTable(newTable("base")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sqlparser.Parse("select * from base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddView("v1", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddView("v1", v); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	if err := db.AddView("base", v); err == nil {
+		t.Error("view shadowing a table must fail")
+	}
+	if err := db.AddTable(newTable("v1")); err == nil {
+		t.Error("table shadowing a view must fail")
+	}
+	if _, ok := db.View("V1"); !ok {
+		t.Error("view lookup should be case-insensitive")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	db := NewDatabase()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := db.AddTable(newTable(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.TableNames()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("TableNames = %v", names)
+	}
+}

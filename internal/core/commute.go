@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlts"
+)
+
+// Commutes reports whether two cleansing rules provably commute — whether
+// Φ_C2(Φ_C1(d)) = Φ_C1(Φ_C2(d)) for every input d — so the engine may
+// evaluate them in either order. The paper poses this as an open question
+// (§5.4, "in general this is a hard problem") and argues order barely
+// matters for *performance*; this implements the semantic side
+// conservatively: a false answer means "not provably commutative", not
+// "provably non-commutative".
+//
+// The sufficient condition implemented: both rules are MODIFY rules, and
+// neither rule writes a column the other rule reads (in its condition or
+// assignment values) or writes. MODIFY rules never change row membership
+// or sequence positions, so when their read/write column sets do not
+// interfere, each rule's pattern matching sees identical rows in either
+// order — a Bernstein-style independence condition.
+//
+// DELETE/KEEP rules are never reported commutative with anything except a
+// provably independent partner, because removing a row can change the
+// sequence adjacency and window contents the other rule's pattern
+// inspects (the paper's own [X Y X] example: cycle∘duplicate ≠
+// duplicate∘cycle).
+func Commutes(a, b *sqlts.Rule) bool {
+	if a.Action != sqlts.ActionModify || b.Action != sqlts.ActionModify {
+		return false
+	}
+	if a.ClusterBy != b.ClusterBy || a.SequenceBy != b.SequenceBy {
+		return false
+	}
+	aw, ar := ruleWrites(a), ruleReads(a)
+	bw, br := ruleWrites(b), ruleReads(b)
+	// No write/read, read/write, or write/write interference.
+	if intersects(aw, br) || intersects(bw, ar) || intersects(aw, bw) {
+		return false
+	}
+	return true
+}
+
+// ruleWrites is the set of columns a rule assigns (lower case).
+func ruleWrites(r *sqlts.Rule) map[string]bool {
+	out := map[string]bool{}
+	for _, asg := range r.Assignments {
+		out[strings.ToLower(asg.Column)] = true
+	}
+	return out
+}
+
+// ruleReads is the set of columns referenced by a rule's condition and
+// assignment values, plus the cluster/sequence keys (pattern matching
+// always reads them).
+func ruleReads(r *sqlts.Rule) map[string]bool {
+	out := map[string]bool{
+		strings.ToLower(r.ClusterBy):  true,
+		strings.ToLower(r.SequenceBy): true,
+	}
+	add := func(e sqlast.Expr) {
+		sqlast.VisitExprs(e, func(x sqlast.Expr) {
+			if cr, ok := x.(*sqlast.ColRef); ok {
+				out[strings.ToLower(cr.Name)] = true
+			}
+		})
+	}
+	add(r.Cond)
+	for _, asg := range r.Assignments {
+		add(asg.Value)
+	}
+	return out
+}
+
+func intersects(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// CommutingGroups partitions a rule list (kept in creation order) into
+// maximal runs whose members pairwise commute. Within such a run the
+// evaluation order is provably irrelevant — useful both as optimizer
+// freedom and as documentation for rule authors.
+func CommutingGroups(rules []*RegisteredRule) [][]*RegisteredRule {
+	var groups [][]*RegisteredRule
+	for _, r := range rules {
+		placed := false
+		if len(groups) > 0 {
+			last := groups[len(groups)-1]
+			all := true
+			for _, member := range last {
+				if !Commutes(member.Rule, r.Rule) {
+					all = false
+					break
+				}
+			}
+			if all {
+				groups[len(groups)-1] = append(last, r)
+				placed = true
+			}
+		}
+		if !placed {
+			groups = append(groups, []*RegisteredRule{r})
+		}
+	}
+	return groups
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlts"
+)
+
+func parseRule(t *testing.T, src string) *sqlts.Rule {
+	t.Helper()
+	r, err := sqlts.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCommutesIndependentModifies(t *testing.T) {
+	// Two MODIFY rules writing disjoint columns that neither reads.
+	a := parseRule(t, `DEFINE flag_a ON caser AS (A, B)
+		WHERE A.biz_loc = B.biz_loc ACTION MODIFY B.qa = 1`)
+	b := parseRule(t, `DEFINE flag_b ON caser AS (A, B)
+		WHERE A.reader = B.reader ACTION MODIFY B.qb = 1`)
+	if !Commutes(a, b) || !Commutes(b, a) {
+		t.Error("independent MODIFY rules should commute")
+	}
+}
+
+func TestCommutesRejectsInterference(t *testing.T) {
+	base := `DEFINE w ON caser AS (A, B) WHERE A.biz_loc = B.biz_loc ACTION MODIFY B.flag = 1`
+	w := parseRule(t, base)
+	// Reads what w writes.
+	readsFlag := parseRule(t, `DEFINE r ON caser AS (A, B)
+		WHERE A.flag = 1 ACTION MODIFY B.other = 1`)
+	if Commutes(w, readsFlag) {
+		t.Error("write/read interference must not commute")
+	}
+	// Writes what w writes.
+	alsoWrites := parseRule(t, `DEFINE ww ON caser AS (A, B)
+		WHERE A.reader = B.reader ACTION MODIFY B.flag = 2`)
+	if Commutes(w, alsoWrites) {
+		t.Error("write/write interference must not commute")
+	}
+	// DELETE rules are never provably commutative.
+	del := parseRule(t, `DEFINE d ON caser AS (A, B)
+		WHERE A.rtime < B.rtime ACTION DELETE B`)
+	if Commutes(w, del) || Commutes(del, del) {
+		t.Error("DELETE must not be reported commutative")
+	}
+}
+
+// The paper's §4.4 example is the canonical non-commuting pair — and our
+// conservative check indeed refuses it.
+func TestCycleDuplicateDoNotCommute(t *testing.T) {
+	cyc := parseRule(t, tCycle)
+	dup := parseRule(t, tDup)
+	if Commutes(cyc, dup) {
+		t.Error("cycle/duplicate must not be reported commutative")
+	}
+}
+
+// Soundness property: whenever Commutes says yes, applying the two rules
+// in either order over random data produces identical results.
+func TestCommutesSoundnessProperty(t *testing.T) {
+	ruleA := `DEFINE flag_a ON caser AS (A, B)
+		WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 30 mins ACTION MODIFY B.qa = 1`
+	ruleB := `DEFINE flag_b ON caser AS (A, *B)
+		WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 30 mins ACTION MODIFY A.qb = 1`
+	pa, pb := parseRule(t, ruleA), parseRule(t, ruleB)
+	if !Commutes(pa, pb) {
+		t.Fatal("setup: rules should commute")
+	}
+	locs := []string{"locA", "locB"}
+	readers := []string{"readerX", "readerY"}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var rows [][5]string
+		minute := int64(0)
+		for i := 0; i < 20; i++ {
+			minute += int64(1 + rng.Intn(40))
+			rows = append(rows, [5]string{
+				fmt.Sprintf("e%d", rng.Intn(3)), fmt.Sprintf("%d", minute),
+				locs[rng.Intn(2)], readers[rng.Intn(2)], "s",
+			})
+		}
+		q := "select epc, rtime, qa, qb from caser where rtime >= " + minuteTS(0)
+
+		db1 := mkReads(t, rows)
+		reg1 := NewRegistry(db1)
+		defineAll(t, reg1, ruleA, ruleB)
+		ab := rewriteRun(t, db1, reg1, q, nil, StrategyNaive)
+
+		db2 := mkReads(t, rows)
+		reg2 := NewRegistry(db2)
+		defineAll(t, reg2, ruleB, ruleA)
+		ba := rewriteRun(t, db2, reg2, q, nil, StrategyNaive)
+
+		if strings.Join(ab, "\n") != strings.Join(ba, "\n") {
+			t.Fatalf("seed %d: commuting rules gave different results\nAB: %v\nBA: %v", seed, ab, ba)
+		}
+	}
+}
+
+func TestCommutingGroups(t *testing.T) {
+	db := mkReads(t, [][5]string{{"e1", "0", "locA", "r", "s"}})
+	reg := NewRegistry(db)
+	defineAll(t, reg,
+		`DEFINE m1 ON caser AS (A, B) WHERE A.biz_loc = B.biz_loc ACTION MODIFY B.q1 = 1`,
+		`DEFINE m2 ON caser AS (A, B) WHERE A.reader = B.reader ACTION MODIFY B.q2 = 1`,
+		tDup, // DELETE: breaks the run
+		`DEFINE m3 ON caser AS (A, B) WHERE A.reader = B.reader ACTION MODIFY B.q3 = 1`,
+	)
+	groups := CommutingGroups(reg.All())
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 ({m1,m2},{dup},{m3})", len(groups))
+	}
+	if len(groups[0]) != 2 || len(groups[1]) != 1 || len(groups[2]) != 1 {
+		t.Fatalf("group sizes = %d/%d/%d", len(groups[0]), len(groups[1]), len(groups[2]))
+	}
+}

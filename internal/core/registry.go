@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: the deferred
+// cleansing engine. It keeps the rules catalog (compiled SQL/OLAP
+// templates, ordered by creation time — §4.4), performs the
+// correlation-condition and transitivity analysis over cleansing rules and
+// user queries (§5.2), and generates the expanded and join-back rewrites
+// (§5.2–5.4), choosing among candidates by planner cost estimate exactly
+// as the paper compiles candidates on the DBMS and keeps the cheapest.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/rulegen"
+	"repro/internal/sqlts"
+)
+
+// RegisteredRule is one entry of the rules table: the parsed rule, its
+// compiled SQL/OLAP template, the rendered template text that a DBMS-side
+// rules table would persist, and a creation sequence number that fixes
+// evaluation order.
+type RegisteredRule struct {
+	Rule     *sqlts.Rule
+	Template *rulegen.Template
+	// TemplateSQL is the persisted SQL/OLAP text over the $input
+	// placeholder.
+	TemplateSQL string
+	// Seq is the creation order; rules apply in ascending Seq.
+	Seq int
+}
+
+// Registry is the rules catalog. Rules are grouped by the table they are
+// defined ON and kept in creation order.
+type Registry struct {
+	db      *catalog.Database
+	rules   []*RegisteredRule
+	byName  map[string]*RegisteredRule
+	nextSeq int
+}
+
+// NewRegistry creates an empty rules catalog bound to a database (needed
+// to resolve rule input schemas when rendering templates).
+func NewRegistry(db *catalog.Database) *Registry {
+	return &Registry{db: db, byName: map[string]*RegisteredRule{}}
+}
+
+// Define parses, validates, compiles, and registers a rule given in
+// extended SQL-TS. It corresponds to steps 1–2 of the paper's architecture
+// diagram: the rule engine generates the SQL/OLAP template and persists it
+// in the rules table.
+func (r *Registry) Define(src string) (*RegisteredRule, error) {
+	rule, err := sqlts.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.DefineRule(rule)
+}
+
+// DefineRule registers an already-parsed rule.
+func (r *Registry) DefineRule(rule *sqlts.Rule) (*RegisteredRule, error) {
+	if _, dup := r.byName[rule.Name]; dup {
+		return nil, fmt.Errorf("core: rule %q already defined", rule.Name)
+	}
+	if _, ok := r.db.Table(rule.On); !ok {
+		return nil, fmt.Errorf("core: rule %s: table %q does not exist", rule.Name, rule.On)
+	}
+	inCols, err := r.InputColumns(rule)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := rulegen.Compile(rule)
+	if err != nil {
+		return nil, err
+	}
+	text, err := tmpl.SQL(inCols)
+	if err != nil {
+		return nil, err
+	}
+	reg := &RegisteredRule{Rule: rule, Template: tmpl, TemplateSQL: text, Seq: r.nextSeq}
+	r.nextSeq++
+	r.rules = append(r.rules, reg)
+	r.byName[rule.Name] = reg
+	return reg, nil
+}
+
+// InputColumns resolves the column list of a rule's FROM input (the base
+// table, or a registered view such as the pallet-read union of Example 5).
+func (r *Registry) InputColumns(rule *sqlts.Rule) ([]string, error) {
+	if t, ok := r.db.Table(rule.From); ok {
+		cols := make([]string, t.Schema.Len())
+		for i, c := range t.Schema.Columns {
+			cols[i] = c.Name
+		}
+		return cols, nil
+	}
+	if v, ok := r.db.View(rule.From); ok {
+		names, ok := plan.OutputNames(v, r.db)
+		if !ok {
+			return nil, fmt.Errorf("core: rule %s: cannot determine columns of input %q", rule.Name, rule.From)
+		}
+		return names, nil
+	}
+	return nil, fmt.Errorf("core: rule %s: input %q is neither a table nor a view", rule.Name, rule.From)
+}
+
+// Rule looks a rule up by name.
+func (r *Registry) Rule(name string) (*RegisteredRule, bool) {
+	reg, ok := r.byName[strings.ToLower(name)]
+	return reg, ok
+}
+
+// RulesFor returns all rules defined ON the given table, in creation
+// order. An optional name filter restricts and re-checks membership.
+func (r *Registry) RulesFor(table string, names ...string) ([]*RegisteredRule, error) {
+	table = strings.ToLower(table)
+	var out []*RegisteredRule
+	if len(names) == 0 {
+		for _, reg := range r.rules {
+			if reg.Rule.On == table {
+				out = append(out, reg)
+			}
+		}
+		return out, nil
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[strings.ToLower(n)] = true
+	}
+	for _, reg := range r.rules {
+		if reg.Rule.On == table && want[reg.Rule.Name] {
+			out = append(out, reg)
+			delete(want, reg.Rule.Name)
+		}
+	}
+	if len(want) > 0 {
+		for n := range want {
+			return nil, fmt.Errorf("core: no rule %q on table %q", n, table)
+		}
+	}
+	return out, nil
+}
+
+// All returns every registered rule in creation order.
+func (r *Registry) All() []*RegisteredRule {
+	return append([]*RegisteredRule{}, r.rules...)
+}

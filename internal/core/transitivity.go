@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rulegen"
+	"repro/internal/sqlast"
+	"repro/internal/sqlts"
+	"repro/internal/types"
+)
+
+// interval is a closed interval over the sequence key in microseconds;
+// nil bounds are unbounded.
+type interval struct {
+	lo, hi *int64
+}
+
+func (iv *interval) tightenLo(v int64) {
+	if iv.lo == nil || v > *iv.lo {
+		iv.lo = &v
+	}
+}
+
+func (iv *interval) tightenHi(v int64) {
+	if iv.hi == nil || v < *iv.hi {
+		iv.hi = &v
+	}
+}
+
+func (iv interval) unbounded() bool { return iv.lo == nil && iv.hi == nil }
+
+// shift returns the interval of X.skey = T.skey + d with T.skey ∈ iv and
+// d ∈ [dLo, dHi].
+func (iv interval) shift(dLo, dHi *int64) interval {
+	out := interval{}
+	if iv.lo != nil && dLo != nil {
+		v := satAdd(*iv.lo, *dLo)
+		out.lo = &v
+	}
+	if iv.hi != nil && dHi != nil {
+		v := satAdd(*iv.hi, *dHi)
+		out.hi = &v
+	}
+	return out
+}
+
+// union widens to cover both intervals.
+func (iv interval) union(o interval) interval {
+	out := interval{}
+	if iv.lo != nil && o.lo != nil {
+		v := min64(*iv.lo, *o.lo)
+		out.lo = &v
+	}
+	if iv.hi != nil && o.hi != nil {
+		v := max64(*iv.hi, *o.hi)
+		out.hi = &v
+	}
+	return out
+}
+
+// contains reports iv ⊇ o.
+func (iv interval) contains(o interval) bool {
+	if iv.lo != nil && (o.lo == nil || *o.lo < *iv.lo) {
+		return false
+	}
+	if iv.hi != nil && (o.hi == nil || *o.hi > *iv.hi) {
+		return false
+	}
+	return true
+}
+
+func (iv interval) equal(o interval) bool { return iv.contains(o) && o.contains(iv) }
+
+func satAdd(a, b int64) int64 {
+	if b > 0 && a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	if b < 0 && a < math.MinInt64-b {
+		return math.MinInt64
+	}
+	return a + b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// contextAnalysis is the result of the paper's Figure-4 analysis for one
+// rule against one query: per context reference, the derived context
+// condition; plus the rule-level sequence-key interval that feeds the
+// expanded condition.
+type contextAnalysis struct {
+	Rule *RegisteredRule
+	// Feasible is Fig. 4's test: every context reference derived a
+	// non-empty context condition.
+	Feasible bool
+	// Interval is the union of the query interval and every context's
+	// derived interval — the data range the expanded rewrite must fetch
+	// for this rule.
+	Interval interval
+	// Contexts carries the per-reference detail (for Table-1 style
+	// reporting).
+	Contexts []contextCond
+}
+
+// contextCond is the derived context condition for one context reference.
+type contextCond struct {
+	Ref sqlts.Ref
+	// Interval on the context's sequence key (from transitivity).
+	Interval interval
+	// Extra are context-only conjuncts taken directly from the rule
+	// condition (set references only — Observation 1 excludes them for
+	// position-based references). Rewritten to bare input columns.
+	Extra []sqlast.Expr
+	// Empty mirrors Fig. 4 line 9: no conjunct could be derived.
+	Empty bool
+}
+
+// analyzeRule runs transitivity between the query condition (already
+// reduced to a sequence-key interval) and one rule's correlation
+// conditions, per context reference.
+func analyzeRule(reg *RegisteredRule, queryIv interval) *contextAnalysis {
+	rule := reg.Rule
+	out := &contextAnalysis{Rule: reg, Feasible: true, Interval: queryIv}
+	tIdx := rule.TargetIndex()
+	conjs := sqlast.Conjuncts(rule.Cond)
+	for i, ref := range rule.Pattern {
+		if ref.Name == rule.Target {
+			continue
+		}
+		cc := contextCond{Ref: ref}
+		// Implied sequence-position conjunct: before ⇒ d ≤ 0, after ⇒
+		// d ≥ 0 (ties in the sequence key are allowed either side, which
+		// is the safe direction for data selection).
+		var dLo, dHi *int64
+		zero := int64(0)
+		if i < tIdx {
+			dHi = &zero
+		} else {
+			dLo = &zero
+		}
+		// Explicit sequence-key constraints between this ref and the
+		// target tighten the distance bounds. They are position-preserving
+		// (Observation 1a), so they apply to singletons and sets alike.
+		for _, c := range conjs {
+			name, cLo, cHi, ok := rulegen.SignedSkeyBounds(rule, c)
+			if !ok || name != ref.Name {
+				continue
+			}
+			if cLo != nil && (dLo == nil || *cLo > *dLo) {
+				dLo = cLo
+			}
+			if cHi != nil && (dHi == nil || *cHi < *dHi) {
+				dHi = cHi
+			}
+		}
+		cc.Interval = queryIv.shift(dLo, dHi)
+		// Context-only conjuncts join the context condition for set
+		// references; for position-based (singleton) references they are
+		// not position-preserving and must be excluded (Observation 1b).
+		if ref.Set {
+			for _, c := range conjs {
+				if _, _, _, isSkey := rulegen.SignedSkeyBounds(rule, c); isSkey {
+					continue
+				}
+				if onlyRef(c, ref.Name) {
+					cc.Extra = append(cc.Extra, stripQualifier(c))
+				}
+			}
+		}
+		cc.Empty = cc.Interval.unbounded() && len(cc.Extra) == 0
+		if cc.Empty {
+			out.Feasible = false
+		}
+		out.Interval = out.Interval.union(cc.Interval)
+		out.Contexts = append(out.Contexts, cc)
+	}
+	if !out.Feasible {
+		out.Interval = interval{}
+	}
+	return out
+}
+
+func onlyRef(e sqlast.Expr, ref string) bool {
+	only := true
+	sqlast.VisitExprs(e, func(x sqlast.Expr) {
+		if cr, ok := x.(*sqlast.ColRef); ok {
+			if !strings.EqualFold(cr.Table, ref) {
+				only = false
+			}
+		}
+	})
+	return only
+}
+
+func stripQualifier(e sqlast.Expr) sqlast.Expr {
+	return sqlast.MapColRefs(sqlast.CloneExpr(e), func(cr *sqlast.ColRef) sqlast.Expr {
+		return &sqlast.ColRef{Name: cr.Name}
+	})
+}
+
+// intervalExpr renders an interval as conjuncts over the sequence key
+// column; nil when unbounded.
+func intervalExpr(iv interval, skey string) sqlast.Expr {
+	var conjs []sqlast.Expr
+	if iv.lo != nil {
+		conjs = append(conjs, sqlast.Cmp(sqlast.OpGe, sqlast.Col("", skey), sqlast.Lit(types.NewTime(*iv.lo))))
+	}
+	if iv.hi != nil {
+		conjs = append(conjs, sqlast.Cmp(sqlast.OpLe, sqlast.Col("", skey), sqlast.Lit(types.NewTime(*iv.hi))))
+	}
+	return sqlast.And(conjs...)
+}
+
+// describe renders a context analysis in Table-1 style ("rtime <= T1+5min
+// AND reader = 'readerX'", or "{}" when infeasible).
+func (ca *contextAnalysis) describe(skey string) string {
+	if !ca.Feasible {
+		return "{}"
+	}
+	var parts []string
+	for _, cc := range ca.Contexts {
+		var sub []string
+		if e := intervalExpr(cc.Interval, skey); e != nil {
+			sub = append(sub, sqlast.ExprSQL(e))
+		}
+		for _, x := range cc.Extra {
+			sub = append(sub, sqlast.ExprSQL(x))
+		}
+		if len(sub) > 0 {
+			parts = append(parts, strings.Join(sub, " AND "))
+		}
+	}
+	if len(parts) == 0 {
+		return "(entire table)"
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, ") OR (") + ")"
+}
+
+// matchColConstExpr extracts (colref, const, op-with-col-left) from a
+// comparison after constant folding.
+func matchColConstExpr(bin *sqlast.Bin) (*sqlast.ColRef, *sqlast.Const, sqlast.BinOp) {
+	l, r := foldConstExpr(bin.L), foldConstExpr(bin.R)
+	if cr, ok := l.(*sqlast.ColRef); ok {
+		if c, ok := r.(*sqlast.Const); ok {
+			return cr, c, bin.Op
+		}
+	}
+	if cr, ok := r.(*sqlast.ColRef); ok {
+		if c, ok := l.(*sqlast.Const); ok {
+			return cr, c, bin.Op.Flip()
+		}
+	}
+	return nil, nil, bin.Op
+}
+
+// foldConstExpr folds constant arithmetic (T1 + 5 minutes → literal).
+func foldConstExpr(e sqlast.Expr) sqlast.Expr {
+	bin, ok := e.(*sqlast.Bin)
+	if !ok || !bin.Op.IsArith() {
+		return e
+	}
+	l, lok := foldConstExpr(bin.L).(*sqlast.Const)
+	r, rok := foldConstExpr(bin.R).(*sqlast.Const)
+	if !lok || !rok {
+		return e
+	}
+	var op types.ArithOp
+	switch bin.Op {
+	case sqlast.OpAdd:
+		op = types.OpAdd
+	case sqlast.OpSub:
+		op = types.OpSub
+	case sqlast.OpMul:
+		op = types.OpMul
+	case sqlast.OpDiv:
+		op = types.OpDiv
+	}
+	v, err := types.Arith(op, l.V, r.V)
+	if err != nil {
+		return e
+	}
+	return sqlast.Lit(v)
+}
+
+func usecOf(c *sqlast.Const) (int64, bool) {
+	switch c.V.Kind() {
+	case types.KindTime:
+		return c.V.TimeUsec(), true
+	case types.KindInt:
+		return c.V.Int(), true
+	case types.KindInterval:
+		return c.V.IntervalUsec(), true
+	}
+	return 0, false
+}
+
+// validateRuleSet checks the §5.4 requirements: all rules ON the same
+// table with identical cluster/sequence keys.
+func validateRuleSet(rules []*RegisteredRule) error {
+	if len(rules) == 0 {
+		return fmt.Errorf("core: no rules to apply")
+	}
+	first := rules[0].Rule
+	for _, r := range rules[1:] {
+		if r.Rule.On != first.On {
+			return fmt.Errorf("core: rules %s and %s are defined on different tables", first.Name, r.Rule.Name)
+		}
+		if r.Rule.ClusterBy != first.ClusterBy || r.Rule.SequenceBy != first.SequenceBy {
+			return fmt.Errorf("core: rules %s and %s use different cluster/sequence keys", first.Name, r.Rule.Name)
+		}
+	}
+	return nil
+}

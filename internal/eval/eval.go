@@ -1,0 +1,578 @@
+// Package eval compiles resolved sqlast expressions into closures that
+// evaluate over flat rows with SQL three-valued-logic semantics. Column
+// references are resolved to ordinals once at compile time; the executor
+// then evaluates predicates and projections with no per-row name lookups.
+//
+// Aggregates and window functions are not handled here — the planner
+// replaces them with references to computed columns before compiling.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/types"
+)
+
+// Func is a compiled expression.
+type Func func(row schema.Row) (types.Value, error)
+
+// Env supplies name resolution and subquery evaluation to the compiler.
+type Env struct {
+	// Schema resolves column references.
+	Schema *schema.Schema
+	// SubEval evaluates an uncorrelated subquery used in IN/EXISTS,
+	// returning the first output column's values. It is called once at
+	// compile time; nil forbids subqueries.
+	SubEval func(sqlast.Stmt) ([]types.Value, error)
+}
+
+// Compile translates e into an executable closure.
+func Compile(e sqlast.Expr, env *Env) (Func, error) {
+	switch e := e.(type) {
+	case nil:
+		return nil, fmt.Errorf("eval: nil expression")
+	case *sqlast.Const:
+		v := e.V
+		return func(schema.Row) (types.Value, error) { return v, nil }, nil
+	case *sqlast.ColRef:
+		idx, err := env.Schema.Resolve(e.Table, e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(row schema.Row) (types.Value, error) { return row[idx], nil }, nil
+	case *sqlast.Bin:
+		return compileBin(e, env)
+	case *sqlast.Un:
+		inner, err := Compile(e.E, env)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case sqlast.OpNot:
+			return func(row schema.Row) (types.Value, error) {
+				v, err := inner(row)
+				if err != nil {
+					return types.Null, err
+				}
+				t, err := types.TruthOf(v)
+				if err != nil {
+					return types.Null, err
+				}
+				return types.ValueOfTristate(types.Not(t)), nil
+			}, nil
+		case sqlast.OpNeg:
+			return func(row schema.Row) (types.Value, error) {
+				v, err := inner(row)
+				if err != nil {
+					return types.Null, err
+				}
+				if v.Kind() == types.KindInterval {
+					return types.NewInterval(-v.IntervalUsec()), nil
+				}
+				return types.Arith(types.OpSub, types.NewInt(0), v)
+			}, nil
+		}
+		return nil, fmt.Errorf("eval: unknown unary operator")
+	case *sqlast.IsNull:
+		inner, err := Compile(e.E, env)
+		if err != nil {
+			return nil, err
+		}
+		neg := e.Neg
+		return func(row schema.Row) (types.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(v.IsNull() != neg), nil
+		}, nil
+	case *sqlast.Case:
+		return compileCase(e, env)
+	case *sqlast.In:
+		return compileIn(e, env)
+	case *sqlast.Exists:
+		if env.SubEval == nil {
+			return nil, fmt.Errorf("eval: subqueries are not allowed in this context")
+		}
+		vals, err := env.SubEval(e.Sub)
+		if err != nil {
+			return nil, err
+		}
+		result := types.NewBool((len(vals) > 0) != e.Neg)
+		return func(schema.Row) (types.Value, error) { return result, nil }, nil
+	case *sqlast.Like:
+		return compileLike(e, env)
+	case *sqlast.FuncCall:
+		return compileScalarFunc(e, env)
+	case *sqlast.WindowExpr:
+		return nil, fmt.Errorf("eval: window function %s must be planned, not evaluated directly", e.Func)
+	}
+	return nil, fmt.Errorf("eval: unsupported expression %T", e)
+}
+
+func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
+	l, err := Compile(e.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Compile(e.R, env)
+	if err != nil {
+		return nil, err
+	}
+	op := e.Op
+	switch {
+	case op == sqlast.OpAnd:
+		return func(row schema.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			lt, err := types.TruthOf(lv)
+			if err != nil {
+				return types.Null, err
+			}
+			if lt == types.False {
+				return types.NewBool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rt, err := types.TruthOf(rv)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.ValueOfTristate(types.And(lt, rt)), nil
+		}, nil
+	case op == sqlast.OpOr:
+		return func(row schema.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			lt, err := types.TruthOf(lv)
+			if err != nil {
+				return types.Null, err
+			}
+			if lt == types.True {
+				return types.NewBool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rt, err := types.TruthOf(rv)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.ValueOfTristate(types.Or(lt, rt)), nil
+		}, nil
+	case op.IsComparison():
+		return func(row schema.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null, nil
+			}
+			c, err := types.Compare(lv, rv)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(cmpHolds(op, c)), nil
+		}, nil
+	case op.IsArith():
+		var aop types.ArithOp
+		switch op {
+		case sqlast.OpAdd:
+			aop = types.OpAdd
+		case sqlast.OpSub:
+			aop = types.OpSub
+		case sqlast.OpMul:
+			aop = types.OpMul
+		case sqlast.OpDiv:
+			aop = types.OpDiv
+		}
+		return func(row schema.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.Arith(aop, lv, rv)
+		}, nil
+	}
+	return nil, fmt.Errorf("eval: unsupported binary operator %v", op)
+}
+
+func cmpHolds(op sqlast.BinOp, c int) bool {
+	switch op {
+	case sqlast.OpEq:
+		return c == 0
+	case sqlast.OpNe:
+		return c != 0
+	case sqlast.OpLt:
+		return c < 0
+	case sqlast.OpLe:
+		return c <= 0
+	case sqlast.OpGt:
+		return c > 0
+	case sqlast.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func compileCase(e *sqlast.Case, env *Env) (Func, error) {
+	type arm struct{ cond, then Func }
+	arms := make([]arm, len(e.Whens))
+	for i, w := range e.Whens {
+		c, err := Compile(w.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		t, err := Compile(w.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{c, t}
+	}
+	var elseF Func
+	if e.Else != nil {
+		f, err := Compile(e.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		elseF = f
+	}
+	return func(row schema.Row) (types.Value, error) {
+		for _, a := range arms {
+			cv, err := a.cond(row)
+			if err != nil {
+				return types.Null, err
+			}
+			t, err := types.TruthOf(cv)
+			if err != nil {
+				return types.Null, err
+			}
+			if t == types.True {
+				return a.then(row)
+			}
+		}
+		if elseF != nil {
+			return elseF(row)
+		}
+		return types.Null, nil
+	}, nil
+}
+
+func compileIn(e *sqlast.In, env *Env) (Func, error) {
+	operand, err := Compile(e.E, env)
+	if err != nil {
+		return nil, err
+	}
+	var members []Func
+	var setHasNull bool
+	set := map[string]struct{}{}
+	if e.Sub != nil {
+		if env.SubEval == nil {
+			return nil, fmt.Errorf("eval: subqueries are not allowed in this context")
+		}
+		vals, err := env.SubEval(e.Sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			if v.IsNull() {
+				setHasNull = true
+				continue
+			}
+			set[v.GroupKey()] = struct{}{}
+		}
+	} else {
+		for _, m := range e.List {
+			if c, ok := m.(*sqlast.Const); ok {
+				if c.V.IsNull() {
+					setHasNull = true
+				} else {
+					set[c.V.GroupKey()] = struct{}{}
+				}
+				continue
+			}
+			f, err := Compile(m, env)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, f)
+		}
+	}
+	neg := e.Neg
+	return func(row schema.Row) (types.Value, error) {
+		v, err := operand(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			return types.Null, nil
+		}
+		found := false
+		if _, ok := set[v.GroupKey()]; ok {
+			found = true
+		}
+		sawNull := setHasNull
+		if !found {
+			for _, m := range members {
+				mv, err := m(row)
+				if err != nil {
+					return types.Null, err
+				}
+				if mv.IsNull() {
+					sawNull = true
+					continue
+				}
+				c, err := types.Compare(v, mv)
+				if err != nil {
+					continue // mixed kinds never match
+				}
+				if c == 0 {
+					found = true
+					break
+				}
+			}
+		}
+		switch {
+		case found:
+			return types.NewBool(!neg), nil
+		case sawNull:
+			return types.Null, nil
+		default:
+			return types.NewBool(neg), nil
+		}
+	}, nil
+}
+
+// compileLike implements SQL LIKE: % matches any run (including empty),
+// _ matches exactly one byte. NULL operands yield NULL.
+func compileLike(e *sqlast.Like, env *Env) (Func, error) {
+	operand, err := Compile(e.E, env)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := Compile(e.Pattern, env)
+	if err != nil {
+		return nil, err
+	}
+	neg := e.Neg
+	return func(row schema.Row) (types.Value, error) {
+		v, err := operand(row)
+		if err != nil {
+			return types.Null, err
+		}
+		pv, err := pattern(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() || pv.IsNull() {
+			return types.Null, nil
+		}
+		if v.Kind() != types.KindString || pv.Kind() != types.KindString {
+			return types.Null, fmt.Errorf("eval: LIKE needs string operands")
+		}
+		return types.NewBool(likeMatch(v.Str(), pv.Str()) != neg), nil
+	}, nil
+}
+
+// likeMatch matches s against a LIKE pattern with memoized recursion over
+// byte positions.
+func likeMatch(s, pat string) bool {
+	// Iterative greedy algorithm (the classic two-pointer wildcard match).
+	si, pi := 0, 0
+	star, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, starS = pi, si
+			pi++
+		case star >= 0:
+			starS++
+			si, pi = starS, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
+	name := strings.ToLower(e.Name)
+	args := make([]Func, len(e.Args))
+	for i, a := range e.Args {
+		f, err := Compile(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	switch name {
+	case "coalesce":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("eval: COALESCE needs at least one argument")
+		}
+		return func(row schema.Row) (types.Value, error) {
+			for _, f := range args {
+				v, err := f(row)
+				if err != nil {
+					return types.Null, err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return types.Null, nil
+		}, nil
+	case "abs":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("eval: ABS takes one argument")
+		}
+		return func(row schema.Row) (types.Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			switch v.Kind() {
+			case types.KindInt:
+				if v.Int() < 0 {
+					return types.NewInt(-v.Int()), nil
+				}
+				return v, nil
+			case types.KindFloat:
+				if v.Float() < 0 {
+					return types.NewFloat(-v.Float()), nil
+				}
+				return v, nil
+			case types.KindInterval:
+				if v.IntervalUsec() < 0 {
+					return types.NewInterval(-v.IntervalUsec()), nil
+				}
+				return v, nil
+			}
+			return types.Null, fmt.Errorf("eval: ABS on %s", v.Kind())
+		}, nil
+	case "lower", "upper":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("eval: %s takes one argument", strings.ToUpper(name))
+		}
+		toUpper := name == "upper"
+		return func(row schema.Row) (types.Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindString {
+				return types.Null, fmt.Errorf("eval: %s on %s", strings.ToUpper(name), v.Kind())
+			}
+			if toUpper {
+				return types.NewString(strings.ToUpper(v.Str())), nil
+			}
+			return types.NewString(strings.ToLower(v.Str())), nil
+		}, nil
+	case "substr", "substring":
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("eval: SUBSTR takes two or three arguments")
+		}
+		return func(row schema.Row) (types.Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindString {
+				return types.Null, fmt.Errorf("eval: SUBSTR on %s", v.Kind())
+			}
+			sv, err := args[1](row)
+			if err != nil || sv.IsNull() {
+				return types.Null, err
+			}
+			start := sv.Int() - 1 // SQL is 1-based
+			str := v.Str()
+			if start < 0 {
+				start = 0
+			}
+			if start > int64(len(str)) {
+				start = int64(len(str))
+			}
+			end := int64(len(str))
+			if len(args) == 3 {
+				lv, err := args[2](row)
+				if err != nil || lv.IsNull() {
+					return types.Null, err
+				}
+				end = start + lv.Int()
+				if end < start {
+					end = start
+				}
+				if end > int64(len(str)) {
+					end = int64(len(str))
+				}
+			}
+			return types.NewString(str[start:end]), nil
+		}, nil
+	case "length":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("eval: LENGTH takes one argument")
+		}
+		return func(row schema.Row) (types.Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindString {
+				return types.Null, fmt.Errorf("eval: LENGTH on %s", v.Kind())
+			}
+			return types.NewInt(int64(len(v.Str()))), nil
+		}, nil
+	}
+	if IsAggregateName(name) {
+		return nil, fmt.Errorf("eval: aggregate %s must be planned, not evaluated directly", strings.ToUpper(name))
+	}
+	return nil, fmt.Errorf("eval: unknown function %s", strings.ToUpper(name))
+}
+
+// IsAggregateName reports whether name is a supported aggregate function.
+func IsAggregateName(name string) bool {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+// EvalPredicate applies a compiled predicate to a row and reports whether
+// it holds (NULL counts as not holding, per SQL WHERE semantics).
+func EvalPredicate(f Func, row schema.Row) (bool, error) {
+	v, err := f(row)
+	if err != nil {
+		return false, err
+	}
+	t, err := types.TruthOf(v)
+	if err != nil {
+		return false, err
+	}
+	return t == types.True, nil
+}

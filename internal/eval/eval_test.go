@@ -1,0 +1,384 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+var testSchema = schema.New(
+	schema.Col("t", "a", types.KindInt),
+	schema.Col("t", "b", types.KindInt),
+	schema.Col("t", "s", types.KindString),
+	schema.Col("t", "ts", types.KindTime),
+)
+
+func evalStr(t *testing.T, src string, row schema.Row) types.Value {
+	t.Helper()
+	e, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	f, err := Compile(e, &Env{Schema: testSchema})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, err := f(row)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func row(a, b int64, s string, ts int64) schema.Row {
+	return schema.Row{types.NewInt(a), types.NewInt(b), types.NewString(s), types.NewTime(ts)}
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	r := row(6, 2, "x", 0)
+	cases := map[string]types.Value{
+		"a + b":          types.NewInt(8),
+		"a - b":          types.NewInt(4),
+		"a * b":          types.NewInt(12),
+		"a / b":          types.NewInt(3),
+		"a > b":          types.NewBool(true),
+		"a = 6":          types.NewBool(true),
+		"a <> 6":         types.NewBool(false),
+		"a + b * 2":      types.NewInt(10),
+		"(a + b) * 2":    types.NewInt(16),
+		"s = 'x'":        types.NewBool(true),
+		"s < 'y'":        types.NewBool(true),
+		"-a":             types.NewInt(-6),
+		"abs(b - a)":     types.NewInt(4),
+		"length(s)":      types.NewInt(1),
+		"coalesce(a, b)": types.NewInt(6),
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, r); !got.Equal(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	r := schema.Row{types.Null, types.NewInt(2), types.Null, types.Null}
+	for _, src := range []string{"a = 1", "a > b", "a + b", "not (a = 1)", "-a"} {
+		if got := evalStr(t, src, r); !got.IsNull() {
+			t.Errorf("%q with null a = %v, want NULL", src, got)
+		}
+	}
+	if got := evalStr(t, "a is null", r); !got.Bool() {
+		t.Error("a is null should be true")
+	}
+	if got := evalStr(t, "b is not null", r); !got.Bool() {
+		t.Error("b is not null should be true")
+	}
+	// 3VL short circuits.
+	if got := evalStr(t, "a = 1 and 1 = 2", r); got.IsNull() || got.Bool() {
+		t.Errorf("null and false = %v, want false", got)
+	}
+	if got := evalStr(t, "a = 1 or 1 = 1", r); got.IsNull() || !got.Bool() {
+		t.Errorf("null or true = %v, want true", got)
+	}
+	if got := evalStr(t, "a = 1 or 1 = 2", r); !got.IsNull() {
+		t.Errorf("null or false = %v, want NULL", got)
+	}
+	if got := evalStr(t, "coalesce(a, b)", r); got.Int() != 2 {
+		t.Errorf("coalesce(null, 2) = %v", got)
+	}
+}
+
+func TestInListSemantics(t *testing.T) {
+	r := row(6, 2, "x", 0)
+	if got := evalStr(t, "a in (1, 6, 9)", r); !got.Bool() {
+		t.Error("6 in (1,6,9)")
+	}
+	if got := evalStr(t, "a not in (1, 6, 9)", r); got.Bool() {
+		t.Error("6 not in (1,6,9)")
+	}
+	if got := evalStr(t, "a in (1, 2)", r); got.Bool() {
+		t.Error("6 in (1,2)")
+	}
+	// SQL's famous null trap: x NOT IN (..., NULL, ...) is NULL when no
+	// member matches.
+	if got := evalStr(t, "a in (1, null)", r); !got.IsNull() {
+		t.Errorf("6 in (1,NULL) = %v, want NULL", got)
+	}
+	if got := evalStr(t, "a in (6, null)", r); !got.Bool() {
+		t.Error("6 in (6,NULL) should be true")
+	}
+	nullRow := schema.Row{types.Null, types.NewInt(2), types.Null, types.Null}
+	if got := evalStr(t, "a in (1, 2)", nullRow); !got.IsNull() {
+		t.Error("NULL in (...) should be NULL")
+	}
+	// Non-constant member expressions.
+	if got := evalStr(t, "a in (b * 3, 99)", r); !got.Bool() {
+		t.Error("6 in (2*3, 99) should be true")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	r := row(2, 0, "x", 0)
+	got := evalStr(t, "case when a = 1 then 'one' when a = 2 then 'two' else 'many' end", r)
+	if got.Str() != "two" {
+		t.Errorf("case = %v", got)
+	}
+	got = evalStr(t, "case when a = 9 then 1 end", r)
+	if !got.IsNull() {
+		t.Errorf("case without else = %v, want NULL", got)
+	}
+	// Null condition arms are skipped, not taken.
+	nr := schema.Row{types.Null, types.NewInt(1), types.Null, types.Null}
+	got = evalStr(t, "case when a = 1 then 'y' else 'n' end", nr)
+	if got.Str() != "n" {
+		t.Errorf("case with null cond = %v", got)
+	}
+}
+
+func TestSubqueryHooks(t *testing.T) {
+	e, err := sqlparser.ParseExpr("a in (select x from sub)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{
+		Schema: testSchema,
+		SubEval: func(sqlast.Stmt) ([]types.Value, error) {
+			return []types.Value{types.NewInt(5), types.NewInt(6)}, nil
+		},
+	}
+	f, err := Compile(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f(row(6, 0, "", 0))
+	if err != nil || !v.Bool() {
+		t.Errorf("in subquery = %v, %v", v, err)
+	}
+	// Without a hook, subqueries are rejected at compile time.
+	if _, err := Compile(e, &Env{Schema: testSchema}); err == nil {
+		t.Error("expected error compiling subquery without SubEval")
+	}
+}
+
+func TestExistsHook(t *testing.T) {
+	e, err := sqlparser.ParseExpr("exists (select 1 from sub)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{Schema: testSchema, SubEval: func(sqlast.Stmt) ([]types.Value, error) { return nil, nil }}
+	f, err := Compile(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := f(row(1, 1, "", 0))
+	if v.Bool() {
+		t.Error("exists over empty set should be false")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"nosuchcol",
+		"t.nosuchcol",
+		"nosuchfunc(a)",
+		"sum(a)", // aggregate outside planner
+		"max(a) over (order by b)",
+		"coalesce()",
+		"abs(a, b)",
+	}
+	for _, src := range bad {
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Compile(e, &Env{Schema: testSchema}); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	r := row(1, 0, "x", 0)
+	e, _ := sqlparser.ParseExpr("a / b")
+	f, err := Compile(e, &Env{Schema: testSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f(r); err == nil {
+		t.Error("division by zero should surface as an error")
+	}
+	// Comparing incompatible kinds errors at runtime.
+	e2, _ := sqlparser.ParseExpr("a = s")
+	f2, err := Compile(e2, &Env{Schema: testSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2(r); err == nil {
+		t.Error("int = string should error")
+	}
+}
+
+func TestEvalPredicate(t *testing.T) {
+	e, _ := sqlparser.ParseExpr("a > 5")
+	f, _ := Compile(e, &Env{Schema: testSchema})
+	ok, err := EvalPredicate(f, row(6, 0, "", 0))
+	if err != nil || !ok {
+		t.Errorf("pred(6>5) = %v, %v", ok, err)
+	}
+	ok, err = EvalPredicate(f, schema.Row{types.Null, types.Null, types.Null, types.Null})
+	if err != nil || ok {
+		t.Errorf("pred(NULL>5) = %v, %v (NULL must not pass WHERE)", ok, err)
+	}
+}
+
+func TestTimeIntervalEval(t *testing.T) {
+	r := row(0, 0, "", 10*60*1_000_000) // ts = 10 minutes after epoch
+	got := evalStr(t, "ts - 5 minutes", r)
+	if got.Kind() != types.KindTime || got.TimeUsec() != 5*60*1_000_000 {
+		t.Errorf("ts - 5 minutes = %v", got)
+	}
+	got = evalStr(t, "ts - timestamp '1970-01-01 00:00:00'", r)
+	if got.Kind() != types.KindInterval || got.IntervalUsec() != 10*60*1_000_000 {
+		t.Errorf("ts - epoch = %v", got)
+	}
+	if got := evalStr(t, "ts - timestamp '1970-01-01' < 11 minutes", r); !got.Bool() {
+		t.Error("interval comparison failed")
+	}
+}
+
+func TestLikeMatchTable(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"a", "_", true},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "%%%", true},
+		{"abc", "a%d", false},
+		{"banana", "%ana", true},
+		{"banana", "%ana%ana", false}, // overlapping anas don't double-count
+		{"banana", "b%na", true},
+		{"aaa", "a%a%a", true},
+		{"ab", "a%a", false},
+		{"résumé", "ré%mé", true}, // byte-wise but multi-byte safe here
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+// Property: the iterative matcher agrees with a straightforward recursive
+// reference implementation.
+func TestLikeMatchAgainstRecursiveReference(t *testing.T) {
+	var ref func(s, p string) bool
+	ref = func(s, p string) bool {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			for i := 0; i <= len(s); i++ {
+				if ref(s[i:], p[1:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			return s != "" && ref(s[1:], p[1:])
+		default:
+			return s != "" && s[0] == p[0] && ref(s[1:], p[1:])
+		}
+	}
+	alphabet := "ab%_"
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		s := randFrom(rng, "ab", 8)
+		p := randFrom(rng, alphabet, 6)
+		if got, want := likeMatch(s, p), ref(s, p); got != want {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference says %v", s, p, got, want)
+		}
+	}
+}
+
+func randFrom(rng *rand.Rand, alphabet string, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+func TestStringFunctionEdges(t *testing.T) {
+	r := row(1, 2, "Hello", 0)
+	cases := map[string]types.Value{
+		"lower(s)":          types.NewString("hello"),
+		"upper(s)":          types.NewString("HELLO"),
+		"substr(s, 2)":      types.NewString("ello"),
+		"substr(s, 2, 3)":   types.NewString("ell"),
+		"substr(s, 99)":     types.NewString(""),
+		"substr(s, 1, 99)":  types.NewString("Hello"),
+		"substr(s, -5, 2)":  types.NewString("He"), // clamped start
+		"substr(s, 3, -1)":  types.NewString(""),   // negative length clamps
+		"s like 'He%'":      types.NewBool(true),
+		"s not like 'He%'":  types.NewBool(false),
+		"s like '_ello'":    types.NewBool(true),
+		"s like 'he%'":      types.NewBool(false), // case sensitive
+		"coalesce(null, s)": types.NewString("Hello"),
+		"abs(-3 minutes)":   types.NewInterval(3 * 60 * 1_000_000),
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, r); !got.Equal(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestStringFunctionErrorsAndNulls(t *testing.T) {
+	r := schema.Row{types.NewInt(1), types.NewInt(2), types.Null, types.Null}
+	// NULL propagation.
+	for _, src := range []string{"lower(s)", "upper(s)", "substr(s, 1)", "s like 'x'"} {
+		if got := evalStr(t, src, r); !got.IsNull() {
+			t.Errorf("%q on NULL = %v, want NULL", src, got)
+		}
+	}
+	// Type errors at runtime.
+	intRow := row(1, 2, "x", 0)
+	for _, src := range []string{"lower(a)", "upper(a)", "substr(a, 1)", "a like 'x'", "length(a)"} {
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Compile(e, &Env{Schema: testSchema})
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if _, err := f(intRow); err == nil {
+			t.Errorf("%q on INT should error", src)
+		}
+	}
+	// Arity errors at compile time.
+	for _, src := range []string{"lower()", "substr(s)", "substr(s,1,2,3)", "upper(s, s)"} {
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Compile(e, &Env{Schema: testSchema}); err == nil {
+			t.Errorf("%q should fail to compile", src)
+		}
+	}
+}

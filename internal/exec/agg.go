@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// AggSpec describes one aggregate computed by GroupNode.
+type AggSpec struct {
+	Func     string    // count, sum, avg, min, max (lower case)
+	Arg      eval.Func // nil for COUNT(*)
+	Distinct bool
+	OutName  string
+}
+
+// accumulator folds values for one aggregate in one group following SQL
+// semantics: NULL inputs are skipped; an empty input yields NULL (COUNT
+// yields 0); AVG over INTERVAL yields INTERVAL, over numerics FLOAT.
+type accumulator struct {
+	fn       string
+	distinct bool
+	seen     map[string]struct{}
+
+	count    int64
+	sumInt   int64
+	sumFloat float64
+	isFloat  bool
+	isIv     bool
+	extreme  types.Value // running min/max
+}
+
+func newAccumulator(spec *AggSpec) *accumulator {
+	a := &accumulator{fn: spec.Func, distinct: spec.Distinct, extreme: types.Null}
+	if a.distinct {
+		a.seen = map[string]struct{}{}
+	}
+	return a
+}
+
+func (a *accumulator) addRowCount() { a.count++ } // COUNT(*)
+
+func (a *accumulator) add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if a.distinct {
+		k := v.GroupKey()
+		if _, dup := a.seen[k]; dup {
+			return nil
+		}
+		a.seen[k] = struct{}{}
+	}
+	a.count++
+	switch a.fn {
+	case "count":
+		// nothing else
+	case "sum", "avg":
+		switch v.Kind() {
+		case types.KindInt:
+			a.sumInt += v.Int()
+			a.sumFloat += float64(v.Int())
+		case types.KindFloat:
+			a.isFloat = true
+			a.sumFloat += v.Float()
+		case types.KindInterval:
+			a.isIv = true
+			a.sumInt += v.IntervalUsec()
+		default:
+			return fmt.Errorf("exec: %s over %s", strings.ToUpper(a.fn), v.Kind())
+		}
+	case "min", "max":
+		if a.extreme.IsNull() {
+			a.extreme = v
+			return nil
+		}
+		c, err := types.Compare(v, a.extreme)
+		if err != nil {
+			return err
+		}
+		if (a.fn == "min" && c < 0) || (a.fn == "max" && c > 0) {
+			a.extreme = v
+		}
+	default:
+		return fmt.Errorf("exec: unknown aggregate %q", a.fn)
+	}
+	return nil
+}
+
+func (a *accumulator) result() types.Value {
+	switch a.fn {
+	case "count":
+		return types.NewInt(a.count)
+	case "sum":
+		if a.count == 0 {
+			return types.Null
+		}
+		switch {
+		case a.isIv:
+			return types.NewInterval(a.sumInt)
+		case a.isFloat:
+			return types.NewFloat(a.sumFloat)
+		default:
+			return types.NewInt(a.sumInt)
+		}
+	case "avg":
+		if a.count == 0 {
+			return types.Null
+		}
+		if a.isIv {
+			return types.NewInterval(a.sumInt / a.count)
+		}
+		return types.NewFloat(a.sumFloat / float64(a.count))
+	case "min", "max":
+		return a.extreme
+	}
+	return types.Null
+}
+
+// GroupNode implements hash aggregation. With no keys it produces exactly
+// one output row (global aggregation over a possibly empty input).
+type GroupNode struct {
+	base
+	Input Node
+	Keys  []eval.Func
+	Aggs  []AggSpec
+}
+
+// NewGroupNode builds hash aggregation; out must list key columns first,
+// then one column per aggregate.
+func NewGroupNode(child Node, out *schema.Schema, keys []eval.Func, aggs []AggSpec) *GroupNode {
+	n := &GroupNode{Input: child, Keys: keys, Aggs: aggs}
+	n.schema = out
+	return n
+}
+
+// Label implements Node.
+func (n *GroupNode) Label() string {
+	return fmt.Sprintf("HashGroup(%d keys, %d aggs)", len(n.Keys), len(n.Aggs))
+}
+
+// Children implements Node.
+func (n *GroupNode) Children() []Node { return []Node{n.Input} }
+
+type groupState struct {
+	keyVals schema.Row
+	accs    []*accumulator
+	order   int
+}
+
+// Execute implements Node.
+func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
+	in, err := Run(ctx, n.Input)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string]*groupState{}
+	var sequence []*groupState
+	for _, r := range in.Rows {
+		keyVals := make(schema.Row, len(n.Keys))
+		kb := make([]byte, 0, 16*len(n.Keys))
+		for i, f := range n.Keys {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			kb = append(kb, v.GroupKey()...)
+			kb = append(kb, 0x1f)
+		}
+		k := string(kb)
+		g, ok := groups[k]
+		if !ok {
+			g = &groupState{keyVals: keyVals, accs: make([]*accumulator, len(n.Aggs)), order: len(sequence)}
+			for i := range n.Aggs {
+				g.accs[i] = newAccumulator(&n.Aggs[i])
+			}
+			groups[k] = g
+			sequence = append(sequence, g)
+		}
+		for i := range n.Aggs {
+			spec := &n.Aggs[i]
+			if spec.Arg == nil {
+				g.accs[i].addRowCount()
+				continue
+			}
+			v, err := spec.Arg(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.accs[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(n.Keys) == 0 && len(sequence) == 0 {
+		// Global aggregate over empty input: one row of empty-group results.
+		g := &groupState{accs: make([]*accumulator, len(n.Aggs))}
+		for i := range n.Aggs {
+			g.accs[i] = newAccumulator(&n.Aggs[i])
+		}
+		sequence = append(sequence, g)
+	}
+	out := make([]schema.Row, len(sequence))
+	for i, g := range sequence {
+		row := make(schema.Row, 0, len(n.Keys)+len(n.Aggs))
+		row = append(row, g.keyVals...)
+		for _, acc := range g.accs {
+			row = append(row, acc.result())
+		}
+		out[i] = row
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}

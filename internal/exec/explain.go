@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Explain renders the plan tree with the planner's cardinality and cost
+// estimates, in the style of a DBMS access plan printout.
+func Explain(n Node) string {
+	var b strings.Builder
+	explainNode(&b, n, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n Node, depth int) {
+	fmt.Fprintf(b, "%s%s  [rows=%.0f cost=%.0f]\n", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
+	for _, c := range n.Children() {
+		explainNode(b, c, depth+1)
+	}
+}
+
+// ExplainAnalyze renders the plan with both the planner's estimates and
+// the actual rows and elapsed time recorded in an analyze context, the
+// moral equivalent of EXPLAIN ANALYZE. Elapsed times are cumulative
+// (children included); "(cached)" marks shared subtrees served from the
+// statement cache after their first execution.
+func ExplainAnalyze(n Node, ctx *Ctx) string {
+	var b strings.Builder
+	explainAnalyzeNode(&b, n, ctx, 0)
+	return b.String()
+}
+
+func explainAnalyzeNode(b *strings.Builder, n Node, ctx *Ctx, depth int) {
+	fmt.Fprintf(b, "%s%s  [est rows=%.0f cost=%.0f]", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
+	if st := ctx.Stats(n); st != nil {
+		fmt.Fprintf(b, "  [actual rows=%d time=%s", st.Rows, st.Elapsed.Round(10*time.Microsecond))
+		if st.Hits > 0 {
+			fmt.Fprintf(b, " cached×%d", st.Hits)
+		}
+		b.WriteString("]")
+	} else {
+		b.WriteString("  [never executed]")
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children() {
+		explainAnalyzeNode(b, c, ctx, depth+1)
+	}
+}
+
+// CountNodes returns the number of operators in the plan with the given
+// label prefix; tests use it to assert plan shapes (e.g. number of sorts).
+func CountNodes(n Node, labelPrefix string) int {
+	count := 0
+	if strings.HasPrefix(n.Label(), labelPrefix) {
+		count++
+	}
+	for _, c := range n.Children() {
+		count += CountNodes(c, labelPrefix)
+	}
+	return count
+}

@@ -1,0 +1,409 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// FilterNode keeps rows whose predicate evaluates to TRUE.
+type FilterNode struct {
+	base
+	Input Node
+	Pred  eval.Func
+	// Desc describes the predicate for EXPLAIN.
+	Desc string
+}
+
+// NewFilterNode wraps child with a compiled predicate.
+func NewFilterNode(child Node, pred eval.Func, desc string) *FilterNode {
+	n := &FilterNode{Input: child, Pred: pred, Desc: desc}
+	n.schema = child.Schema()
+	n.ordering = child.Ordering()
+	return n
+}
+
+// Label implements Node.
+func (n *FilterNode) Label() string { return "Filter(" + n.Desc + ")" }
+
+// Children implements Node.
+func (n *FilterNode) Children() []Node { return []Node{n.Input} }
+
+// Execute implements Node.
+func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
+	in, err := Run(ctx, n.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Row, 0, len(in.Rows)/4+1)
+	for _, r := range in.Rows {
+		ok, err := eval.EvalPredicate(n.Pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+// ProjectNode computes output columns from input rows.
+type ProjectNode struct {
+	base
+	Input Node
+	Exprs []eval.Func
+}
+
+// NewProjectNode builds a projection with a prepared output schema.
+func NewProjectNode(child Node, out *schema.Schema, exprs []eval.Func) *ProjectNode {
+	n := &ProjectNode{Input: child, Exprs: exprs}
+	n.schema = out
+	n.estRows = child.EstRows()
+	return n
+}
+
+// Label implements Node.
+func (n *ProjectNode) Label() string { return fmt.Sprintf("Project(%d cols)", n.schema.Len()) }
+
+// Children implements Node.
+func (n *ProjectNode) Children() []Node { return []Node{n.Input} }
+
+// Execute implements Node.
+func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
+	in, err := Run(ctx, n.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Row, len(in.Rows))
+	for i, r := range in.Rows {
+		row := make(schema.Row, len(n.Exprs))
+		for j, f := range n.Exprs {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		out[i] = row
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+// SortNode orders rows by compiled key expressions.
+type SortNode struct {
+	base
+	Input Node
+	Keys  []eval.Func
+	Desc  []bool
+}
+
+// NewSortNode builds a sort over child.
+func NewSortNode(child Node, keys []eval.Func, desc []bool) *SortNode {
+	n := &SortNode{Input: child, Keys: keys, Desc: desc}
+	n.schema = child.Schema()
+	n.estRows = child.EstRows()
+	return n
+}
+
+// Label implements Node.
+func (n *SortNode) Label() string { return fmt.Sprintf("Sort(%d keys)", len(n.Keys)) }
+
+// Children implements Node.
+func (n *SortNode) Children() []Node { return []Node{n.Input} }
+
+// Execute implements Node.
+func (n *SortNode) Execute(ctx *Ctx) (*Result, error) {
+	in, err := Run(ctx, n.Input)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][]types.Value, len(in.Rows))
+	for i, r := range in.Rows {
+		ks := make([]types.Value, len(n.Keys))
+		for j, f := range n.Keys {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			ks[j] = v
+		}
+		keys[i] = ks
+	}
+	idx := make([]int, len(in.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j := range n.Keys {
+			c := compareForSort(ka[j], kb[j])
+			if c == 0 {
+				continue
+			}
+			if n.Desc[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := make([]schema.Row, len(in.Rows))
+	for i, id := range idx {
+		out[i] = in.Rows[id]
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+// compareForSort orders values with NULLS FIRST and falls back to kind
+// order for incomparable kinds so the sort stays total.
+func compareForSort(a, b types.Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if c, err := types.Compare(a, b); err == nil {
+		return c
+	}
+	switch {
+	case a.Kind() < b.Kind():
+		return -1
+	case a.Kind() > b.Kind():
+		return 1
+	}
+	return 0
+}
+
+// LimitNode skips Offset rows then truncates to N (N < 0 means no limit,
+// offset only).
+type LimitNode struct {
+	base
+	Input  Node
+	N      int64
+	Offset int64
+}
+
+// NewLimitNode wraps child with LIMIT n (pass n < 0 for OFFSET-only).
+func NewLimitNode(child Node, limit int64) *LimitNode {
+	n := &LimitNode{Input: child, N: limit}
+	n.schema = child.Schema()
+	n.ordering = child.Ordering()
+	return n
+}
+
+// Label implements Node.
+func (n *LimitNode) Label() string {
+	if n.Offset > 0 {
+		return fmt.Sprintf("Limit(%d offset %d)", n.N, n.Offset)
+	}
+	return fmt.Sprintf("Limit(%d)", n.N)
+}
+
+// Children implements Node.
+func (n *LimitNode) Children() []Node { return []Node{n.Input} }
+
+// Execute implements Node.
+func (n *LimitNode) Execute(ctx *Ctx) (*Result, error) {
+	in, err := Run(ctx, n.Input)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Rows
+	if n.Offset > 0 {
+		if int64(len(rows)) <= n.Offset {
+			rows = nil
+		} else {
+			rows = rows[n.Offset:]
+		}
+	}
+	if n.N >= 0 && int64(len(rows)) > n.N {
+		rows = rows[:n.N]
+	}
+	return &Result{Schema: n.schema, Rows: rows}, nil
+}
+
+// DistinctNode removes duplicate rows (all columns), keeping first
+// occurrences in input order.
+type DistinctNode struct {
+	base
+	Input Node
+}
+
+// NewDistinctNode wraps child with duplicate elimination.
+func NewDistinctNode(child Node) *DistinctNode {
+	n := &DistinctNode{Input: child}
+	n.schema = child.Schema()
+	n.ordering = child.Ordering()
+	return n
+}
+
+// Label implements Node.
+func (n *DistinctNode) Label() string { return "Distinct" }
+
+// Children implements Node.
+func (n *DistinctNode) Children() []Node { return []Node{n.Input} }
+
+// Execute implements Node.
+func (n *DistinctNode) Execute(ctx *Ctx) (*Result, error) {
+	in, err := Run(ctx, n.Input)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, len(in.Rows))
+	out := make([]schema.Row, 0, len(in.Rows))
+	for _, r := range in.Rows {
+		k := rowKey(r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+func rowKey(r schema.Row) string {
+	n := 0
+	for _, v := range r {
+		n += len(v.GroupKey()) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range r {
+		b = append(b, v.GroupKey()...)
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
+// SetOpKind distinguishes EXCEPT from INTERSECT in SetOpNode.
+type SetOpKind uint8
+
+// Set-operation kinds.
+const (
+	SetOpExcept SetOpKind = iota
+	SetOpIntersect
+)
+
+// SetOpNode implements EXCEPT and INTERSECT with SQL set semantics
+// (duplicates eliminated, left input order preserved).
+type SetOpNode struct {
+	base
+	Left, Right Node
+	Kind        SetOpKind
+}
+
+// NewSetOpNode builds EXCEPT/INTERSECT over two inputs of equal arity.
+func NewSetOpNode(l, r Node, kind SetOpKind) (*SetOpNode, error) {
+	if l.Schema().Len() != r.Schema().Len() {
+		return nil, fmt.Errorf("exec: set operation arity mismatch: %d vs %d", l.Schema().Len(), r.Schema().Len())
+	}
+	n := &SetOpNode{Left: l, Right: r, Kind: kind}
+	n.schema = l.Schema()
+	return n, nil
+}
+
+// Label implements Node.
+func (n *SetOpNode) Label() string {
+	if n.Kind == SetOpIntersect {
+		return "Intersect"
+	}
+	return "Except"
+}
+
+// Children implements Node.
+func (n *SetOpNode) Children() []Node { return []Node{n.Left, n.Right} }
+
+// Execute implements Node.
+func (n *SetOpNode) Execute(ctx *Ctx) (*Result, error) {
+	l, err := Run(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	right := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		right[rowKey(row)] = struct{}{}
+	}
+	seen := map[string]struct{}{}
+	var out []schema.Row
+	for _, row := range l.Rows {
+		k := rowKey(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		_, inRight := right[k]
+		if (n.Kind == SetOpExcept) != inRight {
+			out = append(out, row)
+		}
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+// UnionNode concatenates two inputs; Distinct applies set semantics.
+type UnionNode struct {
+	base
+	Left, Right Node
+	Distinct    bool
+}
+
+// NewUnionNode combines two inputs with UNION [ALL] semantics.
+func NewUnionNode(l, r Node, distinct bool) (*UnionNode, error) {
+	if l.Schema().Len() != r.Schema().Len() {
+		return nil, fmt.Errorf("exec: UNION arity mismatch: %d vs %d", l.Schema().Len(), r.Schema().Len())
+	}
+	n := &UnionNode{Left: l, Right: r, Distinct: distinct}
+	n.schema = l.Schema()
+	return n, nil
+}
+
+// Label implements Node.
+func (n *UnionNode) Label() string {
+	if n.Distinct {
+		return "Union"
+	}
+	return "UnionAll"
+}
+
+// Children implements Node.
+func (n *UnionNode) Children() []Node { return []Node{n.Left, n.Right} }
+
+// Execute implements Node.
+func (n *UnionNode) Execute(ctx *Ctx) (*Result, error) {
+	l, err := Run(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]schema.Row, 0, len(l.Rows)+len(r.Rows))
+	rows = append(rows, l.Rows...)
+	rows = append(rows, r.Rows...)
+	if !n.Distinct {
+		return &Result{Schema: n.schema, Rows: rows}, nil
+	}
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0:0]
+	for _, row := range rows {
+		k := rowKey(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}

@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// HashJoinNode joins Left (probe, streamed — its ordering survives) with
+// Right (build) on equality keys, with an optional residual predicate over
+// the concatenated row.
+type HashJoinNode struct {
+	base
+	Left, Right Node
+	LeftKeys    []eval.Func
+	RightKeys   []eval.Func
+	JoinType    JoinKind
+	Residual    eval.Func // over concat(left, right); may be nil
+	Desc        string
+}
+
+// JoinKind enumerates join semantics.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinKindInner JoinKind = iota
+	JoinKindLeft
+)
+
+func (k JoinKind) String() string {
+	if k == JoinKindLeft {
+		return "Left"
+	}
+	return "Inner"
+}
+
+// NewHashJoinNode builds a hash join; the output schema is the
+// concatenation left ++ right.
+func NewHashJoinNode(l, r Node, lk, rk []eval.Func, kind JoinKind, residual eval.Func, desc string) *HashJoinNode {
+	n := &HashJoinNode{Left: l, Right: r, LeftKeys: lk, RightKeys: rk, JoinType: kind, Residual: residual, Desc: desc}
+	n.schema = schema.Concat(l.Schema(), r.Schema())
+	return n
+}
+
+// Label implements Node.
+func (n *HashJoinNode) Label() string {
+	return fmt.Sprintf("HashJoin[%s](%s)", n.JoinType, n.Desc)
+}
+
+// Children implements Node.
+func (n *HashJoinNode) Children() []Node { return []Node{n.Left, n.Right} }
+
+// Execute implements Node.
+func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
+	l, err := Run(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	// Build phase over the right input.
+	build := make(map[string][]schema.Row, len(r.Rows))
+	for _, row := range r.Rows {
+		key, null, err := joinKey(n.RightKeys, row)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		build[key] = append(build[key], row)
+	}
+	rightWidth := r.Schema.Len()
+	out := make([]schema.Row, 0, len(l.Rows))
+	for _, lrow := range l.Rows {
+		key, null, err := joinKey(n.LeftKeys, lrow)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if !null {
+			for _, rrow := range build[key] {
+				joined := concatRows(lrow, rrow)
+				if n.Residual != nil {
+					ok, err := eval.EvalPredicate(n.Residual, joined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, joined)
+			}
+		}
+		if !matched && n.JoinType == JoinKindLeft {
+			out = append(out, concatRows(lrow, nullRow(rightWidth)))
+		}
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+func joinKey(keys []eval.Func, row schema.Row) (string, bool, error) {
+	b := make([]byte, 0, 16*len(keys))
+	for _, f := range keys {
+		v, err := f(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		b = append(b, v.GroupKey()...)
+		b = append(b, 0x1f)
+	}
+	return string(b), false, nil
+}
+
+func concatRows(l, r schema.Row) schema.Row {
+	out := make(schema.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func nullRow(width int) schema.Row {
+	out := make(schema.Row, width)
+	for i := range out {
+		out[i] = types.Null
+	}
+	return out
+}
+
+// NestedLoopJoinNode joins two inputs with an arbitrary predicate; used
+// when no equality keys exist. Inner joins only.
+type NestedLoopJoinNode struct {
+	base
+	Left, Right Node
+	Pred        eval.Func // may be nil (cross join)
+	Desc        string
+}
+
+// NewNestedLoopJoinNode builds a nested-loop inner join.
+func NewNestedLoopJoinNode(l, r Node, pred eval.Func, desc string) *NestedLoopJoinNode {
+	n := &NestedLoopJoinNode{Left: l, Right: r, Pred: pred, Desc: desc}
+	n.schema = schema.Concat(l.Schema(), r.Schema())
+	return n
+}
+
+// Label implements Node.
+func (n *NestedLoopJoinNode) Label() string { return "NLJoin(" + n.Desc + ")" }
+
+// Children implements Node.
+func (n *NestedLoopJoinNode) Children() []Node { return []Node{n.Left, n.Right} }
+
+// Execute implements Node.
+func (n *NestedLoopJoinNode) Execute(ctx *Ctx) (*Result, error) {
+	l, err := Run(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	var out []schema.Row
+	for _, lrow := range l.Rows {
+		for _, rrow := range r.Rows {
+			joined := concatRows(lrow, rrow)
+			if n.Pred != nil {
+				ok, err := eval.EvalPredicate(n.Pred, joined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, joined)
+		}
+	}
+	return &Result{Schema: n.schema, Rows: out}, nil
+}

@@ -1,0 +1,399 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/types"
+)
+
+// windowInput builds rows (part, key, val) already sorted by (part, key),
+// as the planner guarantees for WindowNode.
+func windowInput(parts, keys, vals []int64) *ValuesNode {
+	rows := make([]schema.Row, len(parts))
+	for i := range parts {
+		rows[i] = schema.Row{types.NewInt(parts[i]), types.NewInt(keys[i]), types.NewInt(vals[i])}
+	}
+	return NewValuesNode(intSchema("p", "k", "v"), rows)
+}
+
+func runWindow(t *testing.T, in Node, agg WindowAgg) []types.Value {
+	t.Helper()
+	out := in.Schema().Clone()
+	out.Columns = append(out.Columns, schema.Col("", agg.OutName, agg.Kind))
+	w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false}, []WindowAgg{agg})
+	res := mustExec(t, w)
+	vals := make([]types.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		vals[i] = r[len(r)-1]
+	}
+	return vals
+}
+
+func TestWindowRowsOneBeforeOne(t *testing.T) {
+	// The duplicate-detection pattern from §4.1 of the paper:
+	// max(v) OVER (... ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING).
+	in := windowInput(
+		[]int64{1, 1, 1, 2, 2},
+		[]int64{1, 2, 3, 1, 2},
+		[]int64{10, 20, 30, 40, 50},
+	)
+	got := runWindow(t, in, WindowAgg{
+		Func: "max", Arg: colFn(2), OutName: "prev",
+		Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundPreceding, StartOff: 1, EndType: sqlast.BoundPreceding, EndOff: 1},
+	})
+	want := []any{nil, int64(10), int64(20), nil, int64(40)}
+	for i, w := range want {
+		if w == nil {
+			if !got[i].IsNull() {
+				t.Errorf("row %d = %v, want NULL (partition border)", i, got[i])
+			}
+		} else if got[i].IsNull() || got[i].Int() != w.(int64) {
+			t.Errorf("row %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestWindowRangeFollowingExcludesCurrentRow(t *testing.T) {
+	// The reader-rule window: RANGE BETWEEN 1 MICROSECOND FOLLOWING AND t2
+	// FOLLOWING — strictly after the current row, bounded by key distance.
+	in := windowInput(
+		[]int64{1, 1, 1, 1},
+		[]int64{0, 100, 150, 400},
+		[]int64{1, 2, 3, 4},
+	)
+	got := runWindow(t, in, WindowAgg{
+		Func: "max", Arg: colFn(2), OutName: "after",
+		Frame: FrameSpec{Mode: FrameRangeMode, StartType: sqlast.BoundFollowing, StartOff: 1, EndType: sqlast.BoundFollowing, EndOff: 200},
+	})
+	// Row 0 (k=0): frame keys in [1,200] -> rows k=100,150 -> max 3.
+	// Row 1 (k=100): [101,300] -> k=150 -> 3.
+	// Row 2 (k=150): [151,350] -> none -> NULL.
+	// Row 3 (k=400): none -> NULL.
+	if got[0].Int() != 3 || got[1].Int() != 3 || !got[2].IsNull() || !got[3].IsNull() {
+		t.Fatalf("range following = %v", got)
+	}
+}
+
+func TestWindowCountEmptyFrameIsZero(t *testing.T) {
+	in := windowInput([]int64{1, 1}, []int64{0, 1000}, []int64{1, 2})
+	got := runWindow(t, in, WindowAgg{
+		Func: "count", Arg: colFn(2), OutName: "c",
+		Frame: FrameSpec{Mode: FrameRangeMode, StartType: sqlast.BoundFollowing, StartOff: 1, EndType: sqlast.BoundFollowing, EndOff: 10},
+	})
+	if got[0].Int() != 0 || got[1].Int() != 0 {
+		t.Fatalf("count over empty frame = %v", got)
+	}
+}
+
+func TestWindowPeersDefaultFrame(t *testing.T) {
+	// Default frame with ORDER BY: running aggregate including peers.
+	in := windowInput([]int64{1, 1, 1, 1}, []int64{1, 2, 2, 3}, []int64{10, 20, 30, 40})
+	got := runWindow(t, in, WindowAgg{
+		Func: "sum", Arg: colFn(2), OutName: "s",
+		Frame: FrameSpec{Mode: FramePeers},
+	})
+	want := []int64{10, 60, 60, 100} // peers at k=2 share the result
+	for i, w := range want {
+		if got[i].Int() != w {
+			t.Fatalf("peers frame = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowWholePartition(t *testing.T) {
+	in := windowInput([]int64{1, 1, 2}, []int64{1, 2, 1}, []int64{10, 20, 40})
+	got := runWindow(t, in, WindowAgg{
+		Func: "min", Arg: colFn(2), OutName: "m",
+		Frame: FrameSpec{Mode: FramePartition},
+	})
+	if got[0].Int() != 10 || got[1].Int() != 10 || got[2].Int() != 40 {
+		t.Fatalf("partition frame = %v", got)
+	}
+}
+
+func TestWindowRowNumber(t *testing.T) {
+	in := windowInput([]int64{1, 1, 2, 2, 2}, []int64{1, 2, 1, 2, 3}, []int64{0, 0, 0, 0, 0})
+	got := runWindow(t, in, WindowAgg{Func: "row_number", OutName: "rn"})
+	want := []int64{1, 2, 1, 2, 3}
+	for i, w := range want {
+		if got[i].Int() != w {
+			t.Fatalf("row_number = %v", got)
+		}
+	}
+}
+
+func TestWindowSuffixRunning(t *testing.T) {
+	// ROWS BETWEEN 1 FOLLOWING AND UNBOUNDED FOLLOWING: the "exists a
+	// later row with flag" pattern used by the missing rule's r2.
+	in := windowInput([]int64{1, 1, 1}, []int64{1, 2, 3}, []int64{0, 1, 0})
+	got := runWindow(t, in, WindowAgg{
+		Func: "max", Arg: colFn(2), OutName: "later",
+		Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundFollowing, StartOff: 1, EndType: sqlast.BoundUnboundedFollowing},
+	})
+	if got[0].Int() != 1 || got[1].Int() != 0 || !got[2].IsNull() {
+		t.Fatalf("suffix running = %v", got)
+	}
+}
+
+// bruteWindow recomputes one aggregate over explicit frame scanning; the
+// property test below checks the optimized operator against it.
+func bruteWindow(parts, keys, vals []int64, fn string, spec FrameSpec) []types.Value {
+	n := len(parts)
+	out := make([]types.Value, n)
+	for i := 0; i < n; i++ {
+		var acc []int64
+		for j := 0; j < n; j++ {
+			if parts[j] != parts[i] {
+				continue
+			}
+			in := false
+			switch spec.Mode {
+			case FramePartition:
+				in = true
+			case FramePeers:
+				in = keys[j] <= keys[i]
+			case FrameRowsMode:
+				// Row distance within the partition.
+				d := 0
+				lo, hi := j, i
+				sign := 1
+				if j > i {
+					lo, hi = i, j
+					sign = -1
+				}
+				for k := lo; k < hi; k++ {
+					if parts[k] == parts[i] {
+						d++
+					}
+				}
+				d *= sign // positive: j precedes i
+				lowOK := false
+				switch spec.StartType {
+				case sqlast.BoundUnboundedPreceding:
+					lowOK = true
+				case sqlast.BoundPreceding:
+					lowOK = d <= int(spec.StartOff)
+				case sqlast.BoundCurrentRow:
+					lowOK = d <= 0
+				case sqlast.BoundFollowing:
+					lowOK = -d >= int(spec.StartOff)
+				}
+				highOK := false
+				switch spec.EndType {
+				case sqlast.BoundUnboundedFollowing:
+					highOK = true
+				case sqlast.BoundFollowing:
+					highOK = -d <= int(spec.EndOff)
+				case sqlast.BoundCurrentRow:
+					highOK = d >= 0
+				case sqlast.BoundPreceding:
+					highOK = d >= int(spec.EndOff)
+				}
+				in = lowOK && highOK
+			case FrameRangeMode:
+				lo, hi := int64(-1<<62), int64(1<<62)
+				switch spec.StartType {
+				case sqlast.BoundPreceding:
+					lo = keys[i] - spec.StartOff
+				case sqlast.BoundCurrentRow:
+					lo = keys[i]
+				case sqlast.BoundFollowing:
+					lo = keys[i] + spec.StartOff
+				}
+				switch spec.EndType {
+				case sqlast.BoundFollowing:
+					hi = keys[i] + spec.EndOff
+				case sqlast.BoundCurrentRow:
+					hi = keys[i]
+				case sqlast.BoundPreceding:
+					hi = keys[i] - spec.EndOff
+				}
+				in = keys[j] >= lo && keys[j] <= hi
+			}
+			if in {
+				acc = append(acc, vals[j])
+			}
+		}
+		switch fn {
+		case "count":
+			out[i] = types.NewInt(int64(len(acc)))
+		case "sum", "max", "min":
+			if len(acc) == 0 {
+				out[i] = types.Null
+				continue
+			}
+			r := acc[0]
+			for _, v := range acc[1:] {
+				switch fn {
+				case "sum":
+					r += v
+				case "max":
+					if v > r {
+						r = v
+					}
+				case "min":
+					if v < r {
+						r = v
+					}
+				}
+			}
+			out[i] = types.NewInt(r)
+		}
+	}
+	return out
+}
+
+// Property: the window operator agrees with brute force over random
+// sorted inputs, random frames, and all aggregate functions.
+func TestWindowMatchesBruteForceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		parts := make([]int64, n)
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		p, k := int64(0), int64(0)
+		for i := 0; i < n; i++ {
+			if rng.Intn(5) == 0 {
+				p++
+				k = 0
+			}
+			k += int64(rng.Intn(4)) // allow duplicate keys (peers)
+			parts[i], keys[i], vals[i] = p, k, int64(rng.Intn(100))
+		}
+		fns := []string{"count", "sum", "max", "min"}
+		fn := fns[rng.Intn(len(fns))]
+		var spec FrameSpec
+		switch rng.Intn(4) {
+		case 0:
+			spec = FrameSpec{Mode: FramePartition}
+		case 1:
+			spec = FrameSpec{Mode: FramePeers}
+		case 2, 3:
+			mode := FrameRowsMode
+			if rng.Intn(2) == 0 {
+				mode = FrameRangeMode
+			}
+			boundTypes := []sqlast.BoundType{
+				sqlast.BoundUnboundedPreceding, sqlast.BoundPreceding,
+				sqlast.BoundCurrentRow, sqlast.BoundFollowing, sqlast.BoundUnboundedFollowing,
+			}
+			var st, et sqlast.BoundType
+			for {
+				st = boundTypes[rng.Intn(4)]   // not unbounded following
+				et = boundTypes[1+rng.Intn(4)] // not unbounded preceding
+				if st <= et {
+					break
+				}
+			}
+			spec = FrameSpec{
+				Mode: mode, StartType: st, EndType: et,
+				StartOff: int64(rng.Intn(5)), EndOff: int64(rng.Intn(5)),
+			}
+		}
+		in := windowInput(parts, keys, vals)
+		out := in.Schema().Clone()
+		out.Columns = append(out.Columns, schema.Col("", "w", types.KindInt))
+		w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false},
+			[]WindowAgg{{Func: fn, Arg: colFn(2), OutName: "w", Frame: spec}})
+		res, err := Run(NewCtx(), w)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := bruteWindow(parts, keys, vals, fn, spec)
+		for i := range want {
+			got := res.Rows[i][3]
+			if got.IsNull() != want[i].IsNull() {
+				t.Logf("seed %d fn %s spec %+v row %d: got %v want %v", seed, fn, spec, i, got, want[i])
+				return false
+			}
+			if !got.IsNull() && got.Int() != want[i].Int() {
+				t.Logf("seed %d fn %s spec %+v row %d: got %v want %v", seed, fn, spec, i, got, want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowRangeRequiresSingleAscKey(t *testing.T) {
+	in := windowInput([]int64{1}, []int64{1}, []int64{1})
+	out := in.Schema().Clone()
+	out.Columns = append(out.Columns, schema.Col("", "w", types.KindInt))
+	w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{true},
+		[]WindowAgg{{Func: "max", Arg: colFn(2), OutName: "w",
+			Frame: FrameSpec{Mode: FrameRangeMode, StartType: sqlast.BoundPreceding, EndType: sqlast.BoundCurrentRow}}})
+	if _, err := Run(NewCtx(), w); err == nil {
+		t.Fatal("descending RANGE order must error")
+	}
+}
+
+func TestWindowMultipleAggsOnePass(t *testing.T) {
+	in := windowInput([]int64{1, 1, 1}, []int64{1, 2, 3}, []int64{5, 7, 3})
+	out := in.Schema().Clone()
+	out.Columns = append(out.Columns,
+		schema.Col("", "prev", types.KindInt),
+		schema.Col("", "total", types.KindInt),
+	)
+	w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false}, []WindowAgg{
+		{Func: "max", Arg: colFn(2), OutName: "prev",
+			Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundPreceding, StartOff: 1, EndType: sqlast.BoundPreceding, EndOff: 1}},
+		{Func: "sum", Arg: colFn(2), OutName: "total", Frame: FrameSpec{Mode: FramePartition}},
+	})
+	res := mustExec(t, w)
+	if !res.Rows[0][3].IsNull() || res.Rows[1][3].Int() != 5 || res.Rows[2][3].Int() != 7 {
+		t.Fatalf("prev col = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[4].Int() != 15 {
+			t.Fatalf("total col = %v", res.Rows)
+		}
+	}
+}
+
+// Parallel partition evaluation must agree with serial evaluation on a
+// large multi-partition input (and pass the race detector).
+func TestWindowParallelMatchesSerial(t *testing.T) {
+	const n = 10000
+	parts := make([]int64, n)
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range parts {
+		parts[i] = int64(i / 37)
+		keys[i] = int64(i % 37)
+		vals[i] = int64((i * 7919) % 101)
+	}
+	build := func() *WindowNode {
+		in := windowInput(parts, keys, vals)
+		out := in.Schema().Clone()
+		out.Columns = append(out.Columns, schema.Col("", "w", types.KindInt))
+		return NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false},
+			[]WindowAgg{{Func: "sum", Arg: colFn(2), OutName: "w",
+				Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundPreceding, StartOff: 3, EndType: sqlast.BoundFollowing, EndOff: 2}}})
+	}
+	old := WindowParallelism
+	defer func() { WindowParallelism = old }()
+
+	WindowParallelism = 1
+	serial := mustExec(t, build())
+	WindowParallelism = 8
+	parallel := mustExec(t, build())
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatal("row count mismatch")
+	}
+	for i := range serial.Rows {
+		a, b := serial.Rows[i][3], parallel.Rows[i][3]
+		if !a.Equal(b) {
+			t.Fatalf("row %d: serial %v vs parallel %v", i, a, b)
+		}
+	}
+}

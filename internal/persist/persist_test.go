@@ -1,0 +1,206 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/rfidgen"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func buildSampleDB(t *testing.T) (*catalog.Database, *core.Registry) {
+	t.Helper()
+	db := catalog.NewDatabase()
+	tab := storage.NewTable("reads", schema.New(
+		schema.Col("reads", "epc", types.KindString),
+		schema.Col("reads", "rtime", types.KindTime),
+		schema.Col("reads", "biz_loc", types.KindString),
+		schema.Col("reads", "n", types.KindInt),
+		schema.Col("reads", "f", types.KindFloat),
+		schema.Col("reads", "b", types.KindBool),
+		schema.Col("reads", "iv", types.KindInterval),
+	))
+	rows := []schema.Row{
+		{types.NewString("e1"), types.NewTime(1000), types.NewString("dock"), types.NewInt(-7), types.NewFloat(1.5), types.NewBool(true), types.NewInterval(60)},
+		{types.NewString(`\N`), types.NewTime(2000), types.NewString(`weird "loc", with commas`), types.Null, types.Null, types.Null, types.Null},
+		{types.NewString(`\\escaped`), types.NewTime(3000), types.NewString(""), types.NewInt(0), types.NewFloat(0), types.NewBool(false), types.NewInterval(0)},
+	}
+	for _, r := range rows {
+		if err := tab.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab.BuildIndex("rtime")
+	tab.BuildIndex("epc")
+	tab.Analyze()
+	if err := db.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	view, err := sqlparser.Parse("select epc, rtime from reads where n is not null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddView("valid_reads", view); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry(db)
+	if _, err := reg.Define(`DEFINE dedup ON reads
+		AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+		ACTION DELETE B`); err != nil {
+		t.Fatal(err)
+	}
+	return db, reg
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, reg := buildSampleDB(t)
+	dir := t.TempDir()
+	if err := Save(db, reg, dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, reg2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := db.Table("reads")
+	t2, ok := db2.Table("reads")
+	if !ok || t2.RowCount() != t1.RowCount() {
+		t.Fatalf("reloaded rows = %v", t2)
+	}
+	for i, row := range t1.Rows {
+		for j, v := range row {
+			if !v.Equal(t2.Rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, v, t2.Rows[i][j])
+			}
+		}
+	}
+	// Indexes rebuilt.
+	if t2.IndexOn("rtime") == nil || t2.IndexOn("epc") == nil {
+		t.Error("indexes not rebuilt")
+	}
+	// Stats refreshed.
+	if t2.Stats(0) == nil {
+		t.Error("stats not analyzed")
+	}
+	// View restored and usable.
+	node, err := plan.New(db2).PlanSQL("select count(*) from valid_reads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(exec.NewCtx(), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("view count = %v", res.Rows[0][0])
+	}
+	// Rules restored in order with compiled templates.
+	rules := reg2.All()
+	if len(rules) != 1 || rules[0].Rule.Name != "dedup" || !strings.Contains(rules[0].TemplateSQL, "$input") {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty dir must fail")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644)
+	if _, _, err := Load(dir); err == nil {
+		t.Error("bad manifest must fail")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version": 99}`), 0o644)
+	if _, _, err := Load(dir); err == nil {
+		t.Error("future version must fail")
+	}
+	// Row count mismatch.
+	db, reg := buildSampleDB(t)
+	dir2 := t.TempDir()
+	if err := Save(db, reg, dir2); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir2, "reads.csv"), []byte(""), 0o644)
+	if _, _, err := Load(dir2); err == nil {
+		t.Error("truncated table must fail")
+	}
+}
+
+func TestValueEncodingRoundTripsEdgeCases(t *testing.T) {
+	cases := []types.Value{
+		types.Null,
+		types.NewString(nullMarker),    // a string that *looks* like NULL
+		types.NewString(`\`),           // lone backslash
+		types.NewString(`\\N`),         //
+		types.NewString("line\nbreak"), // csv quoting
+		types.NewString("comma, quote\""),
+		types.NewFloat(-0.0),
+		types.NewInt(-1 << 62),
+		types.NewTime(0),
+		types.NewInterval(-5),
+	}
+	for _, v := range cases {
+		kind := v.Kind()
+		if kind == types.KindNull {
+			kind = types.KindString
+		}
+		got, err := decodeValue(encodeValue(v), kind)
+		if err != nil {
+			t.Errorf("decode(%v): %v", v, err)
+			continue
+		}
+		if !got.Equal(v) && !(v.IsNull() && got.IsNull()) {
+			t.Errorf("round trip %v (%s) = %v", v, v.Kind(), got)
+		}
+	}
+}
+
+// Persisting a full generated workload round-trips and still answers
+// cleansed queries identically.
+func TestWorkloadPersistence(t *testing.T) {
+	d := rfidgen.Generate(rfidgen.Config{Scale: 1, AnomalyPct: 20, Seed: 3})
+	db := catalog.NewDatabase()
+	if err := d.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry(db)
+	for _, src := range d.PaperRules() {
+		if _, err := reg.Define(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func(db *catalog.Database, reg *core.Registry) int64 {
+		rw := core.NewRewriter(db, reg)
+		res, err := rw.RewriteSQL("select count(*) from caser", nil, core.StrategyNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Run(exec.NewCtx(), res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Rows[0][0].Int()
+	}
+	want := count(db, reg)
+
+	dir := t.TempDir()
+	if err := Save(db, reg, dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, reg2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count(db2, reg2); got != want {
+		t.Errorf("cleansed count after reload = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"repro/internal/exec"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/storage"
+)
+
+// sschema is a local alias used where the schema package name would
+// collide with variables.
+type sschema = schema.Schema
+
+const defaultSel = 1.0 / 3
+
+func concatSchemas(l, r *planned) *schema.Schema {
+	return schema.Concat(l.schema(), r.schema())
+}
+
+// selectivity estimates the fraction of pl's rows satisfying expr.
+// Conjunctions multiply, disjunctions combine with inclusion-exclusion,
+// comparisons consult base-column statistics, and IN predicates scale by
+// the member count (or the subquery's estimated cardinality — this is what
+// makes a join-back semi-join look as cheap as it is when the pushed
+// predicate correlates with the cluster key).
+func (b *builder) selectivity(expr sqlast.Expr, pl *planned, subplans map[sqlast.Stmt]exec.Node) float64 {
+	switch e := expr.(type) {
+	case nil:
+		return 1
+	case *sqlast.Bin:
+		switch e.Op {
+		case sqlast.OpAnd:
+			return b.selectivity(e.L, pl, subplans) * b.selectivity(e.R, pl, subplans)
+		case sqlast.OpOr:
+			sl := b.selectivity(e.L, pl, subplans)
+			sr := b.selectivity(e.R, pl, subplans)
+			return sl + sr - sl*sr
+		}
+		if e.Op.IsComparison() {
+			return b.cmpSelectivity(e, pl)
+		}
+		return defaultSel
+	case *sqlast.Un:
+		if e.Op == sqlast.OpNot {
+			return 1 - b.selectivity(e.E, pl, subplans)
+		}
+		return defaultSel
+	case *sqlast.IsNull:
+		if e.Neg {
+			return 0.95
+		}
+		return 0.05
+	case *sqlast.In:
+		st := b.statsFor(e.E, pl)
+		d := 100.0
+		if st != nil && st.Distinct > 0 {
+			d = float64(st.Distinct)
+		}
+		var members float64
+		if e.Sub != nil {
+			if node, ok := subplans[e.Sub]; ok {
+				members = node.EstRows()
+			} else {
+				members = d * defaultSel
+			}
+		} else {
+			members = float64(len(e.List))
+		}
+		sel := members / d
+		if sel > 1 {
+			sel = 1
+		}
+		if e.Neg {
+			sel = 1 - sel
+		}
+		return sel
+	case *sqlast.Like:
+		if e.Neg {
+			return 0.9
+		}
+		return 0.1
+	case *sqlast.Const:
+		return 1 // constant TRUE/FALSE predicates are rare; assume pass
+	}
+	return defaultSel
+}
+
+func (b *builder) cmpSelectivity(e *sqlast.Bin, pl *planned) float64 {
+	cr, lit, op := matchColConst(e)
+	if cr == nil || lit == nil {
+		// col = col within one input, or non-foldable expression.
+		if e.Op == sqlast.OpEq {
+			return 0.1
+		}
+		return defaultSel
+	}
+	st := b.statsFor(cr, pl)
+	if st == nil {
+		if op == sqlast.OpEq {
+			return 0.1
+		}
+		return defaultSel
+	}
+	v := lit.V
+	switch op {
+	case sqlast.OpEq:
+		return st.EqSelectivity()
+	case sqlast.OpNe:
+		return 1 - st.EqSelectivity()
+	case sqlast.OpLt, sqlast.OpLe:
+		return st.RangeSelectivity(nil, &v)
+	case sqlast.OpGt, sqlast.OpGe:
+		return st.RangeSelectivity(&v, nil)
+	}
+	return defaultSel
+}
+
+// statsFor resolves an expression to base-column statistics when it is a
+// plain column reference that traces to a base table.
+func (b *builder) statsFor(e sqlast.Expr, pl *planned) *storage.ColStats {
+	cr, ok := e.(*sqlast.ColRef)
+	if !ok {
+		return nil
+	}
+	idx, err := pl.schema().Resolve(cr.Table, cr.Name)
+	if err != nil || idx >= len(pl.stats) {
+		return nil
+	}
+	return pl.stats[idx]
+}

@@ -1,0 +1,90 @@
+// Package plan translates SQL statements into physical operator trees:
+// name resolution, predicate classification and pushdown (including
+// through views and UNION branches), index-scan selection, greedy join
+// ordering, window-function extraction with sort-order sharing, and a
+// cardinality/cost model. The query-rewrite engine in internal/core uses
+// the planner's cost estimates to choose among candidate rewrites, the
+// same way the paper compiles each candidate on the DBMS and keeps the
+// cheapest.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/types"
+)
+
+// lazyFilterNode filters rows by a predicate that may contain uncorrelated
+// IN/EXISTS subqueries. The subquery plans execute through the statement's
+// execution context (so a repeated subquery runs once), which is why the
+// predicate compiles lazily at Execute time rather than at plan time —
+// planning must never execute anything, or costing candidate rewrites
+// would pay for running them.
+type lazyFilterNode struct {
+	input    exec.Node
+	expr     sqlast.Expr
+	subplans map[sqlast.Stmt]exec.Node
+	desc     string
+
+	estRows, estCost float64
+}
+
+func (n *lazyFilterNode) Schema() *schema.Schema { return n.input.Schema() }
+
+// Children exposes the subquery plans alongside the input so EXPLAIN (and
+// plan-shape assertions) see every table access the filter performs.
+func (n *lazyFilterNode) Children() []exec.Node {
+	out := []exec.Node{n.input}
+	for _, sp := range n.subplans {
+		out = append(out, sp)
+	}
+	return out
+}
+func (n *lazyFilterNode) Label() string             { return "Filter(" + n.desc + ")" }
+func (n *lazyFilterNode) EstRows() float64          { return n.estRows }
+func (n *lazyFilterNode) EstCost() float64          { return n.estCost }
+func (n *lazyFilterNode) Ordering() []exec.OrderCol { return n.input.Ordering() }
+
+func (n *lazyFilterNode) Execute(ctx *exec.Ctx) (*exec.Result, error) {
+	in, err := exec.Run(ctx, n.input)
+	if err != nil {
+		return nil, err
+	}
+	env := &eval.Env{
+		Schema: n.input.Schema(),
+		SubEval: func(s sqlast.Stmt) ([]types.Value, error) {
+			node, ok := n.subplans[s]
+			if !ok {
+				return nil, fmt.Errorf("plan: unplanned subquery in predicate %s", n.desc)
+			}
+			res, err := exec.Run(ctx, node)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]types.Value, len(res.Rows))
+			for i, r := range res.Rows {
+				out[i] = r[0]
+			}
+			return out, nil
+		},
+	}
+	pred, err := eval.Compile(n.expr, env)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Row, 0, len(in.Rows)/4+1)
+	for _, r := range in.Rows {
+		ok, err := eval.EvalPredicate(pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return &exec.Result{Schema: n.input.Schema(), Rows: out}, nil
+}

@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlast"
+)
+
+// pushIntoStmt tries to push each conjunct into the WHERE clause(s) of a
+// statement that will be planned as a derived table bound under `binding`.
+// Conjuncts that cannot be pushed safely are returned as the residue to be
+// filtered on top. Pushing distributes across UNION branches, which is what
+// lets a join-back rewrite over the missing-rule's caseR∪palletR input view
+// restrict both underlying tables (the effect §6.3 of the paper relies on).
+//
+// Safety rules: never push through LIMIT, GROUP BY, HAVING, or window
+// references; only push a conjunct whose columns all map to plain column
+// references of the subquery's select list (or pass through a star).
+func pushIntoStmt(stmt sqlast.Stmt, conjs []sqlast.Expr, binding string, db *catalog.Database) (sqlast.Stmt, []sqlast.Expr) {
+	var rest []sqlast.Expr
+	out := stmt
+	for _, c := range conjs {
+		pushed, ok := pushOne(out, c, binding, db)
+		if ok {
+			out = pushed
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return out, rest
+}
+
+func pushOne(stmt sqlast.Stmt, conj sqlast.Expr, binding string, db *catalog.Database) (sqlast.Stmt, bool) {
+	switch s := stmt.(type) {
+	case *sqlast.SelectStmt:
+		if s.Limit != nil || s.Offset != nil || len(s.GroupBy) > 0 || s.Having != nil {
+			return stmt, false
+		}
+		// A SELECT computing window functions is a hard barrier: its WHERE
+		// runs before the windows, so merging an outer predicate into it
+		// would shrink every window frame — the exact unsound "push the
+		// query predicate below cleansing" transformation the paper's §5.1
+		// counterexamples demonstrate.
+		for _, it := range s.Items {
+			if it.Expr != nil && containsWindowOrAgg(it.Expr) {
+				return stmt, false
+			}
+		}
+		mapped, ok := remapConj(conj, s, binding)
+		if !ok {
+			return stmt, false
+		}
+		out := *s
+		out.Where = sqlast.And(out.Where, mapped)
+		return &out, true
+	case *sqlast.SetOpStmt:
+		l, ok := pushOne(s.L, conj, binding, db)
+		if !ok {
+			return stmt, false
+		}
+		r, ok := pushOne(s.R, conj, binding, db)
+		if !ok {
+			return stmt, false
+		}
+		return &sqlast.SetOpStmt{Op: s.Op, All: s.All, L: l, R: r}, true
+	}
+	return stmt, false
+}
+
+// remapConj rewrites a conjunct's column references from the derived
+// table's output names to the underlying expressions of the select list.
+func remapConj(conj sqlast.Expr, s *sqlast.SelectStmt, binding string) (sqlast.Expr, bool) {
+	// Build output-name → source-expression map.
+	byName := map[string]sqlast.Expr{}
+	hasStar := false
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			hasStar = true
+		case it.Alias != "":
+			byName[strings.ToLower(it.Alias)] = it.Expr
+		default:
+			if cr, ok := it.Expr.(*sqlast.ColRef); ok {
+				byName[strings.ToLower(cr.Name)] = cr
+			}
+		}
+	}
+	ok := true
+	mapped := sqlast.MapColRefs(sqlast.CloneExpr(conj), func(cr *sqlast.ColRef) sqlast.Expr {
+		if !ok {
+			return cr
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, binding) {
+			ok = false
+			return cr
+		}
+		name := strings.ToLower(cr.Name)
+		if src, found := byName[name]; found {
+			if containsWindowOrAgg(src) {
+				ok = false
+				return cr
+			}
+			return sqlast.CloneExpr(src)
+		}
+		if hasStar {
+			// Passes through unchanged; drop the outer qualifier since the
+			// inner scope does not know the outer binding.
+			return &sqlast.ColRef{Name: cr.Name}
+		}
+		ok = false
+		return cr
+	})
+	if !ok {
+		return nil, false
+	}
+	return mapped, true
+}
+
+func containsWindowOrAgg(e sqlast.Expr) bool {
+	found := false
+	sqlast.VisitExprs(e, func(x sqlast.Expr) {
+		switch x := x.(type) {
+		case *sqlast.WindowExpr:
+			found = true
+		case *sqlast.FuncCall:
+			if isAggName(x.Name) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func isAggName(name string) bool {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}

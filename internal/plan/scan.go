@@ -1,0 +1,177 @@
+package plan
+
+import (
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/sqlast"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Cost model constants, in abstract row-touch units. Only relative
+// magnitudes matter: they decide index-vs-sequential scans, join orders,
+// and which candidate rewrite the rewriter submits.
+const (
+	costSeqRow     = 1.0  // sequential scan, per row
+	costIndexRow   = 2.5  // index range scan, per matched row (random access)
+	costFilterRow  = 0.2  // predicate evaluation, per input row
+	costSortFactor = 0.35 // n·log₂(n) multiplier
+	costWindowAgg  = 0.6  // per row per scalar aggregate
+	costHashRow    = 1.2  // hash build/probe, per row
+	costProjectRow = 0.15 // per output row per column (approx)
+	costGroupRow   = 1.5  // hash aggregation, per input row
+	costUnionRow   = 0.2
+)
+
+// planScan plans a base-table access: an index range scan when a sargable
+// predicate makes one attractive, otherwise a sequential scan, with the
+// residual predicate filtered on top.
+func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr, scope *cteScope) (*planned, error) {
+	stats := make([]*storage.ColStats, t.Schema.Len())
+	for i := range stats {
+		stats[i] = t.Stats(i)
+	}
+	total := float64(t.RowCount())
+
+	// Gather sargable bounds per indexed column.
+	type colBounds struct {
+		ord    int
+		bounds storage.Bounds
+		used   map[sqlast.Expr]bool
+		sel    float64
+	}
+	byCol := map[int]*colBounds{}
+	for _, c := range conjs {
+		ord, op, lit, ok := sargable(c, t, binding)
+		if !ok || !t.HasIndex(ord) {
+			continue
+		}
+		cb := byCol[ord]
+		if cb == nil {
+			cb = &colBounds{ord: ord, used: map[sqlast.Expr]bool{}}
+			byCol[ord] = cb
+		}
+		v := lit
+		switch op {
+		case sqlast.OpEq:
+			cb.bounds.Equals = &v
+		case sqlast.OpLt:
+			tightenHi(&cb.bounds, v, false)
+		case sqlast.OpLe:
+			tightenHi(&cb.bounds, v, true)
+		case sqlast.OpGt:
+			tightenLo(&cb.bounds, v, false)
+		case sqlast.OpGe:
+			tightenLo(&cb.bounds, v, true)
+		default:
+			continue
+		}
+		cb.used[c] = true
+	}
+
+	// Choose the most selective indexed column.
+	var best *colBounds
+	for _, cb := range byCol {
+		cb.sel = boundsSelectivity(stats[cb.ord], cb.bounds)
+		if best == nil || cb.sel < best.sel {
+			best = cb
+		}
+	}
+
+	scan := exec.NewScanNode(t, binding)
+	pl := &planned{stats: stats}
+	remaining := conjs
+	if best != nil {
+		matched := total * best.sel
+		idxCost := matched*costIndexRow + math.Log2(total+2)
+		if idxCost < total*costSeqRow {
+			scan.IndexOrd = best.ord
+			scan.Bounds = best.bounds
+			exec.SetEstimates(scan, matched, idxCost)
+			exec.SetOrdering(scan, []exec.OrderCol{{Col: best.ord}})
+			remaining = nil
+			for _, c := range conjs {
+				if !best.used[c] {
+					remaining = append(remaining, c)
+				}
+			}
+			pl.node = scan
+			return b.applyFilter(pl, remaining, scope)
+		}
+	}
+	exec.SetEstimates(scan, total, total*costSeqRow)
+	pl.node = scan
+	return b.applyFilter(pl, remaining, scope)
+}
+
+// sargable matches "col op literal" (or flipped) on the given table
+// binding and returns the column ordinal, normalized operator, and value.
+func sargable(e sqlast.Expr, t *storage.Table, binding string) (int, sqlast.BinOp, types.Value, bool) {
+	bin, ok := e.(*sqlast.Bin)
+	if !ok || !bin.Op.IsComparison() || bin.Op == sqlast.OpNe {
+		return 0, 0, types.Null, false
+	}
+	cr, lit, op := matchColConst(bin)
+	if cr == nil || lit == nil || lit.V.IsNull() {
+		return 0, 0, types.Null, false
+	}
+	if cr.Table != "" && cr.Table != binding {
+		return 0, 0, types.Null, false
+	}
+	ord := t.Schema.IndexOf(cr.Name)
+	if ord < 0 {
+		return 0, 0, types.Null, false
+	}
+	return ord, op, lit.V, true
+}
+
+// matchColConst extracts (colref, literal, op-with-col-on-left).
+func matchColConst(bin *sqlast.Bin) (*sqlast.ColRef, *sqlast.Const, sqlast.BinOp) {
+	if cr, ok := bin.L.(*sqlast.ColRef); ok {
+		if c, ok := bin.R.(*sqlast.Const); ok {
+			return cr, c, bin.Op
+		}
+	}
+	if cr, ok := bin.R.(*sqlast.ColRef); ok {
+		if c, ok := bin.L.(*sqlast.Const); ok {
+			return cr, c, bin.Op.Flip()
+		}
+	}
+	return nil, nil, bin.Op
+}
+
+func tightenLo(b *storage.Bounds, v types.Value, incl bool) {
+	if b.Lo == nil {
+		b.Lo, b.LoIncl = &v, incl
+		return
+	}
+	c, err := types.Compare(v, *b.Lo)
+	if err != nil {
+		return
+	}
+	if c > 0 || (c == 0 && !incl) {
+		b.Lo, b.LoIncl = &v, incl
+	}
+}
+
+func tightenHi(b *storage.Bounds, v types.Value, incl bool) {
+	if b.Hi == nil {
+		b.Hi, b.HiIncl = &v, incl
+		return
+	}
+	c, err := types.Compare(v, *b.Hi)
+	if err != nil {
+		return
+	}
+	if c < 0 || (c == 0 && !incl) {
+		b.Hi, b.HiIncl = &v, incl
+	}
+}
+
+func boundsSelectivity(st *storage.ColStats, b storage.Bounds) float64 {
+	if b.Equals != nil {
+		return st.EqSelectivity()
+	}
+	return st.RangeSelectivity(b.Lo, b.Hi)
+}

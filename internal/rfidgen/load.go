@@ -1,0 +1,169 @@
+package rfidgen
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// ReadsSchema builds the paper's reads-table schema (Figure 2) under the
+// given table name.
+func ReadsSchema(name string) *schema.Schema {
+	return schema.New(
+		schema.Col(name, "epc", types.KindString),
+		schema.Col(name, "rtime", types.KindTime),
+		schema.Col(name, "reader", types.KindString),
+		schema.Col(name, "biz_loc", types.KindString),
+		schema.Col(name, "biz_step", types.KindString),
+	)
+}
+
+func readRow(r Read) schema.Row {
+	return schema.Row{
+		types.NewString(r.EPC), types.NewTimeFrom(r.RTime),
+		types.NewString(r.Reader), types.NewString(r.BizLoc), types.NewString(r.BizStep),
+	}
+}
+
+// CaseWithPalletViewSQL is the derived input of the missing rule (§6.3 of
+// the paper): actual case reads unioned with every pallet read propagated
+// to each of its cases' EPCs.
+const CaseWithPalletViewSQL = `
+	select epc, rtime, reader, biz_loc, biz_step, 0 as is_pallet from caser
+	union all
+	select parent.child_epc as epc, palletr.rtime, palletr.reader, palletr.biz_loc, palletr.biz_step, 1 as is_pallet
+	from palletr, parent where palletr.epc = parent.parent_epc`
+
+// Load materializes the dataset into a database following §6.1's physical
+// design: caseR and palletR indexed on every column except reader, parent
+// indexed on child_epc, dimension tables on their primary keys, locs
+// additionally on site and steps on type. Statistics are analyzed so the
+// planner costs candidates realistically, and the missing rule's input
+// view is registered.
+func (d *Dataset) Load(db *catalog.Database) error {
+	caseR := storage.NewTable("caser", ReadsSchema("caser"))
+	for _, r := range d.CaseR {
+		if err := caseR.Append(readRow(r)); err != nil {
+			return err
+		}
+	}
+	palletR := storage.NewTable("palletr", ReadsSchema("palletr"))
+	for _, r := range d.PalletR {
+		if err := palletR.Append(readRow(r)); err != nil {
+			return err
+		}
+	}
+	for _, col := range []string{"epc", "rtime", "biz_loc", "biz_step"} {
+		if err := caseR.BuildIndex(col); err != nil {
+			return err
+		}
+		if err := palletR.BuildIndex(col); err != nil {
+			return err
+		}
+	}
+
+	parent := storage.NewTable("parent", schema.New(
+		schema.Col("parent", "child_epc", types.KindString),
+		schema.Col("parent", "parent_epc", types.KindString),
+	))
+	for _, p := range d.Parents {
+		parent.Append(schema.Row{types.NewString(p.ChildEPC), types.NewString(p.ParentEPC)})
+	}
+	parent.BuildIndex("child_epc")
+
+	info := storage.NewTable("epc_info", schema.New(
+		schema.Col("epc_info", "epc", types.KindString),
+		schema.Col("epc_info", "product", types.KindInt),
+		schema.Col("epc_info", "lot", types.KindInt),
+		schema.Col("epc_info", "manufacture_date", types.KindTime),
+		schema.Col("epc_info", "expiry_date", types.KindTime),
+	))
+	for _, i := range d.Infos {
+		info.Append(schema.Row{
+			types.NewString(i.EPC), types.NewInt(int64(i.Product)), types.NewInt(int64(i.Lot)),
+			types.NewTimeFrom(i.Manufacture), types.NewTimeFrom(i.Expiry),
+		})
+	}
+	info.BuildIndex("epc")
+
+	product := storage.NewTable("product", schema.New(
+		schema.Col("product", "product", types.KindInt),
+		schema.Col("product", "manufacturer", types.KindInt),
+		schema.Col("product", "name", types.KindString),
+	))
+	for _, p := range d.Products {
+		product.Append(schema.Row{types.NewInt(int64(p.ID)), types.NewInt(int64(p.Manufacturer)), types.NewString(p.Name)})
+	}
+	product.BuildIndex("product")
+
+	locs := storage.NewTable("locs", schema.New(
+		schema.Col("locs", "gln", types.KindString),
+		schema.Col("locs", "site", types.KindString),
+		schema.Col("locs", "loc_desc", types.KindString),
+	))
+	for _, l := range d.Locs {
+		locs.Append(schema.Row{types.NewString(l.GLN), types.NewString(l.Site), types.NewString(l.LocDesc)})
+	}
+	locs.BuildIndex("gln")
+	locs.BuildIndex("site")
+
+	steps := storage.NewTable("steps", schema.New(
+		schema.Col("steps", "biz_step", types.KindString),
+		schema.Col("steps", "type", types.KindString),
+	))
+	for _, s := range d.Steps {
+		steps.Append(schema.Row{types.NewString(s.BizStep), types.NewString(s.Type)})
+	}
+	steps.BuildIndex("biz_step")
+	steps.BuildIndex("type")
+
+	for _, t := range []*storage.Table{caseR, palletR, parent, info, product, locs, steps} {
+		t.Analyze()
+		if err := db.AddTable(t); err != nil {
+			return fmt.Errorf("rfidgen: %w", err)
+		}
+	}
+
+	view, err := sqlparser.Parse(CaseWithPalletViewSQL)
+	if err != nil {
+		return fmt.Errorf("rfidgen: view parse: %w", err)
+	}
+	return db.AddView("case_with_pallet", view)
+}
+
+// PaperRules returns the five cleansing rules of §4.3 in Table 1 order
+// (reader, duplicate, replacing, cycle, missing r1+r2), with thresholds
+// t1, t2, t3 = 5, 10, 20 minutes and the dataset's injected identifiers.
+func (d *Dataset) PaperRules() []string {
+	return []string{
+		fmt.Sprintf(`DEFINE reader ON caser
+			AS (A, *B)
+			WHERE B.reader = '%s' AND B.rtime - A.rtime < 10 mins
+			ACTION DELETE A`, d.ReaderX),
+		`DEFINE duplicate ON caser
+			AS (A, B)
+			WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+			ACTION DELETE B`,
+		fmt.Sprintf(`DEFINE replacing ON caser
+			AS (A, B)
+			WHERE A.biz_loc = '%s' AND B.biz_loc = '%s' AND B.rtime - A.rtime < 20 mins
+			ACTION MODIFY A.biz_loc = '%s'`, d.Loc2, d.LocA, d.Loc1),
+		`DEFINE cycle ON caser
+			AS (A, B, C)
+			WHERE A.biz_loc = C.biz_loc AND A.biz_loc <> B.biz_loc
+			ACTION DELETE B`,
+		`DEFINE missing_r1 ON caser FROM case_with_pallet
+			AS (X, A, Y)
+			WHERE A.is_pallet = 1 AND ((X.is_pallet = 0 AND A.biz_loc = X.biz_loc AND A.rtime - X.rtime < 5 mins)
+				OR (Y.is_pallet = 0 AND A.biz_loc = Y.biz_loc AND Y.rtime - A.rtime < 5 mins))
+			ACTION MODIFY A.has_case_nearby = 1`,
+		`DEFINE missing_r2 ON caser FROM case_with_pallet
+			AS (A, *B)
+			WHERE A.is_pallet = 0 OR (A.has_case_nearby = 0 AND B.has_case_nearby = 1)
+			ACTION KEEP A`,
+	}
+}

@@ -1,0 +1,247 @@
+package rfidgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+func TestSchemaCardinalities(t *testing.T) {
+	// Figure 5: for scale factor s, palletR ≈ s*30, caseR ≈ s*50*30 (clean),
+	// parent = epc_info ≈ s*50, locs = 13 000 (+4 reserved), steps = 100,
+	// product = 1000.
+	d := Generate(Config{Scale: 4, AnomalyPct: 0, Seed: 1})
+	if got := len(d.PalletR); got != 4*30 {
+		t.Errorf("palletR = %d, want %d", got, 4*30)
+	}
+	if got, lo, hi := len(d.Clean), 4*MinCasesPerPlt*30, 4*MaxCasesPerPlt*30; got < lo || got > hi {
+		t.Errorf("clean caseR = %d, want in [%d,%d]", got, lo, hi)
+	}
+	if len(d.CaseR) != len(d.Clean) {
+		t.Errorf("0%% anomalies must leave caseR == clean (%d vs %d)", len(d.CaseR), len(d.Clean))
+	}
+	if got := len(d.Parents); got != len(d.Infos) {
+		t.Errorf("parent (%d) and epc_info (%d) must match", got, len(d.Infos))
+	}
+	if got := len(d.Locs); got != (NumDCs+NumWarehouses+NumStores)*LocsPerSite+4 {
+		t.Errorf("locs = %d", got)
+	}
+	if len(d.Steps) != NumSteps || len(d.Products) != NumProducts {
+		t.Errorf("steps/products = %d/%d", len(d.Steps), len(d.Products))
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Generate(Config{Scale: 2, AnomalyPct: 20, Seed: 7})
+	b := Generate(Config{Scale: 2, AnomalyPct: 20, Seed: 7})
+	if len(a.CaseR) != len(b.CaseR) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.CaseR), len(b.CaseR))
+	}
+	for i := range a.CaseR {
+		if a.CaseR[i] != b.CaseR[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	c := Generate(Config{Scale: 2, AnomalyPct: 20, Seed: 8})
+	same := len(a.CaseR) == len(c.CaseR)
+	if same {
+		diff := false
+		for i := range a.CaseR {
+			if a.CaseR[i] != c.CaseR[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAnomalyCountsAndKinds(t *testing.T) {
+	d := Generate(Config{Scale: 4, AnomalyPct: 30, Seed: 3})
+	want := len(d.Clean) // approximately; clean includes replacing extras
+	_ = want
+	total := 0
+	for k := AnomalyKind(0); k < numAnomalyKinds; k++ {
+		n := d.Injected[k]
+		if n == 0 {
+			t.Errorf("no %v anomalies injected", k)
+		}
+		total += n
+	}
+	// Evenly split, except replacing which is a whole-pallet-visit event
+	// capped by visit capacity (about one per three visits per pallet).
+	for k := AnomalyKind(0); k < numAnomalyKinds; k++ {
+		min := total / 10
+		if k == AnomalyReplacing {
+			min = 4 * 30 / 6 // half the structural capacity at scale 4
+		}
+		if d.Injected[k] < min {
+			t.Errorf("kind %v underrepresented (< %d): %v", k, min, d.Injected)
+		}
+	}
+	// Dirty data differs from clean.
+	if len(d.CaseR) == len(d.Clean) {
+		t.Log("caseR and clean same length (possible but unlikely)")
+	}
+}
+
+func TestReadSequencesAreWellFormed(t *testing.T) {
+	d := Generate(Config{Scale: 3, AnomalyPct: 0, Seed: 5})
+	byEPC := map[string][]Read{}
+	for _, r := range d.Clean {
+		byEPC[r.EPC] = append(byEPC[r.EPC], r)
+	}
+	for epc, seq := range byEPC {
+		sort.Slice(seq, func(a, b int) bool { return seq[a].RTime.Before(seq[b].RTime) })
+		if len(seq) != 30 {
+			t.Fatalf("epc %s has %d reads, want 30", epc, len(seq))
+		}
+		for i := range seq {
+			// No natural duplicate or cycle patterns: adjacent and
+			// distance-2 locations differ.
+			if i >= 1 && seq[i].BizLoc == seq[i-1].BizLoc {
+				t.Fatalf("epc %s: natural duplicate at %d", epc, i)
+			}
+			if i >= 2 && seq[i].BizLoc == seq[i-2].BizLoc {
+				t.Fatalf("epc %s: natural cycle at %d", epc, i)
+			}
+			if i >= 1 {
+				gap := seq[i].RTime.Sub(seq[i-1].RTime)
+				if gap < MinLatency-CaseJitter || gap > MaxLatency+CaseJitter {
+					t.Fatalf("epc %s: gap %v out of range", epc, gap)
+				}
+			}
+			if seq[i].RTime.Truncate(time.Microsecond) != seq[i].RTime {
+				t.Fatalf("timestamp not µs aligned: %v", seq[i].RTime)
+			}
+		}
+	}
+}
+
+func TestLoadBuildsCatalog(t *testing.T) {
+	d := Generate(Config{Scale: 2, AnomalyPct: 10, Seed: 2})
+	db := catalog.NewDatabase()
+	if err := d.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"caser", "palletr", "parent", "epc_info", "product", "locs", "steps"} {
+		tab, ok := db.Table(name)
+		if !ok || tab.RowCount() == 0 {
+			t.Errorf("table %s missing or empty", name)
+		}
+	}
+	if _, ok := db.View("case_with_pallet"); !ok {
+		t.Error("case_with_pallet view missing")
+	}
+	caser, _ := db.Table("caser")
+	if caser.IndexOn("rtime") == nil || caser.IndexOn("epc") == nil {
+		t.Error("caser indexes missing")
+	}
+	if caser.Stats(0) == nil {
+		t.Error("caser not analyzed")
+	}
+}
+
+// The central ground-truth property: applying all five paper rules to the
+// dirty data restores the clean data exactly.
+func TestCleansingRestoresGroundTruth(t *testing.T) {
+	for _, pct := range []int{10, 40} {
+		d := Generate(Config{Scale: 3, AnomalyPct: pct, Seed: 11})
+		db := catalog.NewDatabase()
+		if err := d.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		reg := core.NewRegistry(db)
+		for _, src := range d.PaperRules() {
+			if _, err := reg.Define(src); err != nil {
+				t.Fatalf("define: %v", err)
+			}
+		}
+		rw := core.NewRewriter(db, reg)
+		res, err := rw.RewriteSQL("select epc, rtime, reader, biz_loc, biz_step from caser", nil, core.StrategyNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec.Run(exec.NewCtx(), res.Plan)
+		if err != nil {
+			t.Fatalf("exec: %v\nsql: %s", err, res.SQL)
+		}
+		cleaned := make([]string, len(got.Rows))
+		for i, row := range got.Rows {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = v.String()
+			}
+			cleaned[i] = strings.Join(parts, "|")
+		}
+		want := make([]string, len(d.Clean))
+		for i, r := range d.Clean {
+			want[i] = strings.Join([]string{
+				r.EPC, fmt.Sprintf("%s", r.RTime.UTC().Format("2006-01-02 15:04:05.000000")),
+				r.Reader, r.BizLoc, r.BizStep,
+			}, "|")
+		}
+		sort.Strings(cleaned)
+		sort.Strings(want)
+		if len(cleaned) != len(want) {
+			t.Fatalf("pct %d: cleaned %d rows, clean truth %d rows", pct, len(cleaned), len(want))
+		}
+		for i := range want {
+			if cleaned[i] != want[i] {
+				t.Fatalf("pct %d: row %d differs\n got: %s\nwant: %s", pct, i, cleaned[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRuleConstantsExposed(t *testing.T) {
+	d := Generate(Config{Scale: 1, AnomalyPct: 10, Seed: 1})
+	rules := d.PaperRules()
+	if len(rules) != 6 {
+		t.Fatalf("PaperRules = %d entries, want 6 (missing rule has two sub-rules)", len(rules))
+	}
+	joined := strings.Join(rules, "\n")
+	for _, want := range []string{d.ReaderX, d.Loc1, d.Loc2, d.LocA, "case_with_pallet"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rules missing constant %q", want)
+		}
+	}
+}
+
+// Loading twice must fail cleanly rather than duplicate tables.
+func TestLoadTwiceFails(t *testing.T) {
+	d := Generate(Config{Scale: 1, AnomalyPct: 0, Seed: 1})
+	db := catalog.NewDatabase()
+	if err := d.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(db); err == nil {
+		t.Fatal("second load should fail")
+	}
+}
+
+func TestPartialTimeCorrelationOfLoadOrder(t *testing.T) {
+	d := Generate(Config{Scale: 3, AnomalyPct: 0, Seed: 9})
+	// Rows are sorted by day: timestamps truncated to a day must be
+	// non-decreasing in load order.
+	prev := time.Time{}
+	for _, r := range d.CaseR {
+		day := r.RTime.Truncate(24 * time.Hour)
+		if day.Before(prev) {
+			t.Fatal("load order not day-correlated")
+		}
+		prev = day
+	}
+}
+
+var _ = storage.NewTable // keep import when tests shrink

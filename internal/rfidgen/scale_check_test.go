@@ -1,0 +1,27 @@
+package rfidgen
+
+import "testing"
+
+func TestScaleInjectionQuota(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := Generate(Config{Scale: 20, AnomalyPct: 40, Seed: 42})
+	total := len(d.Clean) * 40 / 100
+	per := total / 5
+	t.Logf("clean=%d dirty=%d quota/kind=%d injected=%v", len(d.Clean), len(d.CaseR), per, d.Injected)
+	for k := AnomalyKind(0); k < numAnomalyKinds; k++ {
+		want := per / 2
+		if k == AnomalyReplacing {
+			// Replacing anomalies are whole-pallet-visit events; their
+			// structural capacity is about one per three visits.
+			cap := 20 * 30 / 3
+			if cap < want {
+				want = cap / 2
+			}
+		}
+		if d.Injected[k] < want {
+			t.Errorf("kind %v injected %d, want at least %d", k, d.Injected[k], want)
+		}
+	}
+}

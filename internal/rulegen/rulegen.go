@@ -1,0 +1,591 @@
+// Package rulegen compiles extended SQL-TS cleansing rules into SQL/OLAP
+// templates (§4.2 of the paper): each pattern reference becomes scalar
+// window aggregates over the (CLUSTER BY, SEQUENCE BY) sequence order —
+// singleton references as ROWS-frame aggregates at their fixed relative
+// position, set references as an existential CASE flag over a RANGE/ROWS
+// frame derived from the rule's sequence-key constraints — and the ACTION
+// becomes a filter (DELETE/KEEP, with SQL NULL handled so an undecidable
+// condition never deletes) or CASE projections (MODIFY).
+//
+// A compiled template builds real SQL AST over any input relation, so the
+// rewrite engine can chain cleansing stages and splice them into user
+// queries as ordinary SQL text.
+package rulegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlts"
+	"repro/internal/types"
+)
+
+// microsecond is the smallest sequence-key distance; the paper uses a
+// "1 microsecond following" bound to exclude the current row from RANGE
+// frames.
+const microsecond = int64(1)
+
+// Template is a compiled cleansing rule ready to instantiate over inputs.
+type Template struct {
+	Rule *sqlts.Rule
+
+	winItems []sqlast.SelectItem // window aggregate select items
+	cond     sqlast.Expr         // condition over input cols + window cols
+	// assignments with transformed values (MODIFY only).
+	assigns []sqlts.Assignment
+}
+
+// Compile analyzes the rule pattern and condition and prepares the
+// SQL/OLAP pieces.
+func Compile(rule *sqlts.Rule) (*Template, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{rule: rule, t: &Template{Rule: rule}}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return c.t, nil
+}
+
+type compiler struct {
+	rule *sqlts.Rule
+	t    *Template
+
+	flagCount int
+	// window column name per (ref, col) for singletons.
+	singletonCols map[string]string
+}
+
+func (c *compiler) run() error {
+	r := c.rule
+	c.singletonCols = map[string]string{}
+	tIdx := r.TargetIndex()
+
+	// Split the condition: top-level sequence-key constraints on set
+	// references define their frames; everything else survives into the
+	// rewritten condition.
+	frames := map[string]*setFrame{}
+	for _, ref := range r.Pattern {
+		if ref.Set {
+			idx := c.refIndex(ref.Name)
+			frames[ref.Name] = &setFrame{after: idx > tIdx}
+		}
+	}
+	var residual []sqlast.Expr
+	for _, conj := range sqlast.Conjuncts(r.Cond) {
+		if name, lo, hi, ok := c.skeyConstraint(conj); ok {
+			if f, isSet := frames[name]; isSet {
+				f.tighten(lo, hi)
+				continue
+			}
+			// Sequence-key constraints on singletons stay in the
+			// condition (their position already fixes the frame).
+		}
+		residual = append(residual, conj)
+	}
+
+	// Transform the residual condition: singleton refs → window columns,
+	// set-ref subexpressions → existential flags.
+	cond, err := c.transform(sqlast.And(residual...), frames)
+	if err != nil {
+		return err
+	}
+	if cond == nil {
+		cond = sqlast.Lit(types.NewBool(true))
+	}
+	c.t.cond = cond
+
+	// Transform MODIFY values.
+	for _, a := range r.Assignments {
+		v, err := c.transform(a.Value, frames)
+		if err != nil {
+			return err
+		}
+		c.t.assigns = append(c.t.assigns, sqlts.Assignment{Column: strings.ToLower(a.Column), Value: v})
+	}
+	return nil
+}
+
+func (c *compiler) refIndex(name string) int {
+	for i, ref := range c.rule.Pattern {
+		if ref.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// setFrame accumulates sequence-key distance bounds for a set reference,
+// in sequence-key units relative to the target row. after=true means the
+// set follows the target.
+type setFrame struct {
+	after bool
+	// loOff/hiOff: inclusive distance bounds (positive numbers); nil =
+	// unbounded / not constrained.
+	loOff, hiOff *int64
+	// flags built over this frame.
+	flags []flagDef
+}
+
+type flagDef struct {
+	name string
+	pred sqlast.Expr // over the set row's columns (bare names)
+}
+
+func (f *setFrame) tighten(lo, hi *int64) {
+	// lo/hi are distance bounds |S.skey - T.skey| ∈ [lo, hi] expressed as
+	// offsets in the frame's direction.
+	if lo != nil && (f.loOff == nil || *lo > *f.loOff) {
+		v := *lo
+		f.loOff = &v
+	}
+	if hi != nil && (f.hiOff == nil || *hi < *f.hiOff) {
+		v := *hi
+		f.hiOff = &v
+	}
+}
+
+// SignedSkeyBounds recognizes a conjunct of the form "X.skey ⊙ T.skey ± c"
+// (in any algebraic arrangement) between one pattern reference X and the
+// rule's target T, and normalizes it to inclusive bounds on the signed
+// sequence-key distance d = X.skey − T.skey (in microseconds). The rewrite
+// engine's transitivity analysis (§5.2 of the paper) and the template
+// compiler's frame construction both build on this.
+func SignedSkeyBounds(rule *sqlts.Rule, e sqlast.Expr) (ref string, dLo, dHi *int64, ok bool) {
+	bin, isBin := e.(*sqlast.Bin)
+	if !isBin || !bin.Op.IsComparison() || bin.Op == sqlast.OpEq || bin.Op == sqlast.OpNe {
+		return "", nil, nil, false
+	}
+	skey := rule.SequenceBy
+	target := rule.Target
+	lhs, ok1 := linearForm(bin.L, skey)
+	rhs, ok2 := linearForm(bin.R, skey)
+	if !ok1 || !ok2 {
+		return "", nil, nil, false
+	}
+	// diff = lhs - rhs; comparison becomes diff ⊙ 0.
+	diff := lhs.sub(rhs)
+	// Expect coefficients {X:+1, T:-1} or {X:-1, T:+1}.
+	var xName string
+	var xCoef int64
+	for name, coef := range diff.coef {
+		if coef == 0 {
+			continue
+		}
+		if name == target {
+			continue
+		}
+		if xName != "" {
+			return "", nil, nil, false
+		}
+		xName, xCoef = name, coef
+	}
+	if xName == "" || diff.coef[target] != -xCoef || abs64(xCoef) != 1 {
+		return "", nil, nil, false
+	}
+	if _, exists := rule.RefByName(xName); !exists {
+		return "", nil, nil, false
+	}
+	// Normalize to: X.skey - T.skey ⊙' k.
+	op := bin.Op
+	k := -diff.k
+	if xCoef == -1 {
+		op = op.Flip()
+		k = -k
+	}
+	switch op {
+	case sqlast.OpLt:
+		v := k - microsecond
+		dHi = &v
+	case sqlast.OpLe:
+		v := k
+		dHi = &v
+	case sqlast.OpGt:
+		v := k + microsecond
+		dLo = &v
+	case sqlast.OpGe:
+		v := k
+		dLo = &v
+	}
+	return xName, dLo, dHi, true
+}
+
+// skeyConstraint adapts SignedSkeyBounds to pattern-direction distance
+// bounds for window-frame construction: for a following reference the
+// frame offset is d itself; for a preceding reference it is −d.
+func (c *compiler) skeyConstraint(e sqlast.Expr) (string, *int64, *int64, bool) {
+	xName, dLo, dHi, ok := SignedSkeyBounds(c.rule, e)
+	if !ok {
+		return "", nil, nil, false
+	}
+	idx := c.refIndex(xName)
+	if idx < 0 {
+		return "", nil, nil, false
+	}
+	if idx > c.rule.TargetIndex() {
+		return xName, dLo, dHi, true
+	}
+	// preceding: distance = -d, so bounds swap and negate.
+	var lo, hi *int64
+	if dHi != nil {
+		v := -*dHi
+		lo = &v
+	}
+	if dLo != nil {
+		v := -*dLo
+		hi = &v
+	}
+	return xName, lo, hi, true
+}
+
+// linear is a linear combination of per-reference sequence keys plus a
+// constant (microseconds).
+type linear struct {
+	coef map[string]int64
+	k    int64
+}
+
+func (l linear) sub(o linear) linear {
+	out := linear{coef: map[string]int64{}, k: l.k - o.k}
+	for n, v := range l.coef {
+		out.coef[n] = v
+	}
+	for n, v := range o.coef {
+		out.coef[n] -= v
+	}
+	return out
+}
+
+// linearForm parses an expression as ±ref.skey terms plus interval/int
+// constants.
+func linearForm(e sqlast.Expr, skey string) (linear, bool) {
+	out := linear{coef: map[string]int64{}}
+	ok := linAccum(e, skey, 1, &out)
+	return out, ok
+}
+
+func linAccum(e sqlast.Expr, skey string, sign int64, out *linear) bool {
+	switch e := e.(type) {
+	case *sqlast.ColRef:
+		if !strings.EqualFold(e.Name, skey) || e.Table == "" {
+			return false
+		}
+		out.coef[strings.ToLower(e.Table)] += sign
+		return true
+	case *sqlast.Const:
+		switch e.V.Kind() {
+		case types.KindInterval:
+			out.k += sign * e.V.IntervalUsec()
+		case types.KindInt:
+			out.k += sign * e.V.Int()
+		case types.KindTime:
+			out.k += sign * e.V.TimeUsec()
+		default:
+			return false
+		}
+		return true
+	case *sqlast.Bin:
+		switch e.Op {
+		case sqlast.OpAdd:
+			return linAccum(e.L, skey, sign, out) && linAccum(e.R, skey, sign, out)
+		case sqlast.OpSub:
+			return linAccum(e.L, skey, sign, out) && linAccum(e.R, skey, -sign, out)
+		}
+		return false
+	case *sqlast.Un:
+		if e.Op == sqlast.OpNeg {
+			return linAccum(e.E, skey, -sign, out)
+		}
+		return false
+	}
+	return false
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// transform rewrites an expression so it evaluates over the windowed input
+// row: target columns become bare references, singleton-reference columns
+// become their window columns, and set-reference subexpressions become
+// existential flag tests.
+func (c *compiler) transform(e sqlast.Expr, frames map[string]*setFrame) (sqlast.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	refs := c.refsIn(e)
+	var setRef string
+	others := 0
+	for name := range refs {
+		if ref, ok := c.rule.RefByName(name); ok && ref.Set {
+			if setRef != "" && setRef != name {
+				return nil, fmt.Errorf("rulegen: rule %s: expression mixes two set references: %s", c.rule.Name, sqlast.ExprSQL(e))
+			}
+			setRef = name
+		} else {
+			others++
+		}
+	}
+	if setRef == "" {
+		return c.substSingletons(e)
+	}
+	// COUNT(<pred over the set ref>) — the paper's §4.3 extension: SQL/OLAP
+	// is richer than SQL-TS, and swapping the existential max() for count()
+	// lets a rule demand how many set rows must match. The count call
+	// compiles to a SUM over the frame and participates in ordinary
+	// comparisons ("COUNT(B.reader = 'readerX') >= 2").
+	if fc, ok := e.(*sqlast.FuncCall); ok && strings.EqualFold(fc.Name, "count") && len(fc.Args) == 1 {
+		if others == 0 {
+			return c.makeCountFlag(setRef, fc.Args[0], frames[setRef])
+		}
+		return nil, fmt.Errorf("rulegen: rule %s: COUNT over a set reference may not mix in other references: %s",
+			c.rule.Name, sqlast.ExprSQL(e))
+	}
+	if others == 0 && !containsSetCount(e, setRef, c.rule) {
+		// Whole subexpression is about the set reference: one existential
+		// flag with the subexpression as the per-row predicate.
+		return c.makeFlag(setRef, e, frames[setRef])
+	}
+	// An expression *containing* a COUNT-over-set call (e.g. the
+	// comparison around it) decomposes structurally so the call itself
+	// becomes the window column.
+	if bin, ok := e.(*sqlast.Bin); ok && containsSetCount(e, setRef, c.rule) {
+		l, err := c.transform(bin.L, frames)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.transform(bin.R, frames)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Bin{Op: bin.Op, L: l, R: r}, nil
+	}
+	// Mixed: only decomposable boolean structure can be split.
+	if bin, ok := e.(*sqlast.Bin); ok && (bin.Op == sqlast.OpAnd || bin.Op == sqlast.OpOr) {
+		l, err := c.transform(bin.L, frames)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.transform(bin.R, frames)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Bin{Op: bin.Op, L: l, R: r}, nil
+	}
+	if un, ok := e.(*sqlast.Un); ok && un.Op == sqlast.OpNot {
+		inner, err := c.transform(un.E, frames)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Un{Op: sqlast.OpNot, E: inner}, nil
+	}
+	return nil, fmt.Errorf(
+		"rulegen: rule %s: condition %s mixes set reference %s with other references in one comparison; only sequence-key distance constraints may relate a set reference to the target",
+		c.rule.Name, sqlast.ExprSQL(e), setRef)
+}
+
+func (c *compiler) refsIn(e sqlast.Expr) map[string]bool {
+	out := map[string]bool{}
+	sqlast.VisitExprs(e, func(x sqlast.Expr) {
+		if cr, ok := x.(*sqlast.ColRef); ok && cr.Table != "" {
+			out[strings.ToLower(cr.Table)] = true
+		}
+	})
+	return out
+}
+
+// substSingletons replaces target refs with bare columns and non-target
+// singleton refs with their window columns.
+func (c *compiler) substSingletons(e sqlast.Expr) (sqlast.Expr, error) {
+	var badRef error
+	out := sqlast.MapColRefs(sqlast.CloneExpr(e), func(cr *sqlast.ColRef) sqlast.Expr {
+		refName := strings.ToLower(cr.Table)
+		if refName == c.rule.Target {
+			return &sqlast.ColRef{Name: strings.ToLower(cr.Name)}
+		}
+		ref, ok := c.rule.RefByName(refName)
+		if !ok || ref.Set {
+			badRef = fmt.Errorf("rulegen: rule %s: unexpected reference %s", c.rule.Name, cr.Table)
+			return cr
+		}
+		return &sqlast.ColRef{Name: c.singletonCol(refName, strings.ToLower(cr.Name))}
+	})
+	if badRef != nil {
+		return nil, badRef
+	}
+	return out, nil
+}
+
+// singletonCol returns (allocating on first use) the window-aggregate
+// column carrying ref's column at its fixed offset from the target.
+func (c *compiler) singletonCol(refName, col string) string {
+	key := refName + "." + col
+	if name, ok := c.singletonCols[key]; ok {
+		return name
+	}
+	name := fmt.Sprintf("__%s_%s_%s", c.rule.Name, refName, col)
+	c.singletonCols[key] = name
+
+	d := c.refIndex(refName) - c.rule.TargetIndex()
+	frame := &sqlast.Frame{Unit: sqlast.FrameRows}
+	off := sqlast.Lit(types.NewInt(int64(abs64(int64(d)))))
+	if d < 0 {
+		frame.Start = sqlast.FrameBound{Type: sqlast.BoundPreceding, Offset: off}
+		frame.End = sqlast.FrameBound{Type: sqlast.BoundPreceding, Offset: off}
+	} else {
+		frame.Start = sqlast.FrameBound{Type: sqlast.BoundFollowing, Offset: off}
+		frame.End = sqlast.FrameBound{Type: sqlast.BoundFollowing, Offset: off}
+	}
+	c.t.winItems = append(c.t.winItems, sqlast.SelectItem{
+		Expr: &sqlast.WindowExpr{
+			Func:      "max",
+			Arg:       &sqlast.ColRef{Name: col},
+			Partition: []sqlast.Expr{&sqlast.ColRef{Name: c.rule.ClusterBy}},
+			Order:     []sqlast.OrderItem{{Expr: &sqlast.ColRef{Name: c.rule.SequenceBy}}},
+			Frame:     frame,
+		},
+		Alias: name,
+	})
+	return name
+}
+
+// containsSetCount reports whether e contains a COUNT(pred) call whose
+// predicate references only the given set reference.
+func containsSetCount(e sqlast.Expr, setRef string, rule *sqlts.Rule) bool {
+	found := false
+	sqlast.VisitExprs(e, func(x sqlast.Expr) {
+		fc, ok := x.(*sqlast.FuncCall)
+		if !ok || !strings.EqualFold(fc.Name, "count") || len(fc.Args) != 1 {
+			return
+		}
+		refs := map[string]bool{}
+		sqlast.VisitExprs(fc.Args[0], func(y sqlast.Expr) {
+			if cr, ok := y.(*sqlast.ColRef); ok && cr.Table != "" {
+				refs[strings.ToLower(cr.Table)] = true
+			}
+		})
+		if len(refs) == 1 && refs[setRef] {
+			found = true
+		}
+	})
+	_ = rule
+	return found
+}
+
+// makeCountFlag builds a counting window column for a set-reference
+// predicate: SUM(CASE WHEN pred THEN 1 ELSE 0 END) over the set's frame.
+// COALESCE pins empty frames to 0 so comparisons behave.
+func (c *compiler) makeCountFlag(setRef string, pred sqlast.Expr, f *setFrame) (sqlast.Expr, error) {
+	var badRef error
+	rowPred := sqlast.MapColRefs(sqlast.CloneExpr(pred), func(cr *sqlast.ColRef) sqlast.Expr {
+		if !strings.EqualFold(cr.Table, setRef) {
+			badRef = fmt.Errorf("rulegen: rule %s: non-set reference inside COUNT predicate: %s", c.rule.Name, cr.Table)
+			return cr
+		}
+		return &sqlast.ColRef{Name: strings.ToLower(cr.Name)}
+	})
+	if badRef != nil {
+		return nil, badRef
+	}
+	name := fmt.Sprintf("__%s_cnt_%d", c.rule.Name, c.flagCount)
+	c.flagCount++
+	c.t.winItems = append(c.t.winItems, sqlast.SelectItem{
+		Expr: &sqlast.WindowExpr{
+			Func: "sum",
+			Arg: &sqlast.Case{
+				Whens: []sqlast.When{{Cond: rowPred, Then: sqlast.Lit(types.NewInt(1))}},
+				Else:  sqlast.Lit(types.NewInt(0)),
+			},
+			Partition: []sqlast.Expr{&sqlast.ColRef{Name: c.rule.ClusterBy}},
+			Order:     []sqlast.OrderItem{{Expr: &sqlast.ColRef{Name: c.rule.SequenceBy}}},
+			Frame:     c.frameFor(f),
+		},
+		Alias: name,
+	})
+	return &sqlast.FuncCall{Name: "coalesce", Args: []sqlast.Expr{
+		&sqlast.ColRef{Name: name}, sqlast.Lit(types.NewInt(0)),
+	}}, nil
+}
+
+// makeFlag builds the existential flag for a set-reference predicate:
+// max(CASE WHEN pred THEN 1 ELSE 0 END) over the set's frame, compared to 1.
+func (c *compiler) makeFlag(setRef string, pred sqlast.Expr, f *setFrame) (sqlast.Expr, error) {
+	// The per-row predicate sees the set row itself: bare column names.
+	var badRef error
+	rowPred := sqlast.MapColRefs(sqlast.CloneExpr(pred), func(cr *sqlast.ColRef) sqlast.Expr {
+		if !strings.EqualFold(cr.Table, setRef) {
+			badRef = fmt.Errorf("rulegen: rule %s: non-set reference inside set predicate: %s", c.rule.Name, cr.Table)
+			return cr
+		}
+		return &sqlast.ColRef{Name: strings.ToLower(cr.Name)}
+	})
+	if badRef != nil {
+		return nil, badRef
+	}
+	name := fmt.Sprintf("__%s_flag_%d", c.rule.Name, c.flagCount)
+	c.flagCount++
+	f.flags = append(f.flags, flagDef{name: name, pred: rowPred})
+
+	frame := c.frameFor(f)
+	c.t.winItems = append(c.t.winItems, sqlast.SelectItem{
+		Expr: &sqlast.WindowExpr{
+			Func: "max",
+			Arg: &sqlast.Case{
+				Whens: []sqlast.When{{Cond: rowPred, Then: sqlast.Lit(types.NewInt(1))}},
+				Else:  sqlast.Lit(types.NewInt(0)),
+			},
+			Partition: []sqlast.Expr{&sqlast.ColRef{Name: c.rule.ClusterBy}},
+			Order:     []sqlast.OrderItem{{Expr: &sqlast.ColRef{Name: c.rule.SequenceBy}}},
+			Frame:     frame,
+		},
+		Alias: name,
+	})
+	return sqlast.Cmp(sqlast.OpEq, &sqlast.ColRef{Name: name}, sqlast.Lit(types.NewInt(1))), nil
+}
+
+// frameFor translates accumulated distance bounds into a window frame.
+// With sequence-key constraints the frame is a RANGE over the key
+// (excluding the current row via a 1-microsecond offset, as in the
+// paper's has_readerX_after example); without any, it is a ROWS frame to
+// the partition edge, which is strictly positional.
+func (c *compiler) frameFor(f *setFrame) *sqlast.Frame {
+	if f.loOff == nil && f.hiOff == nil {
+		fr := &sqlast.Frame{Unit: sqlast.FrameRows}
+		one := sqlast.Lit(types.NewInt(1))
+		if f.after {
+			fr.Start = sqlast.FrameBound{Type: sqlast.BoundFollowing, Offset: one}
+			fr.End = sqlast.FrameBound{Type: sqlast.BoundUnboundedFollowing}
+		} else {
+			fr.Start = sqlast.FrameBound{Type: sqlast.BoundUnboundedPreceding}
+			fr.End = sqlast.FrameBound{Type: sqlast.BoundPreceding, Offset: one}
+		}
+		return fr
+	}
+	lo := microsecond // strictly before/after the current row
+	if f.loOff != nil && *f.loOff > lo {
+		lo = *f.loOff
+	}
+	fr := &sqlast.Frame{Unit: sqlast.FrameRange}
+	loLit := sqlast.Lit(types.NewInterval(lo))
+	if f.after {
+		fr.Start = sqlast.FrameBound{Type: sqlast.BoundFollowing, Offset: loLit}
+		if f.hiOff != nil {
+			fr.End = sqlast.FrameBound{Type: sqlast.BoundFollowing, Offset: sqlast.Lit(types.NewInterval(*f.hiOff))}
+		} else {
+			fr.End = sqlast.FrameBound{Type: sqlast.BoundUnboundedFollowing}
+		}
+	} else {
+		if f.hiOff != nil {
+			fr.Start = sqlast.FrameBound{Type: sqlast.BoundPreceding, Offset: sqlast.Lit(types.NewInterval(*f.hiOff))}
+		} else {
+			fr.Start = sqlast.FrameBound{Type: sqlast.BoundUnboundedPreceding}
+		}
+		fr.End = sqlast.FrameBound{Type: sqlast.BoundPreceding, Offset: loLit}
+	}
+	return fr
+}

@@ -1,0 +1,512 @@
+package rulegen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlts"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// read is one RFID read for building test sequences.
+type read struct {
+	epc    string
+	minute int64 // rtime in minutes from epoch
+	loc    string
+	reader string
+}
+
+func readsTable(t *testing.T, name string, reads []read) *storage.Table {
+	t.Helper()
+	tab := storage.NewTable(name, schema.New(
+		schema.Col(name, "epc", types.KindString),
+		schema.Col(name, "rtime", types.KindTime),
+		schema.Col(name, "biz_loc", types.KindString),
+		schema.Col(name, "reader", types.KindString),
+	))
+	for _, r := range reads {
+		tab.Append(schema.Row{
+			types.NewString(r.epc), types.NewTime(r.minute * 60_000_000),
+			types.NewString(r.loc), types.NewString(r.reader),
+		})
+	}
+	tab.Analyze()
+	return tab
+}
+
+// applyRules compiles and chains the rules over the named table and
+// returns the surviving (epc, minute, loc) triples in sequence order.
+func applyRules(t *testing.T, db *catalog.Database, tableName string, ruleSrcs ...string) []read {
+	t.Helper()
+	tab, ok := db.Table(tableName)
+	if !ok {
+		t.Fatalf("no table %s", tableName)
+	}
+	cols := make([]string, 0, tab.Schema.Len())
+	for _, c := range tab.Schema.Columns {
+		cols = append(cols, c.Name)
+	}
+	var input sqlast.TableExpr = &sqlast.TableName{Name: tableName}
+	for _, src := range ruleSrcs {
+		rule, err := sqlts.Parse(src)
+		if err != nil {
+			t.Fatalf("parse rule: %v", err)
+		}
+		tmpl, err := Compile(rule)
+		if err != nil {
+			t.Fatalf("compile rule %s: %v", rule.Name, err)
+		}
+		stmt, outCols, err := tmpl.Build(input, cols)
+		if err != nil {
+			t.Fatalf("build rule %s: %v", rule.Name, err)
+		}
+		input = &sqlast.SubqueryTable{Query: stmt, Alias: "__d_" + rule.Name}
+		cols = outCols
+	}
+	final := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{
+			{Expr: sqlast.Col("", "epc")}, {Expr: sqlast.Col("", "rtime")}, {Expr: sqlast.Col("", "biz_loc")},
+		},
+		From:    []sqlast.TableExpr{input},
+		OrderBy: []sqlast.OrderItem{{Expr: sqlast.Col("", "epc")}, {Expr: sqlast.Col("", "rtime")}},
+	}
+	node, err := plan.New(db).Plan(final)
+	if err != nil {
+		t.Fatalf("plan: %v\nsql: %s", err, sqlast.SQL(final))
+	}
+	res, err := exec.Run(exec.NewCtx(), node)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	out := make([]read, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = read{epc: r[0].Str(), minute: r[1].TimeUsec() / 60_000_000, loc: r[2].Str()}
+	}
+	return out
+}
+
+func wantReads(t *testing.T, got []read, want []read) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d reads, want %d\ngot:  %+v\nwant: %+v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read %d = %+v, want %+v\nall: %+v", i, got[i], want[i], got)
+		}
+	}
+}
+
+const (
+	dupRule = `DEFINE duplicate ON reads
+		AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+		ACTION DELETE B`
+	readerRule = `DEFINE reader ON reads
+		AS (A, *B) WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 mins
+		ACTION DELETE A`
+	replacingRule = `DEFINE replacing ON reads
+		AS (A, B) WHERE A.biz_loc = 'loc2' AND B.biz_loc = 'locA' AND B.rtime - A.rtime < 20 mins
+		ACTION MODIFY A.biz_loc = 'loc1'`
+	cycleRule = `DEFINE cycle ON reads
+		AS (A, B, C) WHERE A.biz_loc = C.biz_loc AND A.biz_loc <> B.biz_loc
+		ACTION DELETE B`
+)
+
+func dbWith(t *testing.T, tables ...*storage.Table) *catalog.Database {
+	t.Helper()
+	db := catalog.NewDatabase()
+	for _, tab := range tables {
+		if err := db.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// Example 1 of §4.3: duplicates within t1 minutes are removed, keeping the
+// first read.
+func TestDuplicateRuleSemantics(t *testing.T) {
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "locA", "r1"},
+		{"e1", 2, "locA", "r1"},  // duplicate of previous (2 < 5 min): deleted
+		{"e1", 10, "locB", "r1"}, // location change: kept
+		{"e1", 30, "locB", "r1"}, // same loc but 20 min apart: kept
+		{"e2", 1, "locA", "r1"},  // different sequence: kept
+	}))
+	got := applyRules(t, db, "reads", dupRule)
+	wantReads(t, got, []read{
+		{"e1", 0, "locA", ""}, {"e1", 10, "locB", ""}, {"e1", 30, "locB", ""},
+		{"e2", 1, "locA", ""},
+	})
+}
+
+// Example 2 of §4.3: reads trailed by a readerX read within t2 minutes are
+// transportation artifacts and get deleted.
+func TestReaderRuleSemantics(t *testing.T) {
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "dock", "rDock"}, // 8 min before readerX read: deleted
+		{"e1", 8, "shelf", "readerX"},
+		{"e1", 30, "floor", "r2"},  // no readerX read after: kept
+		{"e2", 0, "dock", "rDock"}, // readerX read 40 min later: kept
+		{"e2", 40, "shelf", "readerX"},
+	}))
+	got := applyRules(t, db, "reads", readerRule)
+	wantReads(t, got, []read{
+		{"e1", 8, "shelf", ""}, {"e1", 30, "floor", ""},
+		{"e2", 0, "dock", ""}, {"e2", 40, "shelf", ""},
+	})
+}
+
+// Example 3 of §4.3: a cross-read at loc2 right before a locA read is
+// corrected to loc1.
+func TestReplacingRuleSemantics(t *testing.T) {
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "loc2", "r"}, // followed by locA within 20 min: becomes loc1
+		{"e1", 10, "locA", "r"},
+		{"e2", 0, "loc2", "r"}, // next read too late: stays loc2
+		{"e2", 50, "locA", "r"},
+		{"e3", 0, "loc2", "r"}, // next read is not locA: stays loc2
+		{"e3", 10, "locB", "r"},
+	}))
+	got := applyRules(t, db, "reads", replacingRule)
+	wantReads(t, got, []read{
+		{"e1", 0, "loc1", ""}, {"e1", 10, "locA", ""},
+		{"e2", 0, "loc2", ""}, {"e2", 50, "locA", ""},
+		{"e3", 0, "loc2", ""}, {"e3", 10, "locB", ""},
+	})
+}
+
+// Example 4 of §4.3: [X Y X Y X Y] collapses to [X Y].
+func TestCycleRuleSemantics(t *testing.T) {
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "X", "r"}, {"e1", 10, "Y", "r"}, {"e1", 20, "X", "r"},
+		{"e1", 30, "Y", "r"}, {"e1", 40, "X", "r"}, {"e1", 50, "Y", "r"},
+	}))
+	got := applyRules(t, db, "reads", cycleRule)
+	wantReads(t, got, []read{{"e1", 0, "X", ""}, {"e1", 50, "Y", ""}})
+}
+
+// §4.4: rule order matters. [X Y X] under cycle-then-duplicate gives [X];
+// duplicate(no time limit)-then-cycle gives [X X] — wait, the paper's
+// order discussion: cycle first leaves [X X] which duplicate collapses to
+// [X]; duplicate first (adjacent only, X Y X has no adjacent duplicates)
+// leaves [X Y X], which cycle reduces to [X X].
+func TestRuleOrderingMatters(t *testing.T) {
+	data := []read{{"e1", 0, "X", "r"}, {"e1", 100, "Y", "r"}, {"e1", 200, "X", "r"}}
+	dupNoTime := `DEFINE duplicate ON reads AS (A, B) WHERE A.biz_loc = B.biz_loc ACTION DELETE B`
+
+	db := dbWith(t, readsTable(t, "reads", data))
+	cycleFirst := applyRules(t, db, "reads", cycleRule, dupNoTime)
+	wantReads(t, cycleFirst, []read{{"e1", 0, "X", ""}})
+
+	db2 := dbWith(t, readsTable(t, "reads", data))
+	dupFirst := applyRules(t, db2, "reads", dupNoTime, cycleRule)
+	wantReads(t, dupFirst, []read{{"e1", 0, "X", ""}, {"e1", 200, "X", ""}})
+}
+
+// Example 5 of §4.3: the two-stage missing-read rule over the derived
+// case∪pallet input. The pallet read at L1 survives to compensate for the
+// missing case read.
+func TestMissingRuleSemantics(t *testing.T) {
+	tab := storage.NewTable("case_with_pallet", schema.New(
+		schema.Col("case_with_pallet", "epc", types.KindString),
+		schema.Col("case_with_pallet", "rtime", types.KindTime),
+		schema.Col("case_with_pallet", "biz_loc", types.KindString),
+		schema.Col("case_with_pallet", "reader", types.KindString),
+		schema.Col("case_with_pallet", "is_pallet", types.KindInt),
+	))
+	add := func(epc string, minute int64, loc string, isPallet int64) {
+		tab.Append(schema.Row{
+			types.NewString(epc), types.NewTime(minute * 60_000_000),
+			types.NewString(loc), types.NewString("r"), types.NewInt(isPallet),
+		})
+	}
+	// Case c1 misses its L1 read; the pallet (propagated under c1's epc)
+	// was read at L1 and later travels with the case at L2.
+	add("c1", 0, "L1", 1)   // pallet at L1 — compensates missing case read
+	add("c1", 100, "L2", 0) // actual case read at L2
+	add("c1", 101, "L2", 1) // pallet at L2, 1 min after the case read
+	// Case c2 was read everywhere; pallet reads must all be dropped.
+	add("c2", 0, "L1", 0)
+	add("c2", 1, "L1", 1)
+	add("c2", 100, "L2", 0)
+	add("c2", 101, "L2", 1)
+	tab.Analyze()
+	db := dbWith(t, tab)
+
+	r1 := `DEFINE missing_r1 ON case_with_pallet
+		AS (X, A, Y)
+		WHERE A.is_pallet = 1 AND ((X.is_pallet = 0 AND A.biz_loc = X.biz_loc AND A.rtime - X.rtime < 5 mins)
+			OR (Y.is_pallet = 0 AND A.biz_loc = Y.biz_loc AND Y.rtime - A.rtime < 5 mins))
+		ACTION MODIFY A.has_case_nearby = 1`
+	r2 := `DEFINE missing_r2 ON case_with_pallet
+		AS (A, *B)
+		WHERE A.is_pallet = 0 OR (A.has_case_nearby = 0 AND B.has_case_nearby = 1)
+		ACTION KEEP A`
+	got := applyRules(t, db, "case_with_pallet", r1, r2)
+	wantReads(t, got, []read{
+		{"c1", 0, "L1", ""},   // compensating pallet read survives
+		{"c1", 100, "L2", ""}, // real case read
+		{"c2", 0, "L1", ""},
+		{"c2", 100, "L2", ""},
+	})
+}
+
+// DELETE with a NULL condition must keep the row (border rows of a
+// sequence); KEEP with a NULL condition must drop it.
+func TestNullConditionSemantics(t *testing.T) {
+	db := dbWith(t, readsTable(t, "reads", []read{{"e1", 0, "locA", "r"}}))
+	// A single-row sequence: A (the previous row) binds nothing, so the
+	// condition is NULL for the only row. DELETE B keeps it.
+	got := applyRules(t, db, "reads", dupRule)
+	wantReads(t, got, []read{{"e1", 0, "locA", ""}})
+
+	// KEEP with an always-NULL condition drops everything.
+	keepRule := `DEFINE k ON reads AS (A, B) WHERE A.biz_loc = B.biz_loc ACTION KEEP B`
+	db2 := dbWith(t, readsTable(t, "reads", []read{{"e1", 0, "locA", "r"}}))
+	got2 := applyRules(t, db2, "reads", keepRule)
+	if len(got2) != 0 {
+		t.Fatalf("KEEP with NULL condition kept rows: %+v", got2)
+	}
+}
+
+func TestTemplateSQLRendering(t *testing.T) {
+	rule, err := sqlts.Parse(dupRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := Compile(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := tmpl.SQL([]string{"epc", "rtime", "biz_loc", "reader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"$input",
+		"OVER (PARTITION BY epc ORDER BY rtime ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING)",
+		"CASE WHEN",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("template SQL missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReaderRuleFrameFromSkeyConstraint(t *testing.T) {
+	rule, err := sqlts.Parse(readerRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := Compile(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := tmpl.SQL([]string{"epc", "rtime", "biz_loc", "reader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B.rtime - A.rtime < 10 mins with B after A becomes a RANGE frame
+	// from 1 microsecond to just under 10 minutes following.
+	if !strings.Contains(text, "RANGE BETWEEN INTERVAL '1' MICROSECOND FOLLOWING AND INTERVAL '599999999' MICROSECOND FOLLOWING") {
+		t.Errorf("reader frame wrong:\n%s", text)
+	}
+	if len(tmpl.WindowColumns()) != 1 {
+		t.Errorf("window cols = %v", tmpl.WindowColumns())
+	}
+}
+
+func TestCompileRejectsMixedSetComparison(t *testing.T) {
+	src := `DEFINE bad ON reads AS (A, *B) WHERE B.biz_loc = A.biz_loc ACTION DELETE A`
+	rule, err := sqlts.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(rule); err == nil {
+		t.Fatal("expected error for set/target column comparison")
+	}
+}
+
+func TestBuildValidatesInput(t *testing.T) {
+	rule, _ := sqlts.Parse(dupRule)
+	tmpl, _ := Compile(rule)
+	if _, _, err := tmpl.Build(&sqlast.TableName{Name: "r"}, []string{"epc"}); err == nil {
+		t.Fatal("missing sequence key must error")
+	}
+	if _, _, err := tmpl.Build(&sqlast.TableName{Name: "r"}, []string{"epc", "rtime", "__duplicate_a_biz_loc"}); err == nil {
+		t.Fatal("colliding column name must error")
+	}
+}
+
+// Set reference preceding the target: symmetric frame logic.
+func TestSetReferenceBeforeTarget(t *testing.T) {
+	rule := `DEFINE pre ON reads
+		AS (*B, A) WHERE B.reader = 'readerX' AND A.rtime - B.rtime < 10 mins
+		ACTION DELETE A`
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "dock", "readerX"},
+		{"e1", 5, "shelf", "r2"},  // within 10 min after readerX: deleted
+		{"e1", 30, "floor", "r2"}, // too late: kept
+	}))
+	got := applyRules(t, db, "reads", rule)
+	wantReads(t, got, []read{{"e1", 0, "dock", ""}, {"e1", 30, "floor", ""}})
+}
+
+// Property-ish check: chaining the same idempotent rule twice changes
+// nothing beyond the first application.
+func TestDuplicateRuleIdempotent(t *testing.T) {
+	var reads []read
+	for i := 0; i < 20; i++ {
+		reads = append(reads, read{"e1", int64(i), fmt.Sprintf("loc%d", (i/3)%2), "r"})
+	}
+	db := dbWith(t, readsTable(t, "reads", reads))
+	once := applyRules(t, db, "reads", dupRule)
+	db2 := dbWith(t, readsTable(t, "reads", reads))
+	twice := applyRules(t, db2, "reads", dupRule, `DEFINE duplicate2 ON reads
+		AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+		ACTION DELETE B`)
+	wantReads(t, twice, once)
+}
+
+// §4.3's closing remark, implemented: COUNT over a set reference controls
+// how many matching context rows an action needs.
+func TestCountExistentialExtension(t *testing.T) {
+	rule := `DEFINE twostrikes ON reads
+		AS (A, *B)
+		WHERE COUNT(B.reader = 'readerX') >= 2 AND B.rtime - A.rtime < 30 mins
+		ACTION DELETE A`
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "locA", "r0"}, // two readerX reads follow within 30 min: deleted
+		{"e1", 10, "locB", "readerX"},
+		{"e1", 20, "locC", "readerX"},
+		{"e2", 0, "locA", "r0"}, // only one follows: kept
+		{"e2", 10, "locB", "readerX"},
+		{"e2", 50, "locC", "readerX"}, // too late to count
+	}))
+	got := applyRules(t, db, "reads", rule)
+	wantReads(t, got, []read{
+		{"e1", 10, "locB", ""}, {"e1", 20, "locC", ""},
+		{"e2", 0, "locA", ""}, {"e2", 10, "locB", ""}, {"e2", 50, "locC", ""},
+	})
+}
+
+func TestCountExtensionTemplateUsesSum(t *testing.T) {
+	rule, err := sqlts.Parse(`DEFINE c ON reads AS (A, *B)
+		WHERE COUNT(B.reader = 'x') >= 2 AND B.rtime - A.rtime < 5 mins
+		ACTION DELETE A`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := Compile(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := tmpl.SQL([]string{"epc", "rtime", "reader", "biz_loc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "SUM(CASE WHEN reader = 'x'") {
+		t.Errorf("count extension should compile to SUM:\n%s", text)
+	}
+	if !strings.Contains(text, "COALESCE(") {
+		t.Errorf("empty frames must coalesce to 0:\n%s", text)
+	}
+}
+
+func TestCountMixingReferencesRejected(t *testing.T) {
+	rule, err := sqlts.Parse(`DEFINE bad ON reads AS (A, *B)
+		WHERE COUNT(B.biz_loc = A.biz_loc) >= 1
+		ACTION DELETE A`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(rule); err == nil {
+		t.Fatal("COUNT mixing set and target refs must be rejected")
+	}
+}
+
+// Sequence-key constraints may appear in any linear arrangement; the
+// compiler must derive identical frames from all of them.
+func TestSkeyConstraintArrangements(t *testing.T) {
+	forms := []string{
+		`B.rtime - A.rtime < 10 mins`,
+		`B.rtime < A.rtime + 10 mins`,
+		`A.rtime > B.rtime - 10 mins`,
+		`A.rtime + 10 mins > B.rtime`,
+		`-(A.rtime) + B.rtime < 10 mins`,
+	}
+	var want string
+	for i, f := range forms {
+		src := fmt.Sprintf(`DEFINE arr%d ON reads AS (A, *B)
+			WHERE B.reader = 'readerX' AND %s ACTION DELETE A`, i, f)
+		rule, err := sqlts.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		tmpl, err := Compile(rule)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		text, err := tmpl.SQL([]string{"epc", "rtime", "reader", "biz_loc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize away the rule name.
+		text = strings.ReplaceAll(text, fmt.Sprintf("arr%d", i), "arrN")
+		if i == 0 {
+			want = text
+			if !strings.Contains(want, "INTERVAL '599999999' MICROSECOND FOLLOWING") {
+				t.Fatalf("baseline frame wrong:\n%s", want)
+			}
+			continue
+		}
+		if text != want {
+			t.Errorf("form %q compiled differently:\n got: %s\nwant: %s", f, text, want)
+		}
+	}
+}
+
+// Singleton references may appear on either side of the target and at
+// distance > 1.
+func TestSingletonAtDistanceTwo(t *testing.T) {
+	rule := `DEFINE far ON reads AS (A, B, C)
+		WHERE A.biz_loc = C.biz_loc AND C.rtime - A.rtime < 2 hours
+		ACTION DELETE A`
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "X", "r"}, // C (two ahead) at X within 2h: deleted
+		{"e1", 30, "Y", "r"},
+		{"e1", 60, "X", "r"},
+		{"e2", 0, "X", "r"}, // C at X but 3h later: kept
+		{"e2", 90, "Y", "r"},
+		{"e2", 180, "X", "r"},
+	}))
+	got := applyRules(t, db, "reads", rule)
+	wantReads(t, got, []read{
+		{"e1", 30, "Y", ""}, {"e1", 60, "X", ""},
+		{"e2", 0, "X", ""}, {"e2", 90, "Y", ""}, {"e2", 180, "X", ""},
+	})
+}
+
+// MODIFY values may reference other pattern references' columns.
+func TestModifyFromOtherReference(t *testing.T) {
+	rule := `DEFINE smear ON reads AS (A, B)
+		WHERE A.biz_loc <> B.biz_loc AND B.rtime - A.rtime < 10 mins
+		ACTION MODIFY B.biz_loc = A.biz_loc`
+	db := dbWith(t, readsTable(t, "reads", []read{
+		{"e1", 0, "X", "r"},
+		{"e1", 5, "Y", "r"}, // within 10 min of X: location smeared to X
+		{"e1", 60, "Z", "r"},
+	}))
+	got := applyRules(t, db, "reads", rule)
+	wantReads(t, got, []read{
+		{"e1", 0, "X", ""}, {"e1", 5, "X", ""}, {"e1", 60, "Z", ""},
+	})
+}

@@ -1,0 +1,102 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func testSchema() *Schema {
+	return New(
+		Col("t", "epc", types.KindString),
+		Col("t", "rtime", types.KindTime),
+		Col("u", "epc", types.KindString),
+		Col("", "computed", types.KindInt),
+	)
+}
+
+func TestResolveQualified(t *testing.T) {
+	s := testSchema()
+	idx, err := s.Resolve("t", "epc")
+	if err != nil || idx != 0 {
+		t.Errorf("t.epc = %d, %v", idx, err)
+	}
+	idx, err = s.Resolve("u", "EPC") // case-insensitive
+	if err != nil || idx != 2 {
+		t.Errorf("u.epc = %d, %v", idx, err)
+	}
+	if _, err := s.Resolve("", "epc"); err == nil {
+		t.Error("ambiguous unqualified epc must error")
+	}
+	idx, err = s.Resolve("", "rtime")
+	if err != nil || idx != 1 {
+		t.Errorf("rtime = %d, %v", idx, err)
+	}
+	if _, err := s.Resolve("t", "nosuch"); err == nil {
+		t.Error("missing column must error")
+	}
+	if _, err := s.Resolve("x", "epc"); err == nil {
+		t.Error("wrong qualifier must error")
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := testSchema()
+	if got := s.IndexOf("computed"); got != 3 {
+		t.Errorf("IndexOf(computed) = %d", got)
+	}
+	if got := s.IndexOf("EPC"); got != 0 {
+		t.Errorf("IndexOf(epc) = %d (first match)", got)
+	}
+	if got := s.IndexOf("nosuch"); got != -1 {
+		t.Errorf("IndexOf(nosuch) = %d", got)
+	}
+}
+
+func TestWithQualifierAndClone(t *testing.T) {
+	s := testSchema()
+	q := s.WithQualifier("alias")
+	for _, c := range q.Columns {
+		if c.Table != "alias" {
+			t.Fatalf("qualifier = %q", c.Table)
+		}
+	}
+	// Original untouched.
+	if s.Columns[0].Table != "t" {
+		t.Error("WithQualifier mutated the receiver")
+	}
+	c := s.Clone()
+	c.Columns[0].Name = "changed"
+	if s.Columns[0].Name != "epc" {
+		t.Error("Clone shares column storage")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New(Col("a", "x", types.KindInt))
+	b := New(Col("b", "y", types.KindInt))
+	c := Concat(a, b)
+	if c.Len() != 2 || c.Columns[0].QualifiedName() != "a.x" || c.Columns[1].QualifiedName() != "b.y" {
+		t.Errorf("Concat = %s", c)
+	}
+}
+
+func TestQualifiedNameAndString(t *testing.T) {
+	c := Col("", "solo", types.KindInt)
+	if c.QualifiedName() != "solo" {
+		t.Errorf("QualifiedName = %q", c.QualifiedName())
+	}
+	s := New(Col("t", "a", types.KindInt))
+	if got := s.String(); got != "(t.a INT)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{types.NewInt(1), types.NewInt(2)}
+	c := r.Clone()
+	c[0] = types.NewInt(99)
+	if r[0].Int() != 1 {
+		t.Error("Row.Clone shares storage")
+	}
+}

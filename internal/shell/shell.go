@@ -1,0 +1,293 @@
+// Package shell implements the interactive deferred-cleansing SQL shell
+// behind cmd/rfidsql: SQL statements and extended SQL-TS rule definitions
+// terminated by ';', plus backslash meta-commands for catalog inspection,
+// strategy control, plans, and persistence. The engine is decoupled from
+// terminal I/O so the command loop is fully testable.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// Shell is one interactive session's state.
+type Shell struct {
+	DB  *repro.DB
+	Out io.Writer
+
+	strategy repro.Strategy
+	rules    []string // empty = all applicable
+	explain  bool
+	analyze  bool
+	limit    int
+	quit     bool
+}
+
+// New creates a shell over a database.
+func New(db *repro.DB, out io.Writer) *Shell {
+	return &Shell{DB: db, Out: out, strategy: repro.Auto, limit: 20}
+}
+
+// Run reads ';'-terminated statements and '\'-commands until EOF or \q.
+func (s *Shell) Run(in io.Reader) error {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if err := s.Meta(trimmed); err != nil {
+				fmt.Fprintf(s.Out, "error: %v\n", err)
+			}
+			if s.quit {
+				return nil
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if err := s.Statement(strings.TrimSuffix(stmt, ";")); err != nil {
+				fmt.Fprintf(s.Out, "error: %v\n", err)
+			}
+		}
+	}
+	return scanner.Err()
+}
+
+// Statement executes one SQL query or rule definition (without the
+// trailing semicolon).
+func (s *Shell) Statement(stmt string) error {
+	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	if stmt == "" {
+		return nil
+	}
+	if strings.HasPrefix(strings.ToLower(stmt), "define ") {
+		info, err := s.DB.DefineRule(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.Out, "rule %s defined; template:\n  %s\n", info.Name, info.Template)
+		return nil
+	}
+	opts := s.opts()
+	if s.explain {
+		plan, err := s.DB.Explain(stmt, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.Out, plan)
+	}
+	if s.analyze {
+		plan, err := s.DB.ExplainAnalyze(stmt, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.Out, plan)
+		return nil
+	}
+	rows, err := s.DB.Query(stmt, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Out, "-- %s\n", rows.Rewrite.Strategy)
+	fmt.Fprintln(s.Out, strings.Join(rows.Columns, " | "))
+	for i, r := range rows.Data {
+		if i >= s.limit {
+			fmt.Fprintf(s.Out, "... %d more rows\n", len(rows.Data)-s.limit)
+			break
+		}
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		fmt.Fprintln(s.Out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(s.Out, "(%d rows)\n", len(rows.Data))
+	return nil
+}
+
+func (s *Shell) opts() []repro.QueryOption {
+	opts := []repro.QueryOption{repro.WithStrategy(s.strategy)}
+	if len(s.rules) > 0 {
+		opts = append(opts, repro.WithRules(s.rules...))
+	}
+	return opts
+}
+
+// Meta executes a backslash command.
+func (s *Shell) Meta(cmd string) error {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		s.quit = true
+		return nil
+	case `\h`, `\help`:
+		fmt.Fprint(s.Out, helpText)
+		return nil
+	case `\d`:
+		if len(fields) == 1 {
+			for _, name := range s.DB.Catalog.TableNames() {
+				t, _ := s.DB.Catalog.Table(name)
+				fmt.Fprintf(s.Out, "%-24s %8d rows\n", name, t.RowCount())
+			}
+			for _, name := range s.DB.Catalog.ViewNames() {
+				fmt.Fprintf(s.Out, "%-24s (view)\n", name)
+			}
+			return nil
+		}
+		t, ok := s.DB.Catalog.Table(fields[1])
+		if !ok {
+			return fmt.Errorf("no table %q", fields[1])
+		}
+		for ord, c := range t.Schema.Columns {
+			idx := ""
+			if t.HasIndex(ord) {
+				idx = "  (indexed)"
+			}
+			fmt.Fprintf(s.Out, "%-20s %s%s\n", c.Name, c.Kind, idx)
+		}
+		return nil
+	case `\rules`:
+		for _, r := range s.DB.Registry.All() {
+			fmt.Fprintf(s.Out, "-- #%d %s (ON %s)\n%s\n", r.Seq, r.Rule.Name, r.Rule.On, r.Rule.String())
+		}
+		return nil
+	case `\strategy`:
+		if len(fields) < 2 {
+			fmt.Fprintf(s.Out, "strategy: %s\n", s.strategy)
+			return nil
+		}
+		switch fields[1] {
+		case "auto":
+			s.strategy = repro.Auto
+		case "naive":
+			s.strategy = repro.Naive
+		case "expanded":
+			s.strategy = repro.Expanded
+		case "join-back", "joinback":
+			s.strategy = repro.JoinBack
+		case "dirty":
+			s.strategy = repro.Dirty
+		default:
+			return fmt.Errorf("unknown strategy %q", fields[1])
+		}
+		fmt.Fprintf(s.Out, "strategy: %s\n", s.strategy)
+		return nil
+	case `\use`:
+		if len(fields) < 2 || fields[1] == "all" {
+			s.rules = nil
+			fmt.Fprintln(s.Out, "using all applicable rules")
+			return nil
+		}
+		s.rules = strings.Split(fields[1], ",")
+		sort.Strings(s.rules)
+		fmt.Fprintf(s.Out, "using rules: %s\n", strings.Join(s.rules, ", "))
+		return nil
+	case `\explain`:
+		s.explain = !s.explain
+		fmt.Fprintf(s.Out, "explain: %v\n", s.explain)
+		return nil
+	case `\analyze`:
+		s.analyze = !s.analyze
+		fmt.Fprintf(s.Out, "analyze: %v\n", s.analyze)
+		return nil
+	case `\limit`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \limit <n>`)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad limit %q", fields[1])
+		}
+		s.limit = n
+		return nil
+	case `\conditions`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \conditions <query without semicolon>`)
+		}
+		q := strings.TrimSpace(strings.TrimPrefix(cmd, fields[0]))
+		cc, err := s.DB.ExpandedConditions(q, s.opts()...)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(cc))
+		for n := range cc {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(s.Out, "%-14s %s\n", n, cc[n])
+		}
+		return nil
+	case `\workload`:
+		scale, pct := 5, 10
+		var err error
+		if len(fields) > 1 {
+			if scale, err = strconv.Atoi(fields[1]); err != nil {
+				return fmt.Errorf("bad scale %q", fields[1])
+			}
+		}
+		if len(fields) > 2 {
+			if pct, err = strconv.Atoi(fields[2]); err != nil {
+				return fmt.Errorf("bad anomaly pct %q", fields[2])
+			}
+		}
+		if err := s.DB.LoadRFIDWorkload(repro.WorkloadConfig{Scale: scale, AnomalyPct: pct, Seed: 20060912}); err != nil {
+			return err
+		}
+		names, err := s.DB.DefinePaperRules()
+		if err != nil {
+			return err
+		}
+		caser, _ := s.DB.Catalog.Table("caser")
+		fmt.Fprintf(s.Out, "workload loaded: %d case reads; rules: %s\n", caser.RowCount(), strings.Join(names, ", "))
+		return nil
+	case `\save`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \save <dir>`)
+		}
+		if err := s.DB.Save(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.Out, "saved to %s\n", fields[1])
+		return nil
+	case `\open`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \open <dir>`)
+		}
+		db, err := repro.OpenDir(fields[1])
+		if err != nil {
+			return err
+		}
+		s.DB = db
+		fmt.Fprintf(s.Out, "opened %s\n", fields[1])
+		return nil
+	}
+	return fmt.Errorf("unknown command %s (try \\h)", fields[0])
+}
+
+const helpText = `commands:
+  <sql>;                 run a query under the active strategy and rules
+  DEFINE ... ;           register a cleansing rule (extended SQL-TS)
+  \d [table]             list tables / describe one
+  \rules                 list registered rules
+  \strategy [s]          show or set: auto naive expanded join-back dirty
+  \use <r1,r2|all>       restrict which rules apply
+  \conditions <query>    show derived expanded conditions (Table 1 style)
+  \explain               toggle printing the plan before results
+  \analyze               toggle EXPLAIN ANALYZE mode (plan only, with actuals)
+  \limit <n>             rows printed per result
+  \workload [scale pct]  generate + load the RFIDGen workload and paper rules
+  \save <dir> / \open <dir>   persist / restore the database
+  \q                     quit
+`

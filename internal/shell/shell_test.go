@@ -1,0 +1,139 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func newShell(t *testing.T) (*Shell, *strings.Builder) {
+	t.Helper()
+	var out strings.Builder
+	sh := New(repro.Open(), &out)
+	return sh, &out
+}
+
+func feed(t *testing.T, sh *Shell, script string) {
+	t.Helper()
+	if err := sh.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 10
+select count(*) from caser;
+\strategy dirty
+select count(*) from caser;
+\q
+`)
+	text := out.String()
+	if !strings.Contains(text, "workload loaded") {
+		t.Fatalf("no workload banner:\n%s", text)
+	}
+	if !strings.Contains(text, "(1 rows)") {
+		t.Fatalf("no result row count:\n%s", text)
+	}
+	if !strings.Contains(text, "strategy: dirty") {
+		t.Fatalf("strategy switch missing:\n%s", text)
+	}
+	// Two different counts (cleansed vs dirty) should appear.
+	if strings.Count(text, "(1 rows)") != 2 {
+		t.Fatalf("expected two query results:\n%s", text)
+	}
+}
+
+func TestShellDefineRuleAndQuery(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 10
+DEFINE myrule ON caser
+AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 2 mins
+ACTION DELETE B;
+\use myrule
+select count(*) from caser;
+`)
+	text := out.String()
+	if !strings.Contains(text, "rule myrule defined") {
+		t.Fatalf("rule not defined:\n%s", text)
+	}
+	if !strings.Contains(text, "using rules: myrule") {
+		t.Fatalf("\\use failed:\n%s", text)
+	}
+}
+
+func TestShellMetaCommands(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 10
+\d
+\d caser
+\rules
+\conditions select * from caser where rtime >= timestamp '2020-01-01'
+\limit 5
+\explain
+select epc from caser;
+\h
+`)
+	text := out.String()
+	for _, want := range []string{
+		"caser", "locs", "epc_info", // \d
+		"rtime", "(indexed)", // \d caser
+		"DEFINE reader", // \rules
+		"reader",        // conditions
+		"explain: true",
+		"strategy:", // from plan header
+		"commands:", // help
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestShellAnalyzeMode(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 0
+\analyze
+select count(*) from caser;
+`)
+	if !strings.Contains(out.String(), "actual rows=") {
+		t.Fatalf("analyze mode output missing:\n%s", out.String())
+	}
+}
+
+func TestShellErrorsAreReportedNotFatal(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `select * from nosuch;
+\strategy bogus
+\nosuchcmd
+\q
+`)
+	text := out.String()
+	if strings.Count(text, "error:") < 3 {
+		t.Fatalf("errors not reported:\n%s", text)
+	}
+}
+
+func TestShellSaveOpen(t *testing.T) {
+	dir := t.TempDir()
+	sh, _ := newShell(t)
+	feed(t, sh, "\\workload 1 10\n\\save "+dir+"\n")
+	sh2, out2 := newShell(t)
+	feed(t, sh2, "\\open "+dir+"\nselect count(*) from caser;\n")
+	if !strings.Contains(out2.String(), "(1 rows)") {
+		t.Fatalf("reopened db query failed:\n%s", out2.String())
+	}
+}
+
+func TestShellMultilineStatement(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 0
+select
+  count(*)
+from caser;
+`)
+	if !strings.Contains(out.String(), "(1 rows)") {
+		t.Fatalf("multiline statement failed:\n%s", out.String())
+	}
+}

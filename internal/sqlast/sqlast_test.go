@@ -1,0 +1,177 @@
+package sqlast
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func lit(i int64) *Const { return Lit(types.NewInt(i)) }
+
+func TestAndOrHelpers(t *testing.T) {
+	if And() != nil || Or() != nil {
+		t.Error("empty And/Or must be nil")
+	}
+	a, b, c := Col("", "a"), Col("", "b"), Col("", "c")
+	if got := ExprSQL(And(a, nil, b, c)); got != "a AND b AND c" {
+		t.Errorf("And = %q", got)
+	}
+	if got := ExprSQL(Or(a, b)); got != "a OR b" {
+		t.Errorf("Or = %q", got)
+	}
+	if got := ExprSQL(And(nil, a)); got != "a" {
+		t.Errorf("And(nil, a) = %q", got)
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	e := And(Col("", "a"), Or(Col("", "b"), Col("", "c")), Col("", "d"))
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d", len(cs))
+	}
+	ds := Disjuncts(cs[1])
+	if len(ds) != 2 {
+		t.Fatalf("Disjuncts = %d", len(ds))
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) must be nil")
+	}
+}
+
+func TestOpNegateFlip(t *testing.T) {
+	cases := []struct{ op, neg, flip BinOp }{
+		{OpEq, OpNe, OpEq},
+		{OpLt, OpGe, OpGt},
+		{OpLe, OpGt, OpGe},
+		{OpGt, OpLe, OpLt},
+		{OpGe, OpLt, OpLe},
+	}
+	for _, c := range cases {
+		if c.op.Negate() != c.neg {
+			t.Errorf("%v.Negate() = %v", c.op, c.op.Negate())
+		}
+		if c.op.Flip() != c.flip {
+			t.Errorf("%v.Flip() = %v", c.op, c.op.Flip())
+		}
+	}
+	if !OpLe.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison misclassifies")
+	}
+	if !OpMul.IsArith() || OpEq.IsArith() {
+		t.Error("IsArith misclassifies")
+	}
+}
+
+func TestCloneExprIsDeep(t *testing.T) {
+	orig := &Bin{Op: OpAnd,
+		L: Cmp(OpEq, Col("t", "x"), lit(1)),
+		R: &Case{Whens: []When{{Cond: Col("", "c"), Then: lit(2)}}, Else: lit(3)},
+	}
+	cl := CloneExpr(orig).(*Bin)
+	cl.L.(*Bin).L.(*ColRef).Name = "mutated"
+	if orig.L.(*Bin).L.(*ColRef).Name != "x" {
+		t.Error("CloneExpr shares column nodes")
+	}
+}
+
+func TestCloneStmtIsDeep(t *testing.T) {
+	sel := &SelectStmt{
+		With:  []CTE{{Name: "v", Query: &SelectStmt{Items: []SelectItem{{Star: true}}, From: []TableExpr{&TableName{Name: "r"}}}}},
+		Items: []SelectItem{{Expr: Col("", "a"), Alias: "out"}},
+		From:  []TableExpr{&TableName{Name: "v"}},
+		Where: Cmp(OpGt, Col("", "a"), lit(0)),
+	}
+	cl := CloneStmt(sel).(*SelectStmt)
+	cl.From[0].(*TableName).Name = "other"
+	cl.Where.(*Bin).L.(*ColRef).Name = "zz"
+	if sel.From[0].(*TableName).Name != "v" || sel.Where.(*Bin).L.(*ColRef).Name != "a" {
+		t.Error("CloneStmt shares nodes")
+	}
+}
+
+func TestMapColRefs(t *testing.T) {
+	e := And(Cmp(OpEq, Col("a", "x"), Col("b", "y")), &IsNull{E: Col("a", "z")})
+	out := MapColRefs(e, func(cr *ColRef) Expr {
+		if cr.Table == "a" {
+			return Col("", cr.Name)
+		}
+		return cr
+	})
+	if got := ExprSQL(out); got != "x = b.y AND z IS NULL" {
+		t.Errorf("MapColRefs = %q", got)
+	}
+	// Original untouched.
+	if got := ExprSQL(e); got != "a.x = b.y AND a.z IS NULL" {
+		t.Errorf("original mutated: %q", got)
+	}
+}
+
+func TestVisitExprsCoversNodes(t *testing.T) {
+	e := &Case{
+		Whens: []When{{Cond: &In{E: Col("", "a"), List: []Expr{lit(1), lit(2)}}, Then: &FuncCall{Name: "abs", Args: []Expr{Col("", "b")}}}},
+		Else:  &Un{Op: OpNeg, E: Col("", "c")},
+	}
+	var cols []string
+	VisitExprs(e, func(x Expr) {
+		if cr, ok := x.(*ColRef); ok {
+			cols = append(cols, cr.Name)
+		}
+	})
+	if len(cols) != 3 {
+		t.Errorf("visited cols = %v", cols)
+	}
+}
+
+func TestVisitTables(t *testing.T) {
+	inner := &SelectStmt{Items: []SelectItem{{Star: true}}, From: []TableExpr{&TableName{Name: "deep"}}}
+	s := &SelectStmt{
+		With:  []CTE{{Name: "v", Query: &SelectStmt{Items: []SelectItem{{Star: true}}, From: []TableExpr{&TableName{Name: "cte_src"}}}}},
+		Items: []SelectItem{{Star: true}},
+		From: []TableExpr{
+			&JoinExpr{Left: &TableName{Name: "l"}, Right: &SubqueryTable{Query: inner, Alias: "sq"}},
+		},
+	}
+	var names []string
+	VisitTables(s, func(te TableExpr) {
+		if tn, ok := te.(*TableName); ok {
+			names = append(names, tn.Name)
+		}
+	})
+	want := map[string]bool{"cte_src": true, "l": true, "deep": true}
+	if len(names) != 3 {
+		t.Fatalf("visited = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected table %q", n)
+		}
+	}
+}
+
+func TestTableNameBinding(t *testing.T) {
+	if (&TableName{Name: "t"}).Binding() != "t" {
+		t.Error("binding without alias")
+	}
+	if (&TableName{Name: "t", Alias: "x"}).Binding() != "x" {
+		t.Error("binding with alias")
+	}
+}
+
+func TestPrinterParenthesization(t *testing.T) {
+	// (a OR b) AND c requires parens on the left.
+	e := &Bin{Op: OpAnd, L: &Bin{Op: OpOr, L: Col("", "a"), R: Col("", "b")}, R: Col("", "c")}
+	if got := ExprSQL(e); got != "(a OR b) AND c" {
+		t.Errorf("print = %q", got)
+	}
+	// a - (b - c) must keep parens to stay right-associated.
+	e2 := &Bin{Op: OpSub, L: Col("", "a"), R: &Bin{Op: OpSub, L: Col("", "b"), R: Col("", "c")}}
+	if got := ExprSQL(e2); got != "a - (b - c)" {
+		t.Errorf("print = %q", got)
+	}
+	// Left-nested subtraction needs no parens.
+	e3 := &Bin{Op: OpSub, L: &Bin{Op: OpSub, L: Col("", "a"), R: Col("", "b")}, R: Col("", "c")}
+	if got := ExprSQL(e3); got != "a - b - c" {
+		t.Errorf("print = %q", got)
+	}
+}

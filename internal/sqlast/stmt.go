@@ -1,0 +1,202 @@
+package sqlast
+
+// Stmt is a queryable statement: a SELECT or a set operation over two.
+type Stmt interface {
+	stmtNode()
+}
+
+// CTE is one WITH-list entry.
+type CTE struct {
+	Name  string
+	Query Stmt
+}
+
+// SelectItem is one element of a SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	// Star is "*"; StarTable qualifies "t.*".
+	Star      bool
+	StarTable string
+}
+
+// TableExpr is a FROM-clause element.
+type TableExpr interface {
+	tableNode()
+}
+
+// TableName references a base table, view, or CTE, with optional alias.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name this table is visible under in the query.
+func (t *TableName) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// SubqueryTable is a derived table in FROM.
+type SubqueryTable struct {
+	Query Stmt
+	Alias string
+}
+
+// JoinType enumerates supported join types.
+type JoinType uint8
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+)
+
+func (t JoinType) String() string {
+	if t == JoinLeft {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// JoinExpr is an ANSI join.
+type JoinExpr struct {
+	Type  JoinType
+	Left  TableExpr
+	Right TableExpr
+	On    Expr
+}
+
+func (*TableName) tableNode()     {}
+func (*SubqueryTable) tableNode() {}
+func (*JoinExpr) tableNode()      {}
+
+// SelectStmt is a SELECT query. From holds a comma-separated list whose
+// elements may themselves be ANSI join trees.
+type SelectStmt struct {
+	With     []CTE
+	Distinct bool
+	Items    []SelectItem
+	From     []TableExpr
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+	Offset   *int64
+}
+
+// SetOpType enumerates set operations.
+type SetOpType uint8
+
+// Set operations.
+const (
+	SetUnion SetOpType = iota
+	SetExcept
+	SetIntersect
+)
+
+func (o SetOpType) String() string {
+	switch o {
+	case SetExcept:
+		return "EXCEPT"
+	case SetIntersect:
+		return "INTERSECT"
+	}
+	return "UNION"
+}
+
+// SetOpStmt combines two statements with UNION [ALL] / EXCEPT / INTERSECT.
+// ALL applies to UNION only.
+type SetOpStmt struct {
+	Op   SetOpType
+	All  bool
+	L, R Stmt
+}
+
+func (*SelectStmt) stmtNode() {}
+func (*SetOpStmt) stmtNode()  {}
+
+// CloneStmt deep-copies a statement tree.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *SelectStmt:
+		out := &SelectStmt{Distinct: s.Distinct}
+		for _, c := range s.With {
+			out.With = append(out.With, CTE{Name: c.Name, Query: CloneStmt(c.Query)})
+		}
+		for _, it := range s.Items {
+			out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias, Star: it.Star, StarTable: it.StarTable})
+		}
+		for _, t := range s.From {
+			out.From = append(out.From, CloneTableExpr(t))
+		}
+		out.Where = CloneExpr(s.Where)
+		for _, g := range s.GroupBy {
+			out.GroupBy = append(out.GroupBy, CloneExpr(g))
+		}
+		out.Having = CloneExpr(s.Having)
+		for _, o := range s.OrderBy {
+			out.OrderBy = append(out.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+		}
+		if s.Limit != nil {
+			l := *s.Limit
+			out.Limit = &l
+		}
+		if s.Offset != nil {
+			o := *s.Offset
+			out.Offset = &o
+		}
+		return out
+	case *SetOpStmt:
+		return &SetOpStmt{Op: s.Op, All: s.All, L: CloneStmt(s.L), R: CloneStmt(s.R)}
+	}
+	panic("sqlast: CloneStmt: unknown node")
+}
+
+// CloneTableExpr deep-copies a FROM element.
+func CloneTableExpr(t TableExpr) TableExpr {
+	switch t := t.(type) {
+	case *TableName:
+		c := *t
+		return &c
+	case *SubqueryTable:
+		return &SubqueryTable{Query: CloneStmt(t.Query), Alias: t.Alias}
+	case *JoinExpr:
+		return &JoinExpr{Type: t.Type, Left: CloneTableExpr(t.Left), Right: CloneTableExpr(t.Right), On: CloneExpr(t.On)}
+	}
+	panic("sqlast: CloneTableExpr: unknown node")
+}
+
+// VisitTables walks every TableExpr in a statement, including those inside
+// CTEs and derived tables, calling f on each.
+func VisitTables(s Stmt, f func(TableExpr)) {
+	switch s := s.(type) {
+	case nil:
+	case *SelectStmt:
+		for _, c := range s.With {
+			VisitTables(c.Query, f)
+		}
+		for _, t := range s.From {
+			visitTableExpr(t, f)
+		}
+	case *SetOpStmt:
+		VisitTables(s.L, f)
+		VisitTables(s.R, f)
+	}
+}
+
+func visitTableExpr(t TableExpr, f func(TableExpr)) {
+	f(t)
+	switch t := t.(type) {
+	case *SubqueryTable:
+		VisitTables(t.Query, f)
+	case *JoinExpr:
+		visitTableExpr(t.Left, f)
+		visitTableExpr(t.Right, f)
+	}
+}

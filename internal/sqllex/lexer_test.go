@@ -1,0 +1,117 @@
+package sqllex
+
+import "testing"
+
+func scanAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := New(src)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == TokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := scanAll(t, "SELECT epc, rtime FROM caseR WHERE rtime <= 5 AND x <> 'o''k'")
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokIdent, "select"}, {TokIdent, "epc"}, {TokOp, ","}, {TokIdent, "rtime"},
+		{TokIdent, "from"}, {TokIdent, "caser"}, {TokIdent, "where"},
+		{TokIdent, "rtime"}, {TokOp, "<="}, {TokNumber, "5"},
+		{TokIdent, "and"}, {TokIdent, "x"}, {TokOp, "<>"}, {TokString, "o'k"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%d,%q), want (%d,%q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestNumbersAndDots(t *testing.T) {
+	toks := scanAll(t, "a.b 1.5 2. x")
+	// "2." lexes as number 2 then op "." (member access needs ident after).
+	if toks[0].Text != "a" || toks[1].Text != "." || toks[2].Text != "b" {
+		t.Errorf("qualified ref mis-lexed: %v", toks[:3])
+	}
+	if toks[3].Kind != TokNumber || toks[3].Text != "1.5" {
+		t.Errorf("float literal = %v", toks[3])
+	}
+	if toks[4].Kind != TokNumber || toks[4].Text != "2" || toks[5].Text != "." {
+		t.Errorf("trailing dot = %v %v", toks[4], toks[5])
+	}
+}
+
+func TestParamsAndComments(t *testing.T) {
+	toks := scanAll(t, "select * from $input -- trailing\n/* block\ncomment */ where 1=1")
+	var params []string
+	for _, tok := range toks {
+		if tok.Kind == TokParam {
+			params = append(params, tok.Text)
+		}
+	}
+	if len(params) != 1 || params[0] != "input" {
+		t.Errorf("params = %v", params)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	l := New("a b")
+	p1, _ := l.Peek()
+	p2, _ := l.Peek()
+	if p1 != p2 {
+		t.Fatal("Peek must be stable")
+	}
+	n, _ := l.Next()
+	if n != p1 {
+		t.Fatal("Next must return peeked token")
+	}
+	n2, _ := l.Next()
+	if n2.Text != "b" {
+		t.Fatalf("second token = %v", n2)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a @ b", "$"} {
+		l := New(src)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = l.Next()
+			if err == nil && tok.Kind == TokEOF {
+				t.Errorf("lex %q: expected error", src)
+				break
+			}
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	l := New("select\n  @")
+	var err error
+	for err == nil {
+		var tok Token
+		tok, err = l.Next()
+		if tok.Kind == TokEOF {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := err.Error(); got[:4] != "2:3:" {
+		t.Errorf("error position = %q, want prefix 2:3:", got)
+	}
+}

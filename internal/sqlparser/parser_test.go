@@ -1,0 +1,218 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, src string) sqlast.Stmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+// Round-trip property: printing a parsed statement and re-parsing must
+// yield identical printed text. Rewrites rely on print→parse stability.
+func TestPrintParseRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM r",
+		"SELECT r.* FROM r",
+		"SELECT epc, rtime FROM caser WHERE rtime < TIMESTAMP '2021-03-04 05:06:07'",
+		"select distinct epc from caser where biz_loc = 'loc1' and rtime >= 5 minutes",
+		"select a + b * c - d / e from t",
+		"select a from t where a between 1 and 10",
+		"select a from t where a not in (1, 2, 3)",
+		"select a from t where a in (select b from u where c = 1)",
+		"select a from t where exists (select 1 from u)",
+		"select count(*), count(distinct x), avg(y) from t group by z having count(*) > 2",
+		"select * from a, b c, (select * from d) e where a.x = c.y",
+		"select * from a join b on a.x = b.x left join c on b.y = c.y",
+		"select x from t order by x desc, y limit 10",
+		"with v as (select * from r), w as (select * from v) select * from w",
+		"select epc from caser union all select epc from palletr",
+		"select case when a = 1 then 'one' when a = 2 then 'two' else 'many' end from t",
+		"select a from t where a is not null and b is null",
+		"select max(biz_loc) over (partition by epc order by rtime rows between 1 preceding and 1 preceding) from r",
+		"select max(x) over (partition by p order by k range between 1 microsecond following and 10 minutes following) from r",
+		"select count(*) over (order by k rows between unbounded preceding and current row) from r",
+		"select sum(v) over (partition by p order by k rows between current row and unbounded following) from r",
+		"select not (a or b) and c from t",
+		"select -x, -(a + b) from t",
+		"select * from t where ts - INTERVAL '5' MINUTE > TIMESTAMP '2020-01-01'",
+		"select a from t where a like 'x%' and b not like '_y'",
+		"select a from t except select a from u",
+		"select a from t intersect select a from u",
+		"select a from t union select a from u except select a from v",
+		"select a from t order by a limit 5 offset 10",
+		"select a from t offset 3",
+		"select upper(a), lower(b), substr(c, 2, 3) from t",
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		p1 := sqlast.SQL(s1)
+		s2, err := Parse(p1)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v\nprinted: %s", q, err, p1)
+			continue
+		}
+		p2 := sqlast.SQL(s2)
+		if p1 != p2 {
+			t.Errorf("round trip mismatch for %q:\n  first : %s\n  second: %s", q, p1, p2)
+		}
+	}
+}
+
+func TestIntervalSugar(t *testing.T) {
+	e, err := ParseExpr("5 mins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*sqlast.Const)
+	if !ok || c.V.Kind() != types.KindInterval || c.V.IntervalUsec() != 5*60*1_000_000 {
+		t.Fatalf("5 mins = %#v", e)
+	}
+	for src, usec := range map[string]int64{
+		"1 microsecond":       1,
+		"2 secs":              2_000_000,
+		"3 hours":             3 * 3600 * 1_000_000,
+		"1 day":               24 * 3600 * 1_000_000,
+		"INTERVAL '7' MINUTE": 7 * 60 * 1_000_000,
+	} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if c := e.(*sqlast.Const); c.V.IntervalUsec() != usec {
+			t.Errorf("%q = %v usec, want %d", src, c.V.IntervalUsec(), usec)
+		}
+	}
+}
+
+func TestNumberFollowedByColumnIsNotInterval(t *testing.T) {
+	e, err := ParseExpr("5 + x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*sqlast.Bin); !ok {
+		t.Fatalf("5 + x = %#v", e)
+	}
+}
+
+func TestBetweenDesugars(t *testing.T) {
+	e, err := ParseExpr("a between 1 and 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sqlast.ExprSQL(e)
+	if got != "a >= 1 AND a <= 3" {
+		t.Errorf("between desugar = %q", got)
+	}
+}
+
+func TestRowsShorthandFrame(t *testing.T) {
+	s := mustParse(t, "select max(rtime) over (partition by epc order by rtime rows 1 preceding) from r")
+	sel := s.(*sqlast.SelectStmt)
+	w := sel.Items[0].Expr.(*sqlast.WindowExpr)
+	if w.Frame == nil || w.Frame.Start.Type != sqlast.BoundPreceding || w.Frame.End.Type != sqlast.BoundCurrentRow {
+		t.Fatalf("shorthand frame = %+v", w.Frame)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e, err := ParseExpr("a or b and c = d + e * f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a OR b AND c = d + e * f"
+	if got := sqlast.ExprSQL(e); got != want {
+		t.Errorf("precedence print = %q, want %q", got, want)
+	}
+	root := e.(*sqlast.Bin)
+	if root.Op != sqlast.OpOr {
+		t.Fatalf("root op = %v, want OR", root.Op)
+	}
+}
+
+func TestLeftAssociativeSubtraction(t *testing.T) {
+	e, err := ParseExpr("a - b - c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a-b)-c, not a-(b-c)
+	root := e.(*sqlast.Bin)
+	if _, ok := root.L.(*sqlast.Bin); !ok {
+		t.Fatalf("subtraction must be left-associative: %s", sqlast.ExprSQL(e))
+	}
+}
+
+func TestWithOverUnionWraps(t *testing.T) {
+	s := mustParse(t, "with v as (select 1 a) select a from v union select a from v")
+	sel, ok := s.(*sqlast.SelectStmt)
+	if !ok {
+		t.Fatalf("WITH over union should wrap into a SelectStmt, got %T", s)
+	}
+	if len(sel.With) != 1 {
+		t.Fatalf("With = %v", sel.With)
+	}
+	if _, ok := sel.From[0].(*sqlast.SubqueryTable); !ok {
+		t.Fatalf("wrapped body missing: %T", sel.From[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select * from",
+		"select * from t where",
+		"select * from t group",
+		"select a from t limit x",
+		"select f(distinct x) over (partition by p) from t",
+		"select * from t extra_token 123 45",
+		"select a not b from t",
+		"select max(x) over (rows between 1 preceding) from t",
+		"select case a then 1 end from t",
+		"select interval 'x' minute from t",
+		"select timestamp 'not-a-date' from t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestAliasHandling(t *testing.T) {
+	s := mustParse(t, "select c.epc as id, c.rtime tm from caser c")
+	sel := s.(*sqlast.SelectStmt)
+	if sel.Items[0].Alias != "id" || sel.Items[1].Alias != "tm" {
+		t.Errorf("aliases = %q, %q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+	tn := sel.From[0].(*sqlast.TableName)
+	if tn.Name != "caser" || tn.Alias != "c" || tn.Binding() != "c" {
+		t.Errorf("table = %+v", tn)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	s := mustParse(t, "select a -- trailing comment\nfrom t /* block */ where a > 1")
+	if !strings.Contains(sqlast.SQL(s), "WHERE a > 1") {
+		t.Errorf("printed = %s", sqlast.SQL(s))
+	}
+}
+
+func TestParamTableName(t *testing.T) {
+	s := mustParse(t, "select * from $input where x = 1")
+	sel := s.(*sqlast.SelectStmt)
+	tn := sel.From[0].(*sqlast.TableName)
+	if tn.Name != "$input" {
+		t.Errorf("param table = %q", tn.Name)
+	}
+}

@@ -1,0 +1,329 @@
+package sqlts
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqllex"
+	"repro/internal/sqlparser"
+)
+
+// Parse parses one rule in the extended SQL-TS syntax:
+//
+//	DEFINE <name>
+//	ON <table>
+//	[FROM <table>]             -- defaults to the ON table
+//	[CLUSTER BY <column>]      -- defaults to epc
+//	[SEQUENCE BY <column>]     -- defaults to rtime
+//	AS ( [*]Ref, [*]Ref, ... )
+//	WHERE <condition>
+//	ACTION DELETE <Ref> | KEEP <Ref> | MODIFY <Ref>.<col> = <expr> [, ...]
+//
+// Conditions use full SQL expression syntax including interval shorthand
+// ("B.rtime - A.rtime < 5 mins").
+func Parse(src string) (*Rule, error) {
+	p := &ruleParser{src: src, lex: sqllex.New(src)}
+	r, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+type ruleParser struct {
+	src string
+	lex *sqllex.Lexer
+}
+
+func (p *ruleParser) expectKeyword(kw string) error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	if t.Kind != sqllex.TokIdent || t.Text != kw {
+		return p.lex.Errorf(t.Pos, "expected %s, found %q", strings.ToUpper(kw), t.Text)
+	}
+	return nil
+}
+
+func (p *ruleParser) acceptKeyword(kw string) bool {
+	t, err := p.lex.Peek()
+	if err != nil || t.Kind != sqllex.TokIdent || t.Text != kw {
+		return false
+	}
+	p.lex.Next()
+	return true
+}
+
+func (p *ruleParser) expectIdent() (string, error) {
+	t, err := p.lex.Next()
+	if err != nil {
+		return "", err
+	}
+	if t.Kind != sqllex.TokIdent {
+		return "", p.lex.Errorf(t.Pos, "expected identifier, found %q", t.Text)
+	}
+	return t.Text, nil
+}
+
+func (p *ruleParser) expectOp(op string) error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	if t.Kind != sqllex.TokOp || t.Text != op {
+		return p.lex.Errorf(t.Pos, "expected %q, found %q", op, t.Text)
+	}
+	return nil
+}
+
+func (p *ruleParser) parse() (*Rule, error) {
+	r := &Rule{ClusterBy: "epc", SequenceBy: "rtime"}
+	if err := p.expectKeyword("define"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	r.Name = name
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	if r.On, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	r.From = r.On
+	if p.acceptKeyword("from") {
+		if r.From, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("cluster") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		if r.ClusterBy, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("sequence") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		if r.SequenceBy, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		set := false
+		t, err := p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == sqllex.TokOp && t.Text == "*" {
+			set = true
+			t, err = p.lex.Next()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if t.Kind != sqllex.TokIdent {
+			return nil, p.lex.Errorf(t.Pos, "expected pattern reference, found %q", t.Text)
+		}
+		r.Pattern = append(r.Pattern, Ref{Name: t.Text, Set: set})
+		t, err = p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == sqllex.TokOp && t.Text == "," {
+			continue
+		}
+		if t.Kind == sqllex.TokOp && t.Text == ")" {
+			break
+		}
+		return nil, p.lex.Errorf(t.Pos, "expected ',' or ')' in pattern, found %q", t.Text)
+	}
+	if err := p.expectKeyword("where"); err != nil {
+		return nil, err
+	}
+	// The condition runs until the ACTION keyword at nesting depth 0;
+	// slice the source and reuse the SQL expression parser.
+	condText, err := p.sliceUntilKeyword("action")
+	if err != nil {
+		return nil, err
+	}
+	cond, err := sqlparser.ParseExpr(condText)
+	if err != nil {
+		return nil, fmt.Errorf("sqlts: rule %s: bad condition: %w", r.Name, err)
+	}
+	r.Cond = cond
+
+	if err := p.expectKeyword("action"); err != nil {
+		return nil, err
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != sqllex.TokIdent {
+		return nil, p.lex.Errorf(t.Pos, "expected action, found %q", t.Text)
+	}
+	switch t.Text {
+	case "delete", "keep":
+		if t.Text == "delete" {
+			r.Action = ActionDelete
+		} else {
+			r.Action = ActionKeep
+		}
+		if r.Target, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+	case "modify":
+		r.Action = ActionModify
+		for {
+			ref, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if r.Target == "" {
+				r.Target = ref
+			} else if r.Target != ref {
+				return nil, fmt.Errorf("sqlts: rule %s: MODIFY assignments must all target %q", r.Name, r.Target)
+			}
+			if err := p.expectOp("."); err != nil {
+				return nil, err
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("="); err != nil {
+				return nil, err
+			}
+			valText, err := p.sliceUntilAssignmentEnd()
+			if err != nil {
+				return nil, err
+			}
+			val, err := sqlparser.ParseExpr(valText)
+			if err != nil {
+				return nil, fmt.Errorf("sqlts: rule %s: bad assignment value: %w", r.Name, err)
+			}
+			r.Assignments = append(r.Assignments, Assignment{Column: col, Value: val})
+			t, err := p.lex.Peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind == sqllex.TokOp && t.Text == "," {
+				p.lex.Next()
+				continue
+			}
+			break
+		}
+	default:
+		return nil, p.lex.Errorf(t.Pos, "unknown action %q (want DELETE, KEEP, or MODIFY)", t.Text)
+	}
+	t, err = p.lex.Next()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == sqllex.TokOp && t.Text == ";" {
+		t, err = p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t.Kind != sqllex.TokEOF {
+		return nil, p.lex.Errorf(t.Pos, "unexpected %q after rule", t.Text)
+	}
+	return r, nil
+}
+
+// sliceUntilKeyword consumes tokens up to (not including) the given
+// keyword at parenthesis depth 0 and returns the covered source text.
+func (p *ruleParser) sliceUntilKeyword(kw string) (string, error) {
+	start, err := p.lex.Peek()
+	if err != nil {
+		return "", err
+	}
+	depth := 0
+	end := start.Pos
+	for {
+		t, err := p.lex.Peek()
+		if err != nil {
+			return "", err
+		}
+		if t.Kind == sqllex.TokEOF {
+			return "", p.lex.Errorf(t.Pos, "expected %s clause", strings.ToUpper(kw))
+		}
+		if depth == 0 && t.Kind == sqllex.TokIdent && t.Text == kw {
+			return p.src[start.Pos:end], nil
+		}
+		if t.Kind == sqllex.TokOp {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+		}
+		p.lex.Next()
+		end = t.Pos + tokenLen(t)
+	}
+}
+
+// sliceUntilAssignmentEnd consumes an assignment value expression: up to a
+// ',' at depth 0, a ';', or EOF.
+func (p *ruleParser) sliceUntilAssignmentEnd() (string, error) {
+	start, err := p.lex.Peek()
+	if err != nil {
+		return "", err
+	}
+	depth := 0
+	end := start.Pos
+	for {
+		t, err := p.lex.Peek()
+		if err != nil {
+			return "", err
+		}
+		if t.Kind == sqllex.TokEOF {
+			return p.src[start.Pos:end], nil
+		}
+		if t.Kind == sqllex.TokOp && depth == 0 && (t.Text == "," || t.Text == ";") {
+			return p.src[start.Pos:end], nil
+		}
+		if t.Kind == sqllex.TokOp {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+		}
+		p.lex.Next()
+		end = t.Pos + tokenLen(t)
+	}
+}
+
+// tokenLen approximates a token's source length; string literals include
+// their quotes and escapes, so recompute from the raw text length.
+func tokenLen(t sqllex.Token) int {
+	if t.Kind == sqllex.TokString {
+		// Escaped quotes double; bound by re-quoting.
+		n := 2 + len(t.Text) + strings.Count(t.Text, "'")
+		return n
+	}
+	if t.Kind == sqllex.TokParam {
+		return len(t.Text) + 1
+	}
+	return len(t.Text)
+}

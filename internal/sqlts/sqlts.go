@@ -1,0 +1,199 @@
+// Package sqlts implements the extended SQL-TS cleansing-rule language of
+// the paper (§4.2): a sequence-pattern language with CLUSTER BY /
+// SEQUENCE BY keys, a pattern of singleton and set (*) references, a
+// condition over the references' columns, and an ACTION clause (DELETE,
+// KEEP, or MODIFY) that the paper adds to SQL-TS.
+//
+// Rules parse into a validated model that internal/rulegen compiles to a
+// SQL/OLAP template and internal/core analyzes for query rewriting.
+package sqlts
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// ActionKind enumerates the rule actions.
+type ActionKind uint8
+
+// Actions. DELETE removes the target row when the condition holds; KEEP
+// retains it only when the condition holds; MODIFY rewrites columns of the
+// target row when the condition holds.
+const (
+	ActionDelete ActionKind = iota
+	ActionKeep
+	ActionModify
+)
+
+func (a ActionKind) String() string {
+	switch a {
+	case ActionDelete:
+		return "DELETE"
+	case ActionKeep:
+		return "KEEP"
+	case ActionModify:
+		return "MODIFY"
+	}
+	return "?"
+}
+
+// Ref is one pattern reference. A set reference (Set=true, written *B)
+// binds to every row before/after the target within the sequence; a
+// singleton binds to exactly one row at a fixed relative position.
+type Ref struct {
+	Name string
+	Set  bool
+}
+
+// Assignment is one "ref.col = expr" of a MODIFY action.
+type Assignment struct {
+	Column string
+	Value  sqlast.Expr
+}
+
+// Rule is a parsed, validated cleansing rule.
+type Rule struct {
+	Name string
+	// On is the table the rule is defined on (always the reads table in
+	// the paper); From is the input relation, which may be a view with
+	// extra columns (Example 5's pallet-read union).
+	On   string
+	From string
+	// ClusterBy and SequenceBy define the sequence model.
+	ClusterBy  string
+	SequenceBy string
+	// Pattern is the ordered reference list.
+	Pattern []Ref
+	// Cond is the WHERE condition; references appear as qualified column
+	// references (A.biz_loc → ColRef{Table:"a"}).
+	Cond sqlast.Expr
+	// Action plus its operands.
+	Action      ActionKind
+	Target      string // target reference name (lower case)
+	Assignments []Assignment
+}
+
+// TargetIndex returns the position of the target reference in the pattern.
+func (r *Rule) TargetIndex() int {
+	for i, ref := range r.Pattern {
+		if ref.Name == r.Target {
+			return i
+		}
+	}
+	return -1
+}
+
+// RefByName finds a pattern reference.
+func (r *Rule) RefByName(name string) (Ref, bool) {
+	name = strings.ToLower(name)
+	for _, ref := range r.Pattern {
+		if ref.Name == name {
+			return ref, true
+		}
+	}
+	return Ref{}, false
+}
+
+// Validate checks the structural constraints of the extended SQL-TS
+// grammar. It is called by the parser; exported for rules constructed
+// programmatically.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("sqlts: rule needs a name")
+	}
+	if r.On == "" {
+		return fmt.Errorf("sqlts: rule %s needs an ON table", r.Name)
+	}
+	if r.ClusterBy == "" || r.SequenceBy == "" {
+		return fmt.Errorf("sqlts: rule %s needs CLUSTER BY and SEQUENCE BY keys", r.Name)
+	}
+	if len(r.Pattern) == 0 {
+		return fmt.Errorf("sqlts: rule %s has an empty pattern", r.Name)
+	}
+	seen := map[string]bool{}
+	for i, ref := range r.Pattern {
+		if ref.Name == "" {
+			return fmt.Errorf("sqlts: rule %s has an unnamed pattern reference", r.Name)
+		}
+		if seen[ref.Name] {
+			return fmt.Errorf("sqlts: rule %s repeats pattern reference %q", r.Name, ref.Name)
+		}
+		seen[ref.Name] = true
+		if ref.Set && i != 0 && i != len(r.Pattern)-1 {
+			return fmt.Errorf("sqlts: rule %s: set reference *%s must be first or last in the pattern", r.Name, ref.Name)
+		}
+	}
+	tref, ok := r.RefByName(r.Target)
+	if !ok {
+		return fmt.Errorf("sqlts: rule %s: action target %q is not a pattern reference", r.Name, r.Target)
+	}
+	if tref.Set {
+		return fmt.Errorf("sqlts: rule %s: action target %q must be a singleton reference", r.Name, r.Target)
+	}
+	if r.Action == ActionModify && len(r.Assignments) == 0 {
+		return fmt.Errorf("sqlts: rule %s: MODIFY needs at least one assignment", r.Name)
+	}
+	if r.Action != ActionModify && len(r.Assignments) > 0 {
+		return fmt.Errorf("sqlts: rule %s: only MODIFY takes assignments", r.Name)
+	}
+	if r.Cond == nil {
+		return fmt.Errorf("sqlts: rule %s needs a WHERE condition", r.Name)
+	}
+	// Every qualifier used in the condition and assignments must be a
+	// pattern reference.
+	var badRef string
+	check := func(e sqlast.Expr) {
+		sqlast.VisitExprs(e, func(x sqlast.Expr) {
+			if cr, ok := x.(*sqlast.ColRef); ok {
+				if cr.Table == "" {
+					badRef = cr.Name + " (unqualified; write ref.column)"
+					return
+				}
+				if !seen[strings.ToLower(cr.Table)] {
+					badRef = cr.Table + "." + cr.Name
+				}
+			}
+		})
+	}
+	check(r.Cond)
+	for _, a := range r.Assignments {
+		check(a.Value)
+	}
+	if badRef != "" {
+		return fmt.Errorf("sqlts: rule %s: condition references unknown pattern reference: %s", r.Name, badRef)
+	}
+	return nil
+}
+
+// String renders the rule in the extended SQL-TS syntax.
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DEFINE %s\nON %s\nFROM %s\nCLUSTER BY %s\nSEQUENCE BY %s\nAS (", r.Name, r.On, r.From, r.ClusterBy, r.SequenceBy)
+	for i, ref := range r.Pattern {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if ref.Set {
+			b.WriteString("*")
+		}
+		b.WriteString(strings.ToUpper(ref.Name))
+	}
+	b.WriteString(")\nWHERE ")
+	b.WriteString(sqlast.ExprSQL(r.Cond))
+	b.WriteString("\nACTION ")
+	b.WriteString(r.Action.String())
+	b.WriteString(" ")
+	if r.Action == ActionModify {
+		for i, a := range r.Assignments {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s.%s = %s", strings.ToUpper(r.Target), a.Column, sqlast.ExprSQL(a.Value))
+		}
+	} else {
+		b.WriteString(strings.ToUpper(r.Target))
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package sqlts
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/types"
+)
+
+// The five paper rules in extended SQL-TS (§4.3), reused across packages.
+const (
+	DupRuleSrc = `DEFINE duplicate ON caseR
+		AS (A, B)
+		WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+		ACTION DELETE B`
+	ReaderRuleSrc = `DEFINE reader ON caseR
+		AS (A, *B)
+		WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 mins
+		ACTION DELETE A`
+	ReplacingRuleSrc = `DEFINE replacing ON caseR
+		AS (A, B)
+		WHERE A.biz_loc = 'loc2' AND B.biz_loc = 'locA' AND B.rtime - A.rtime < 20 mins
+		ACTION MODIFY A.biz_loc = 'loc1'`
+	CycleRuleSrc = `DEFINE cycle ON caseR
+		AS (A, B, C)
+		WHERE A.biz_loc = C.biz_loc AND A.biz_loc <> B.biz_loc
+		ACTION DELETE B`
+	MissingR1Src = `DEFINE missing_r1 ON caseR FROM case_with_pallet
+		AS (X, A, Y)
+		WHERE A.is_pallet = 1 AND ((X.is_pallet = 0 AND A.biz_loc = X.biz_loc AND A.rtime - X.rtime < 5 mins)
+			OR (Y.is_pallet = 0 AND A.biz_loc = Y.biz_loc AND Y.rtime - A.rtime < 5 mins))
+		ACTION MODIFY A.has_case_nearby = 1`
+	MissingR2Src = `DEFINE missing_r2 ON caseR FROM case_with_pallet
+		AS (A, *B)
+		WHERE A.is_pallet = 0 OR (A.has_case_nearby = 0 AND B.has_case_nearby = 1)
+		ACTION KEEP A`
+)
+
+func mustParse(t *testing.T, src string) *Rule {
+	t.Helper()
+	r, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return r
+}
+
+func TestParseDuplicateRule(t *testing.T) {
+	r := mustParse(t, DupRuleSrc)
+	if r.Name != "duplicate" || r.On != "caser" || r.From != "caser" {
+		t.Errorf("header = %q %q %q", r.Name, r.On, r.From)
+	}
+	if r.ClusterBy != "epc" || r.SequenceBy != "rtime" {
+		t.Errorf("defaults: cluster=%q sequence=%q", r.ClusterBy, r.SequenceBy)
+	}
+	if len(r.Pattern) != 2 || r.Pattern[0].Name != "a" || r.Pattern[1].Name != "b" || r.Pattern[0].Set || r.Pattern[1].Set {
+		t.Errorf("pattern = %+v", r.Pattern)
+	}
+	if r.Action != ActionDelete || r.Target != "b" || r.TargetIndex() != 1 {
+		t.Errorf("action = %v %q idx=%d", r.Action, r.Target, r.TargetIndex())
+	}
+	cond := sqlast.ExprSQL(r.Cond)
+	if !strings.Contains(cond, "a.biz_loc = b.biz_loc") {
+		t.Errorf("cond = %s", cond)
+	}
+	if !strings.Contains(cond, "INTERVAL '300000000' MICROSECOND") {
+		t.Errorf("interval literal lost: %s", cond)
+	}
+}
+
+func TestParseSetReference(t *testing.T) {
+	r := mustParse(t, ReaderRuleSrc)
+	if !r.Pattern[1].Set || r.Pattern[0].Set {
+		t.Errorf("pattern = %+v", r.Pattern)
+	}
+	if r.Target != "a" || r.Action != ActionDelete {
+		t.Errorf("action = %v %q", r.Action, r.Target)
+	}
+	ref, ok := r.RefByName("B")
+	if !ok || !ref.Set {
+		t.Errorf("RefByName(B) = %+v %v", ref, ok)
+	}
+}
+
+func TestParseModify(t *testing.T) {
+	r := mustParse(t, ReplacingRuleSrc)
+	if r.Action != ActionModify || r.Target != "a" {
+		t.Fatalf("action = %v %q", r.Action, r.Target)
+	}
+	if len(r.Assignments) != 1 || r.Assignments[0].Column != "biz_loc" {
+		t.Fatalf("assignments = %+v", r.Assignments)
+	}
+	if got := sqlast.ExprSQL(r.Assignments[0].Value); got != "'loc1'" {
+		t.Errorf("value = %s", got)
+	}
+}
+
+func TestParseMultipleAssignments(t *testing.T) {
+	r := mustParse(t, `DEFINE m ON r AS (A, B) WHERE A.x = B.x
+		ACTION MODIFY A.p = 1, A.q = A.x + 2`)
+	if len(r.Assignments) != 2 || r.Assignments[1].Column != "q" {
+		t.Fatalf("assignments = %+v", r.Assignments)
+	}
+	if got := sqlast.ExprSQL(r.Assignments[1].Value); got != "a.x + 2" {
+		t.Errorf("second value = %s", got)
+	}
+}
+
+func TestParseFromAndKeys(t *testing.T) {
+	r := mustParse(t, `DEFINE k ON reads FROM readsplus CLUSTER BY tag SEQUENCE BY ts
+		AS (A, B) WHERE A.v = B.v ACTION KEEP A`)
+	if r.From != "readsplus" || r.ClusterBy != "tag" || r.SequenceBy != "ts" {
+		t.Errorf("rule = %+v", r)
+	}
+	if r.Action != ActionKeep {
+		t.Errorf("action = %v", r.Action)
+	}
+}
+
+func TestParsePaperRules(t *testing.T) {
+	for _, src := range []string{DupRuleSrc, ReaderRuleSrc, ReplacingRuleSrc, CycleRuleSrc, MissingR1Src, MissingR2Src} {
+		mustParse(t, src)
+	}
+}
+
+func TestMissingRuleDetails(t *testing.T) {
+	r1 := mustParse(t, MissingR1Src)
+	if len(r1.Pattern) != 3 || r1.Target != "a" || r1.TargetIndex() != 1 {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	r2 := mustParse(t, MissingR2Src)
+	if r2.From != "case_with_pallet" || r2.Action != ActionKeep {
+		t.Fatalf("r2 = %+v", r2)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	for _, src := range []string{DupRuleSrc, ReaderRuleSrc, ReplacingRuleSrc, CycleRuleSrc, MissingR1Src, MissingR2Src} {
+		r1 := mustParse(t, src)
+		printed := r1.String()
+		r2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nprinted:\n%s", err, printed)
+		}
+		if r2.String() != printed {
+			t.Errorf("round trip mismatch:\n%s\nvs\n%s", printed, r2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"DEFINE x ON r AS () WHERE 1=1 ACTION DELETE a":                     "empty pattern",
+		"DEFINE x ON r AS (A, *B, C) WHERE A.v=1 ACTION DELETE A":           "set ref in middle",
+		"DEFINE x ON r AS (A, A) WHERE A.v=1 ACTION DELETE A":               "duplicate ref",
+		"DEFINE x ON r AS (A, *B) WHERE A.v=1 ACTION DELETE B":              "set target",
+		"DEFINE x ON r AS (A, B) WHERE A.v=1 ACTION DELETE C":               "unknown target",
+		"DEFINE x ON r AS (A, B) WHERE C.v=1 ACTION DELETE A":               "unknown ref in cond",
+		"DEFINE x ON r AS (A, B) WHERE v=1 ACTION DELETE A":                 "unqualified cond column",
+		"DEFINE x ON r AS (A, B) WHERE A.v=1 ACTION EXPLODE A":              "unknown action",
+		"DEFINE x ON r AS (A, B) WHERE A.v=1 ACTION MODIFY A.x=1, B.y=2":    "modify two targets",
+		"DEFINE x ON r AS (A, B) WHERE A.v=1":                               "missing action",
+		"DEFINE x AS (A) WHERE A.v=1 ACTION DELETE A":                       "missing ON",
+		"DEFINE x ON r AS (A, B) WHERE A.v = = 1 ACTION DELETE A":           "bad condition",
+		"DEFINE x ON r AS (A, B) WHERE A.v=1 ACTION DELETE A trailing_junk": "trailing junk",
+	}
+	for src, why := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse should fail (%s):\n%s", why, src)
+		}
+	}
+}
+
+func TestConditionWithNestedParensAndActionWord(t *testing.T) {
+	// Parentheses nest; ACTION inside parens would be a column ref and is
+	// not treated as the clause boundary at depth > 0... we keep ACTION
+	// reserved, but nested boolean structure must survive.
+	r := mustParse(t, `DEFINE x ON r AS (A, B)
+		WHERE (A.v = 1 AND (B.v = 2 OR B.v = 3))
+		ACTION DELETE A`)
+	if got := sqlast.ExprSQL(r.Cond); got != "a.v = 1 AND (b.v = 2 OR b.v = 3)" {
+		t.Errorf("cond = %s", got)
+	}
+}
+
+func TestValidateProgrammaticRule(t *testing.T) {
+	r := &Rule{Name: "x", On: "r", From: "r", ClusterBy: "epc", SequenceBy: "rtime",
+		Pattern: []Ref{{Name: "a"}}, Target: "a", Action: ActionDelete}
+	if err := r.Validate(); err == nil {
+		t.Error("nil condition must fail validation")
+	}
+	r.Cond = sqlast.Cmp(sqlast.OpEq, sqlast.Col("a", "v"), sqlast.Lit(types.NewInt(1)))
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+	r.Action = ActionModify
+	if err := r.Validate(); err == nil {
+		t.Error("MODIFY without assignments must fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Package storage provides the in-memory table store: append-only row
+// tables with optional sorted per-column indexes and lightweight
+// statistics (row count, distinct-value estimate, min/max) consumed by the
+// planner's cardinality model. It stands in for the disk/bufferpool layer
+// of the DBMS the paper ran on; all rewrite strategies in the benchmarks
+// run against the same store, so relative comparisons carry over.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Table is an in-memory relation with optional sorted indexes.
+type Table struct {
+	Name    string
+	Schema  *schema.Schema
+	Rows    []schema.Row
+	indexes map[int]*Index // column ordinal -> index
+	stats   map[int]*ColStats
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, s *schema.Schema) *Table {
+	return &Table{
+		Name:    strings.ToLower(name),
+		Schema:  s,
+		indexes: map[int]*Index{},
+		stats:   map[int]*ColStats{},
+	}
+}
+
+// Append adds rows to the table. Indexes and statistics become stale and
+// must be refreshed with BuildIndex / Analyze; the loader pattern in this
+// repo is bulk-load then index, matching the paper's load-then-query
+// experiments.
+func (t *Table) Append(rows ...schema.Row) error {
+	for _, r := range rows {
+		if len(r) != t.Schema.Len() {
+			return fmt.Errorf("storage: row arity %d does not match schema %d for table %s", len(r), t.Schema.Len(), t.Name)
+		}
+	}
+	t.Rows = append(t.Rows, rows...)
+	return nil
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int { return len(t.Rows) }
+
+// Index is a sorted (value, rowID) list over one column. NULLs are
+// excluded: SQL predicates never select them from an index range scan.
+type Index struct {
+	Column  int
+	entries []indexEntry
+}
+
+type indexEntry struct {
+	v   types.Value
+	row int32
+}
+
+// BuildIndex builds (or rebuilds) a sorted index on the named column.
+func (t *Table) BuildIndex(column string) error {
+	ord := t.Schema.IndexOf(column)
+	if ord < 0 {
+		return fmt.Errorf("storage: no column %q in table %s", column, t.Name)
+	}
+	idx := &Index{Column: ord}
+	idx.entries = make([]indexEntry, 0, len(t.Rows))
+	for i, r := range t.Rows {
+		if r[ord].IsNull() {
+			continue
+		}
+		idx.entries = append(idx.entries, indexEntry{v: r[ord], row: int32(i)})
+	}
+	sort.SliceStable(idx.entries, func(a, b int) bool {
+		c, err := types.Compare(idx.entries[a].v, idx.entries[b].v)
+		if err != nil {
+			// Mixed-kind columns are a schema violation; order arbitrarily.
+			return false
+		}
+		return c < 0
+	})
+	t.indexes[ord] = idx
+	return nil
+}
+
+// IndexOn returns the index on the named column, or nil.
+func (t *Table) IndexOn(column string) *Index {
+	ord := t.Schema.IndexOf(column)
+	if ord < 0 {
+		return nil
+	}
+	return t.indexes[ord]
+}
+
+// HasIndex reports whether an index exists on the column ordinal.
+func (t *Table) HasIndex(ord int) bool { return t.indexes[ord] != nil }
+
+// IndexByOrdinal returns the index on the column ordinal, or nil.
+func (t *Table) IndexByOrdinal(ord int) *Index { return t.indexes[ord] }
+
+// Bounds describe a one-sided or two-sided range on an indexed column.
+// Nil pointers mean unbounded on that side.
+type Bounds struct {
+	Lo     *types.Value
+	LoIncl bool
+	Hi     *types.Value
+	HiIncl bool
+	Equals *types.Value // exact-match lookup; overrides Lo/Hi
+}
+
+// Scan returns the row IDs whose column value falls inside b, in index
+// (value) order.
+func (ix *Index) Scan(b Bounds) []int32 {
+	if b.Equals != nil {
+		v := *b.Equals
+		b = Bounds{Lo: &v, LoIncl: true, Hi: &v, HiIncl: true}
+	}
+	lo := 0
+	if b.Lo != nil {
+		lo = sort.Search(len(ix.entries), func(i int) bool {
+			c, err := types.Compare(ix.entries[i].v, *b.Lo)
+			if err != nil {
+				return true
+			}
+			if b.LoIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	hi := len(ix.entries)
+	if b.Hi != nil {
+		hi = sort.Search(len(ix.entries), func(i int) bool {
+			c, err := types.Compare(ix.entries[i].v, *b.Hi)
+			if err != nil {
+				return true
+			}
+			if b.HiIncl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, ix.entries[i].row)
+	}
+	return out
+}
+
+// Len returns the number of non-null entries in the index.
+func (ix *Index) Len() int { return len(ix.entries) }

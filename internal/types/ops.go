@@ -1,0 +1,239 @@
+package types
+
+import "fmt"
+
+// Compare orders two non-null values of comparable kinds. It returns
+// -1, 0, or +1, and an error when the kinds are not mutually comparable.
+// INT and FLOAT compare numerically against each other; TIME compares with
+// TIME; INTERVAL with INTERVAL; STRING with STRING (byte order, which is
+// what the workload's fixed-width GLNs and EPC identifiers need); BOOL with
+// BOOL (false < true). Callers must handle NULL before calling.
+func Compare(a, b Value) (int, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, fmt.Errorf("types: Compare on NULL")
+	}
+	switch {
+	case a.kind == KindInt && b.kind == KindInt:
+		return cmpInt(a.i, b.i), nil
+	case (a.kind == KindInt || a.kind == KindFloat) && (b.kind == KindInt || b.kind == KindFloat):
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	case a.kind == b.kind:
+		switch a.kind {
+		case KindString:
+			switch {
+			case a.s < b.s:
+				return -1, nil
+			case a.s > b.s:
+				return 1, nil
+			}
+			return 0, nil
+		case KindTime, KindInterval, KindBool:
+			return cmpInt(a.i, b.i), nil
+		}
+	}
+	return 0, fmt.Errorf("types: cannot compare %s with %s", a.kind, b.kind)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ArithOp identifies a binary arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith applies op to a and b with SQL NULL propagation: if either operand
+// is NULL the result is NULL. Supported kind combinations:
+//
+//	INT∘INT → INT (DIV is integer division; /0 is an error)
+//	numeric∘numeric with a FLOAT operand → FLOAT
+//	TIME − TIME → INTERVAL
+//	TIME ± INTERVAL → TIME
+//	INTERVAL ± INTERVAL → INTERVAL
+//	INTERVAL * INT, INT * INTERVAL → INTERVAL
+//	INTERVAL / INT → INTERVAL
+func Arith(op ArithOp, a, b Value) (Value, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return Null, nil
+	}
+	switch {
+	case a.kind == KindInt && b.kind == KindInt:
+		switch op {
+		case OpAdd:
+			return NewInt(a.i + b.i), nil
+		case OpSub:
+			return NewInt(a.i - b.i), nil
+		case OpMul:
+			return NewInt(a.i * b.i), nil
+		case OpDiv:
+			if b.i == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewInt(a.i / b.i), nil
+		}
+	case (a.kind == KindInt || a.kind == KindFloat) && (b.kind == KindInt || b.kind == KindFloat):
+		af, bf := a.Float(), b.Float()
+		switch op {
+		case OpAdd:
+			return NewFloat(af + bf), nil
+		case OpSub:
+			return NewFloat(af - bf), nil
+		case OpMul:
+			return NewFloat(af * bf), nil
+		case OpDiv:
+			if bf == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewFloat(af / bf), nil
+		}
+	case a.kind == KindTime && b.kind == KindTime && op == OpSub:
+		return NewInterval(a.i - b.i), nil
+	case a.kind == KindTime && b.kind == KindInterval:
+		switch op {
+		case OpAdd:
+			return NewTime(a.i + b.i), nil
+		case OpSub:
+			return NewTime(a.i - b.i), nil
+		}
+	case a.kind == KindInterval && b.kind == KindTime && op == OpAdd:
+		return NewTime(a.i + b.i), nil
+	case a.kind == KindInterval && b.kind == KindInterval:
+		switch op {
+		case OpAdd:
+			return NewInterval(a.i + b.i), nil
+		case OpSub:
+			return NewInterval(a.i - b.i), nil
+		}
+	case a.kind == KindInterval && b.kind == KindInt:
+		switch op {
+		case OpMul:
+			return NewInterval(a.i * b.i), nil
+		case OpDiv:
+			if b.i == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewInterval(a.i / b.i), nil
+		}
+	case a.kind == KindInt && b.kind == KindInterval && op == OpMul:
+		return NewInterval(a.i * b.i), nil
+	}
+	return Null, fmt.Errorf("types: unsupported arithmetic %s %s %s", a.kind, op, b.kind)
+}
+
+// Tristate is a SQL three-valued truth value.
+type Tristate uint8
+
+// Three-valued logic constants.
+const (
+	False Tristate = iota
+	True
+	Unknown
+)
+
+func (t Tristate) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	}
+	return "unknown"
+}
+
+// TristateOf lifts a Go bool into a Tristate.
+func TristateOf(b bool) Tristate {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is 3VL conjunction.
+func And(a, b Tristate) Tristate {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True && b == True:
+		return True
+	}
+	return Unknown
+}
+
+// Or is 3VL disjunction.
+func Or(a, b Tristate) Tristate {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False && b == False:
+		return False
+	}
+	return Unknown
+}
+
+// Not is 3VL negation.
+func Not(a Tristate) Tristate {
+	switch a {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// TruthOf converts a BOOL or NULL value to a Tristate; any other kind is an
+// error.
+func TruthOf(v Value) (Tristate, error) {
+	switch v.kind {
+	case KindNull:
+		return Unknown, nil
+	case KindBool:
+		return TristateOf(v.i != 0), nil
+	}
+	return Unknown, fmt.Errorf("types: %s is not a truth value", v.kind)
+}
+
+// ValueOfTristate converts a Tristate back to a SQL value (Unknown → NULL).
+func ValueOfTristate(t Tristate) Value {
+	switch t {
+	case True:
+		return NewBool(true)
+	case False:
+		return NewBool(false)
+	}
+	return Null
+}

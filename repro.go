@@ -1,0 +1,563 @@
+// Package repro is a from-scratch reproduction of "A Deferred Cleansing
+// Method for RFID Data Analytics" (Rao, Doraiswamy, Thakkar, Colby —
+// VLDB 2006): query-time cleansing of RFID read anomalies.
+//
+// Applications declare anomalies with sequence-based rules in an extended
+// SQL-TS (DEFINE … AS (A, *B) WHERE … ACTION DELETE|KEEP|MODIFY …). Rules
+// compile to SQL/OLAP window-function templates kept in a rules catalog.
+// When a query arrives, the rewrite engine combines it with the relevant
+// rules and produces either an expanded rewrite (predicate relaxation via
+// transitivity analysis over the rules' correlation conditions) or a
+// join-back rewrite (cleansing restricted to the query's EPC sequences),
+// choosing by cost estimate — so only the data the query needs, plus the
+// context required to cleanse it, is ever cleaned.
+//
+// The package bundles the whole system the paper runs on: an embedded
+// in-memory relational engine with SQL/OLAP window functions (standing in
+// for the DBMS), the rule language and compiler, the rewrite engine, and
+// the RFIDGen workload generator used by the paper's evaluation.
+//
+//	db := repro.Open()
+//	db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: 10, AnomalyPct: 10})
+//	db.DefineRule(`DEFINE dup ON caseR AS (A, B)
+//	    WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+//	    ACTION DELETE B`)
+//	rows, _ := db.Query(`SELECT count(*) FROM caseR WHERE rtime <= ...`)
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/persist"
+	"repro/internal/plan"
+	"repro/internal/rfidgen"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Strategy selects how a query is rewritten for cleansing.
+type Strategy = core.Strategy
+
+// Rewrite strategies. Auto (the default) costs every candidate and runs
+// the cheapest, like the paper's prototype.
+const (
+	Auto     = core.StrategyAuto
+	Naive    = core.StrategyNaive
+	Expanded = core.StrategyExpanded
+	JoinBack = core.StrategyJoinBack
+	Dirty    = core.StrategyDirty
+)
+
+// Kind re-exports the engine's value kinds.
+type Kind = types.Kind
+
+// Value kinds for ColumnDef.
+const (
+	KindBool     = types.KindBool
+	KindInt      = types.KindInt
+	KindFloat    = types.KindFloat
+	KindString   = types.KindString
+	KindTime     = types.KindTime
+	KindInterval = types.KindInterval
+)
+
+// Value is a scalar query result value.
+type Value = types.Value
+
+// Value constructors for Insert and parameter building.
+
+// NewBool builds a BOOL value.
+func NewBool(b bool) Value { return types.NewBool(b) }
+
+// NewInt builds an INT value.
+func NewInt(i int64) Value { return types.NewInt(i) }
+
+// NewFloat builds a FLOAT value.
+func NewFloat(f float64) Value { return types.NewFloat(f) }
+
+// NewString builds a STRING value.
+func NewString(s string) Value { return types.NewString(s) }
+
+// NewTime builds a TIME value (microsecond resolution).
+func NewTime(t time.Time) Value { return types.NewTimeFrom(t) }
+
+// NewInterval builds an INTERVAL value.
+func NewInterval(d time.Duration) Value { return types.NewIntervalFrom(d) }
+
+// Null is the SQL NULL value.
+var Null = types.Null
+
+// DB is a deferred-cleansing database: storage, planner, rules catalog,
+// and rewrite engine.
+type DB struct {
+	Catalog  *catalog.Database
+	Registry *core.Registry
+	Rewriter *core.Rewriter
+	Planner  *plan.Planner
+
+	// Workload carries the last RFIDGen dataset loaded, if any, exposing
+	// the generator's ground truth and rule constants.
+	Workload *rfidgen.Dataset
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	cat := catalog.NewDatabase()
+	reg := core.NewRegistry(cat)
+	return &DB{
+		Catalog:  cat,
+		Registry: reg,
+		Rewriter: core.NewRewriter(cat, reg),
+		Planner:  plan.New(cat),
+	}
+}
+
+// OpenDir restores a database previously written with Save: tables,
+// views, and the rules catalog (indexes rebuilt, statistics refreshed).
+func OpenDir(dir string) (*DB, error) {
+	cat, reg, err := persist.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		Catalog:  cat,
+		Registry: reg,
+		Rewriter: core.NewRewriter(cat, reg),
+		Planner:  plan.New(cat),
+	}, nil
+}
+
+// Save persists the database — tables, views, rules — to a directory that
+// OpenDir can restore.
+func (db *DB) Save(dir string) error {
+	return persist.Save(db.Catalog, db.Registry, dir)
+}
+
+// ColumnDef declares one column of a table.
+type ColumnDef struct {
+	Name string
+	Kind Kind
+}
+
+// CreateTable adds an empty base table.
+func (db *DB) CreateTable(name string, cols ...ColumnDef) error {
+	s := &schema.Schema{}
+	for _, c := range cols {
+		s.Columns = append(s.Columns, schema.Col(name, c.Name, c.Kind))
+	}
+	return db.Catalog.AddTable(storage.NewTable(name, s))
+}
+
+// Insert appends rows of values to a table. Row arity must match the
+// table schema.
+func (db *DB) Insert(table string, rows ...[]Value) error {
+	t, ok := db.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("repro: no table %q", table)
+	}
+	for _, r := range rows {
+		if err := t.Append(schema.Row(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndex creates (or rebuilds) a sorted index on a column.
+func (db *DB) BuildIndex(table, column string) error {
+	t, ok := db.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("repro: no table %q", table)
+	}
+	return t.BuildIndex(column)
+}
+
+// Analyze refreshes optimizer statistics for a table.
+func (db *DB) Analyze(table string) error {
+	t, ok := db.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("repro: no table %q", table)
+	}
+	t.Analyze()
+	return nil
+}
+
+// CreateView registers a named view.
+func (db *DB) CreateView(name, query string) error {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return err
+	}
+	return db.Catalog.AddView(name, stmt)
+}
+
+// WorkloadConfig mirrors the RFIDGen parameters (§6.1 of the paper).
+type WorkloadConfig struct {
+	// Scale is the paper's scale factor s (number of pallet EPCs); caseR
+	// gets about s*1500 rows.
+	Scale int
+	// AnomalyPct is the dirty percentage (the paper uses 10–40).
+	AnomalyPct int
+	// Seed fixes the data; 0 is a valid fixed seed.
+	Seed int64
+	// Start anchors the 5-year read window (defaults to 2021-01-01).
+	Start time.Time
+}
+
+// LoadRFIDWorkload generates and loads the paper's 7-table supply-chain
+// schema with injected anomalies, and registers the missing rule's
+// case∪pallet input view.
+func (db *DB) LoadRFIDWorkload(cfg WorkloadConfig) error {
+	d := rfidgen.Generate(rfidgen.Config{
+		Scale: cfg.Scale, AnomalyPct: cfg.AnomalyPct, Seed: cfg.Seed, Start: cfg.Start,
+	})
+	if err := d.Load(db.Catalog); err != nil {
+		return err
+	}
+	db.Workload = d
+	return nil
+}
+
+// DefinePaperRules registers the five cleansing rules of §4.3 against the
+// loaded workload, in Table 1 order. It requires LoadRFIDWorkload first.
+// It returns the registered rule names.
+func (db *DB) DefinePaperRules() ([]string, error) {
+	if db.Workload == nil {
+		return nil, fmt.Errorf("repro: DefinePaperRules requires LoadRFIDWorkload")
+	}
+	var names []string
+	for _, src := range db.Workload.PaperRules() {
+		r, err := db.Registry.Define(src)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, r.Rule.Name)
+	}
+	return names, nil
+}
+
+// RuleInfo describes a registered rule.
+type RuleInfo struct {
+	Name string
+	// SQLTS is the rule re-rendered in extended SQL-TS.
+	SQLTS string
+	// Template is the persisted SQL/OLAP template over $input.
+	Template string
+}
+
+// DefineRule parses, compiles, and registers a cleansing rule written in
+// extended SQL-TS.
+func (db *DB) DefineRule(src string) (RuleInfo, error) {
+	r, err := db.Registry.Define(src)
+	if err != nil {
+		return RuleInfo{}, err
+	}
+	return RuleInfo{Name: r.Rule.Name, SQLTS: r.Rule.String(), Template: r.TemplateSQL}, nil
+}
+
+// QueryOption customizes Query/Rewrite/Explain.
+type QueryOption func(*queryOpts)
+
+type queryOpts struct {
+	strategy Strategy
+	rules    []string
+}
+
+// WithStrategy forces a rewrite strategy (default Auto).
+func WithStrategy(s Strategy) QueryOption {
+	return func(o *queryOpts) { o.strategy = s }
+}
+
+// WithRules restricts cleansing to the named rules (default: every
+// registered rule on the tables the query touches, in creation order).
+func WithRules(names ...string) QueryOption {
+	return func(o *queryOpts) { o.rules = names }
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	// Columns are output column names.
+	Columns []string
+	// Data holds the rows.
+	Data [][]Value
+	// Rewrite describes how the query was executed.
+	Rewrite RewriteInfo
+}
+
+// RewriteInfo reports the chosen rewrite.
+type RewriteInfo struct {
+	Strategy Strategy
+	SQL      string
+	EstCost  float64
+	// Candidates lists every evaluated (strategy, pushes, cost) triple.
+	Candidates []core.CandidateInfo
+}
+
+// Query rewrites the SQL under the active cleansing rules and executes it.
+func (db *DB) Query(sql string, opts ...QueryOption) (*Rows, error) {
+	res, err := db.rewrite(sql, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := exec.Run(exec.NewCtx(), res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Rewrite: info(res)}
+	for _, c := range out.Schema.Columns {
+		rows.Columns = append(rows.Columns, c.Name)
+	}
+	for _, r := range out.Rows {
+		rows.Data = append(rows.Data, append([]Value{}, r...))
+	}
+	return rows, nil
+}
+
+// Rewrite returns the rewritten SQL without executing it.
+func (db *DB) Rewrite(sql string, opts ...QueryOption) (RewriteInfo, error) {
+	res, err := db.rewrite(sql, opts...)
+	if err != nil {
+		return RewriteInfo{}, err
+	}
+	return info(res), nil
+}
+
+// Explain returns the physical plan of the rewritten query, with
+// cardinality and cost estimates.
+func (db *DB) Explain(sql string, opts ...QueryOption) (string, error) {
+	res, err := db.rewrite(sql, opts...)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- strategy: %s (est cost %.0f)\n-- %s\n", res.Strategy, res.EstCost, res.SQL)
+	b.WriteString(exec.Explain(res.Plan))
+	return b.String(), nil
+}
+
+// Prepared is a query that has been rewritten and planned once and can be
+// executed repeatedly. Plans hold no per-execution state, so a Prepared is
+// safe for concurrent Run calls; it does not observe rules defined or data
+// loaded after Prepare.
+type Prepared struct {
+	db   *DB
+	plan exec.Node
+	info RewriteInfo
+}
+
+// Prepare rewrites and plans a query once.
+func (db *DB) Prepare(sql string, opts ...QueryOption) (*Prepared, error) {
+	res, err := db.rewrite(sql, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, plan: res.Plan, info: info(res)}, nil
+}
+
+// Rewrite reports how the prepared query will execute.
+func (p *Prepared) Rewrite() RewriteInfo { return p.info }
+
+// Run executes the prepared plan.
+func (p *Prepared) Run() (*Rows, error) {
+	out, err := exec.Run(exec.NewCtx(), p.plan)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Rewrite: p.info}
+	for _, c := range out.Schema.Columns {
+		rows.Columns = append(rows.Columns, c.Name)
+	}
+	for _, r := range out.Rows {
+		rows.Data = append(rows.Data, append([]Value{}, r...))
+	}
+	return rows, nil
+}
+
+// ExplainAnalyze rewrites and executes the query, returning the plan
+// annotated with both the planner's estimates and the actual row counts
+// and operator times.
+func (db *DB) ExplainAnalyze(sql string, opts ...QueryOption) (string, error) {
+	res, err := db.rewrite(sql, opts...)
+	if err != nil {
+		return "", err
+	}
+	ctx := exec.NewAnalyzeCtx()
+	if _, err := exec.Run(ctx, res.Plan); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- strategy: %s (est cost %.0f)\n", res.Strategy, res.EstCost)
+	b.WriteString(exec.ExplainAnalyze(res.Plan, ctx))
+	return b.String(), nil
+}
+
+// MaterializeCleansed eagerly applies the named rules (all rules on the
+// table when names is empty) and stores the cleansed result as a new base
+// table — the paper's hybrid model, where anomalies common to every
+// consumer are cleansed once up front while application-specific ones stay
+// deferred. The new table copies the source's indexes and refreshes
+// statistics. Rules that create columns via MODIFY are rejected (the
+// destination keeps the source schema).
+func (db *DB) MaterializeCleansed(source, dest string, ruleNames ...string) (int, error) {
+	src, ok := db.Catalog.Table(source)
+	if !ok {
+		return 0, fmt.Errorf("repro: no table %q", source)
+	}
+	cols := make([]string, src.Schema.Len())
+	for i, c := range src.Schema.Columns {
+		cols[i] = c.Name
+	}
+	res, err := db.rewrite(
+		"SELECT "+strings.Join(cols, ", ")+" FROM "+source,
+		WithStrategy(Naive), WithRules(ruleNames...),
+	)
+	if err != nil {
+		return 0, err
+	}
+	out, err := exec.Run(exec.NewCtx(), res.Plan)
+	if err != nil {
+		return 0, err
+	}
+	dst := storage.NewTable(dest, src.Schema.WithQualifier(dest))
+	for _, r := range out.Rows {
+		if err := dst.Append(r); err != nil {
+			return 0, err
+		}
+	}
+	if err := db.Catalog.AddTable(dst); err != nil {
+		return 0, err
+	}
+	for ord := range src.Schema.Columns {
+		if src.HasIndex(ord) {
+			if err := dst.BuildIndex(dst.Schema.Columns[ord].Name); err != nil {
+				return 0, err
+			}
+		}
+	}
+	dst.Analyze()
+	return dst.RowCount(), nil
+}
+
+// RuleEffect summarizes what one rule would do to its table right now —
+// a dry run for rule authors; nothing is modified.
+type RuleEffect struct {
+	// Input and Output are the row counts before and after the rule.
+	Input, Output int
+	// Deleted is Input − Output (DELETE/KEEP rules).
+	Deleted int
+	// Modified counts rows whose content changed (MODIFY rules; compares
+	// the columns common to input and output).
+	Modified int
+	// SampleDeleted holds up to limit removed rows, rendered.
+	SampleDeleted []string
+	// SampleModified holds up to limit "before → after" pairs.
+	SampleModified []string
+}
+
+// DryRunRule applies a single registered rule to its full input and
+// reports the effect without touching stored data. The sample slices are
+// capped at limit entries each.
+func (db *DB) DryRunRule(ruleName string, limit int) (*RuleEffect, error) {
+	reg, ok := db.Registry.Rule(ruleName)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown rule %q", ruleName)
+	}
+	inCols, err := db.Registry.InputColumns(reg.Rule)
+	if err != nil {
+		return nil, err
+	}
+	colList := strings.Join(inCols, ", ")
+	rawRows, err := db.Query("SELECT "+colList+" FROM "+reg.Rule.From, WithStrategy(Dirty))
+	if err != nil {
+		return nil, err
+	}
+	cleanRows, err := db.Query("SELECT "+colList+" FROM "+reg.Rule.On, WithStrategy(Naive), WithRules(ruleName))
+	if err != nil {
+		return nil, err
+	}
+	eff := &RuleEffect{Input: len(rawRows.Data), Output: len(cleanRows.Data)}
+	render := func(r []Value) string {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		return strings.Join(parts, " | ")
+	}
+	// Multiset difference keyed on the rendered row. Keyed by the rule's
+	// cluster+sequence key for the modified pairing.
+	ckIdx, skIdx := -1, -1
+	for i, c := range inCols {
+		if strings.EqualFold(c, reg.Rule.ClusterBy) {
+			ckIdx = i
+		}
+		if strings.EqualFold(c, reg.Rule.SequenceBy) {
+			skIdx = i
+		}
+	}
+	outByKey := map[string][]string{}
+	outAll := map[string]int{}
+	for _, r := range cleanRows.Data {
+		line := render(r)
+		outAll[line]++
+		if ckIdx >= 0 && skIdx >= 0 {
+			k := r[ckIdx].String() + "|" + r[skIdx].String()
+			outByKey[k] = append(outByKey[k], line)
+		}
+	}
+	for _, r := range rawRows.Data {
+		line := render(r)
+		if outAll[line] > 0 {
+			outAll[line]--
+			continue
+		}
+		// The row is gone or changed. If a row with the same (ckey, skey)
+		// survived, call it modified; otherwise deleted.
+		if ckIdx >= 0 && skIdx >= 0 {
+			k := r[ckIdx].String() + "|" + r[skIdx].String()
+			if alts := outByKey[k]; len(alts) > 0 {
+				eff.Modified++
+				if len(eff.SampleModified) < limit {
+					eff.SampleModified = append(eff.SampleModified, line+"  →  "+alts[0])
+				}
+				continue
+			}
+		}
+		eff.Deleted++
+		if len(eff.SampleDeleted) < limit {
+			eff.SampleDeleted = append(eff.SampleDeleted, line)
+		}
+	}
+	return eff, nil
+}
+
+// ExpandedConditions reports the per-rule expanded conditions the
+// transitivity analysis derives for a query (Table 1 of the paper);
+// infeasible rules map to "{}".
+func (db *DB) ExpandedConditions(sql string, opts ...QueryOption) (map[string]string, error) {
+	o := applyOpts(opts)
+	return db.Rewriter.ExpandedConditions(sql, o.rules)
+}
+
+func applyOpts(opts []QueryOption) *queryOpts {
+	o := &queryOpts{strategy: Auto}
+	for _, f := range opts {
+		f(o)
+	}
+	return o
+}
+
+func (db *DB) rewrite(sql string, opts ...QueryOption) (*core.Result, error) {
+	o := applyOpts(opts)
+	return db.Rewriter.RewriteSQL(sql, o.rules, o.strategy)
+}
+
+func info(res *core.Result) RewriteInfo {
+	return RewriteInfo{Strategy: res.Strategy, SQL: res.SQL, EstCost: res.EstCost, Candidates: res.Candidates}
+}
