@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench bench-serving clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the CI gate: static checks, a clean build, and the full test
+# suite under the race detector (the serving layer is exercised by
+# concurrent tests, so -race is not optional).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# Paper figures (see bench_test.go); REPRO_BENCH_SCALE enlarges the DB.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Just the serving-layer benchmarks: cache amortization + parallel clients.
+bench-serving:
+	$(GO) test -run XXX -bench 'BenchmarkPlanCache|BenchmarkConcurrentClients' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -171,6 +171,59 @@ func BenchmarkRewriteOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanCache contrasts a cold rewrite+plan (cache reset every
+// iteration) against a warm hit — the amortization the serving layer's
+// rewrite/plan cache buys for repeated query templates.
+func BenchmarkPlanCache(b *testing.B) {
+	e := loadEnv(b, 10)
+	q := e.Q2(0.10)
+	opts := []repro.QueryOption{repro.WithRules(e.RulePrefix(3)...)}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.DB.ResetPlanCache()
+			if _, err := e.DB.Rewrite(q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := e.DB.Rewrite(q, opts...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ri, err := e.DB.Rewrite(q, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ri.CacheHit {
+				b.Fatal("expected a warm cache hit")
+			}
+		}
+	})
+	e.DB.ResetPlanCache()
+}
+
+// BenchmarkConcurrentClients drives the serving path from every core at
+// once: Query calls share the read side of the serving lock and the plan
+// cache, so throughput should scale with clients rather than serialize.
+func BenchmarkConcurrentClients(b *testing.B) {
+	e := loadEnv(b, 10)
+	q := e.Q2(0.10)
+	opts := []repro.QueryOption{repro.WithRules(e.RulePrefix(1)...)}
+	if _, err := e.DB.Query(q, opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.DB.Query(q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationWindowParallelism isolates the engine's parallel
 // window-partition evaluation — the in-process analogue of the DBMS
 // parallelism the paper's evaluation platform provides. Series: the naive

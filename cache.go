@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// planCacheCapacity bounds the number of cached rewrites. Eviction is
+// FIFO: serving workloads repeat a small set of query templates, and a
+// stale entry (older catalog epoch) can never be hit again, so ordering
+// by insertion ages stale entries out naturally.
+const planCacheCapacity = 256
+
+// cacheKey identifies one rewrite+plan: the exact SQL text, the forced
+// strategy, the explicit rule restriction, and the catalog epoch at
+// rewrite time. Any rule definition, data load, index build, or ANALYZE
+// bumps the epoch, so entries planned against the old catalog miss.
+type cacheKey struct {
+	sql      string
+	strategy Strategy
+	rules    string
+	epoch    uint64
+}
+
+func newCacheKey(sql string, o *queryOpts, epoch uint64) cacheKey {
+	return cacheKey{
+		sql:      sql,
+		strategy: o.strategy,
+		rules:    strings.Join(o.rules, "\x1f"),
+		epoch:    epoch,
+	}
+}
+
+// planCache memoizes finished rewrites (chosen statement, cost, physical
+// plan). Plans hold no per-execution state, so one cached plan may be
+// executed by many queries concurrently. The cache has its own mutex:
+// lookups happen under DB.mu's read side, where many queries race.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*core.Result
+	order   []cacheKey // insertion order, for FIFO eviction
+	hits    uint64
+	misses  uint64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: map[cacheKey]*core.Result{}}
+}
+
+// get returns the cached rewrite and counts the lookup as a hit or miss.
+func (c *planCache) get(k cacheKey) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return res, ok
+}
+
+// put stores a rewrite, evicting the oldest entry at capacity.
+func (c *planCache) put(k cacheKey, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[k]; dup {
+		return
+	}
+	if len(c.order) >= planCacheCapacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[k] = res
+	c.order = append(c.order, k)
+}
+
+func (c *planCache) counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+func (c *planCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[cacheKey]*core.Result{}
+	c.order = nil
+	c.hits, c.misses = 0, 0
+}
+
+// PlanCacheStats reports the cumulative behaviour of a DB's rewrite+plan
+// cache.
+type PlanCacheStats struct {
+	// Hits and Misses count lookups since Open (or the last reset).
+	Hits, Misses uint64
+	// Entries is the number of plans currently cached.
+	Entries int
+}
+
+// PlanCacheStats returns the DB's current cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.cache.stats() }
+
+// ResetPlanCache drops every cached plan and zeroes the counters.
+func (db *DB) ResetPlanCache() { db.cache.reset() }

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -38,7 +40,11 @@ var (
 
 func main() {
 	flag.Parse()
-	if err := realMain(); err != nil {
+	// Ctrl-C cancels the in-flight query cooperatively instead of killing
+	// the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := realMain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "rfidclean: %v\n", err)
 		os.Exit(1)
 	}
@@ -60,7 +66,7 @@ func strat() (repro.Strategy, error) {
 	return 0, fmt.Errorf("unknown strategy %q", *strategy)
 }
 
-func realMain() error {
+func realMain(ctx context.Context) error {
 	st, err := strat()
 	if err != nil {
 		return err
@@ -128,7 +134,7 @@ func realMain() error {
 		fmt.Println(plan)
 	}
 	if *analyze {
-		out, err := db.ExplainAnalyze(query, opts...)
+		out, err := db.ExplainAnalyzeContext(ctx, query, opts...)
 		if err != nil {
 			return err
 		}
@@ -138,7 +144,7 @@ func realMain() error {
 	if !*runIt {
 		return nil
 	}
-	rows, err := db.Query(query, opts...)
+	rows, err := db.QueryContext(ctx, query, opts...)
 	if err != nil {
 		return err
 	}

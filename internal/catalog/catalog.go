@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sqlast"
 	"repro/internal/storage"
@@ -18,6 +19,13 @@ import (
 type Database struct {
 	tables map[string]*storage.Table
 	views  map[string]sqlast.Stmt
+
+	// epoch counts catalog generations: it advances whenever tables,
+	// views, rules, data, indexes, or statistics change, so cached
+	// rewrites and plans keyed by (query, epoch) invalidate themselves.
+	// Table/rule mutations that happen outside the repro.DB methods must
+	// call BumpEpoch themselves to stay visible to those caches.
+	epoch atomic.Uint64
 }
 
 // NewDatabase returns an empty database.
@@ -35,8 +43,16 @@ func (d *Database) AddTable(t *storage.Table) error {
 		return fmt.Errorf("catalog: %q already names a view", name)
 	}
 	d.tables[name] = t
+	d.BumpEpoch()
 	return nil
 }
+
+// Epoch returns the current catalog generation.
+func (d *Database) Epoch() uint64 { return d.epoch.Load() }
+
+// BumpEpoch advances the catalog generation, invalidating any cache keyed
+// by the previous one.
+func (d *Database) BumpEpoch() { d.epoch.Add(1) }
 
 // Table looks up a base table.
 func (d *Database) Table(name string) (*storage.Table, bool) {
@@ -54,6 +70,7 @@ func (d *Database) AddView(name string, q sqlast.Stmt) error {
 		return fmt.Errorf("catalog: view %q already exists", name)
 	}
 	d.views[name] = q
+	d.BumpEpoch()
 	return nil
 }
 

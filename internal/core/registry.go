@@ -82,6 +82,9 @@ func (r *Registry) DefineRule(rule *sqlts.Rule) (*RegisteredRule, error) {
 	r.nextSeq++
 	r.rules = append(r.rules, reg)
 	r.byName[rule.Name] = reg
+	// Registering a rule changes what any query over its table rewrites
+	// to, so cached rewrites must not survive it.
+	r.db.BumpEpoch()
 	return reg, nil
 }
 

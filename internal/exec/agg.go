@@ -159,7 +159,10 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	groups := map[string]*groupState{}
 	var sequence []*groupState
-	for _, r := range in.Rows {
+	for ri, r := range in.Rows {
+		if err := ctx.Tick(ri); err != nil {
+			return nil, err
+		}
 		keyVals := make(schema.Row, len(n.Keys))
 		kb := make([]byte, 0, 16*len(n.Keys))
 		for i, f := range n.Keys {

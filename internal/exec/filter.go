@@ -39,7 +39,10 @@ func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
 		return nil, err
 	}
 	out := make([]schema.Row, 0, len(in.Rows)/4+1)
-	for _, r := range in.Rows {
+	for i, r := range in.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		ok, err := eval.EvalPredicate(n.Pred, r)
 		if err != nil {
 			return nil, err
@@ -80,6 +83,9 @@ func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	out := make([]schema.Row, len(in.Rows))
 	for i, r := range in.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		row := make(schema.Row, len(n.Exprs))
 		for j, f := range n.Exprs {
 			v, err := f(r)
@@ -123,6 +129,9 @@ func (n *SortNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	keys := make([][]types.Value, len(in.Rows))
 	for i, r := range in.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		ks := make([]types.Value, len(n.Keys))
 		for j, f := range n.Keys {
 			v, err := f(r)
@@ -259,7 +268,10 @@ func (n *DistinctNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	seen := make(map[string]struct{}, len(in.Rows))
 	out := make([]schema.Row, 0, len(in.Rows))
-	for _, r := range in.Rows {
+	for i, r := range in.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		k := rowKey(r)
 		if _, dup := seen[k]; dup {
 			continue
@@ -332,12 +344,18 @@ func (n *SetOpNode) Execute(ctx *Ctx) (*Result, error) {
 		return nil, err
 	}
 	right := make(map[string]struct{}, len(r.Rows))
-	for _, row := range r.Rows {
+	for i, row := range r.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		right[rowKey(row)] = struct{}{}
 	}
 	seen := map[string]struct{}{}
 	var out []schema.Row
-	for _, row := range l.Rows {
+	for i, row := range l.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		k := rowKey(row)
 		if _, dup := seen[k]; dup {
 			continue
@@ -397,7 +415,10 @@ func (n *UnionNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0:0]
-	for _, row := range rows {
+	for i, row := range rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		k := rowKey(row)
 		if _, dup := seen[k]; dup {
 			continue

@@ -65,7 +65,10 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	// Build phase over the right input.
 	build := make(map[string][]schema.Row, len(r.Rows))
-	for _, row := range r.Rows {
+	for i, row := range r.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		key, null, err := joinKey(n.RightKeys, row)
 		if err != nil {
 			return nil, err
@@ -77,7 +80,10 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	rightWidth := r.Schema.Len()
 	out := make([]schema.Row, 0, len(l.Rows))
-	for _, lrow := range l.Rows {
+	for i, lrow := range l.Rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		key, null, err := joinKey(n.LeftKeys, lrow)
 		if err != nil {
 			return nil, err
@@ -169,8 +175,13 @@ func (n *NestedLoopJoinNode) Execute(ctx *Ctx) (*Result, error) {
 		return nil, err
 	}
 	var out []schema.Row
+	pairs := 0
 	for _, lrow := range l.Rows {
 		for _, rrow := range r.Rows {
+			if err := ctx.Tick(pairs); err != nil {
+				return nil, err
+			}
+			pairs++
 			joined := concatRows(lrow, rrow)
 			if n.Pred != nil {
 				ok, err := eval.EvalPredicate(n.Pred, joined)

@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,10 +25,12 @@ type Result struct {
 	Rows   []schema.Row
 }
 
-// Ctx carries per-execution state: the result cache that lets shared
-// subtrees (CTEs referenced twice, IN-subqueries) run once per statement,
-// and optional per-operator runtime statistics.
+// Ctx carries per-execution state: the governing context.Context (for
+// cancellation and deadlines), the result cache that lets shared subtrees
+// (CTEs referenced twice, IN-subqueries) run once per statement, and
+// optional per-operator runtime statistics.
 type Ctx struct {
+	ctx   context.Context
 	cache map[Node]*Result
 	// stats, when non-nil, collects actual rows and elapsed time per
 	// operator (EXPLAIN ANALYZE).
@@ -44,16 +47,45 @@ type NodeStats struct {
 	Hits int
 }
 
-// NewCtx returns a fresh execution context.
-func NewCtx() *Ctx { return &Ctx{cache: map[Node]*Result{}} }
+// NewCtx returns a fresh execution context that is never canceled.
+func NewCtx() *Ctx { return NewCtxWith(context.Background()) }
+
+// NewCtxWith returns a fresh execution context governed by ctx: operators
+// poll it cooperatively (every cancelCheckInterval rows in their hot
+// loops) and abort with ctx.Err() once it is done.
+func NewCtxWith(ctx context.Context) *Ctx {
+	return &Ctx{ctx: ctx, cache: map[Node]*Result{}}
+}
 
 // NewAnalyzeCtx returns a context that records per-operator statistics.
-func NewAnalyzeCtx() *Ctx {
-	return &Ctx{cache: map[Node]*Result{}, stats: map[Node]*NodeStats{}}
+func NewAnalyzeCtx() *Ctx { return NewAnalyzeCtxWith(context.Background()) }
+
+// NewAnalyzeCtxWith is NewAnalyzeCtx governed by a context.Context.
+func NewAnalyzeCtxWith(ctx context.Context) *Ctx {
+	return &Ctx{ctx: ctx, cache: map[Node]*Result{}, stats: map[Node]*NodeStats{}}
 }
 
 // Stats returns the recorded statistics for a node, or nil.
 func (c *Ctx) Stats(n Node) *NodeStats { return c.stats[n] }
+
+// cancelCheckInterval is how many rows an operator hot loop processes
+// between context polls. A power of two so the tick test compiles to a
+// mask; small enough that a canceled query stops within microseconds of
+// work, large enough that the poll never shows up in profiles.
+const cancelCheckInterval = 4096
+
+// Canceled returns the governing context's error, if it is done.
+func (c *Ctx) Canceled() error { return c.ctx.Err() }
+
+// Tick is the cooperative cancellation check for operator hot loops: it
+// polls the governing context every cancelCheckInterval iterations (i is
+// the loop counter) and reports its error once done.
+func (c *Ctx) Tick(i int) error {
+	if i&(cancelCheckInterval-1) != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
 
 // OrderCol describes one key of a physical ordering property: the ordinal
 // of a column in the node's output schema plus direction.
@@ -90,6 +122,9 @@ func Run(ctx *Ctx, n Node) (*Result, error) {
 			st.Hits++
 		}
 		return r, nil
+	}
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
 	}
 	var start time.Time
 	if ctx.stats != nil {
@@ -174,7 +209,7 @@ func (s *ScanNode) Label() string {
 func (s *ScanNode) Children() []Node { return nil }
 
 // Execute implements Node.
-func (s *ScanNode) Execute(*Ctx) (*Result, error) {
+func (s *ScanNode) Execute(ctx *Ctx) (*Result, error) {
 	if s.IndexOrd >= 0 {
 		ix := s.Table.IndexByOrdinal(s.IndexOrd)
 		if ix == nil {
@@ -183,6 +218,9 @@ func (s *ScanNode) Execute(*Ctx) (*Result, error) {
 		ids := ix.Scan(s.Bounds)
 		rows := make([]schema.Row, len(ids))
 		for i, id := range ids {
+			if err := ctx.Tick(i); err != nil {
+				return nil, err
+			}
 			rows[i] = s.Table.Rows[id]
 		}
 		return &Result{Schema: s.schema, Rows: rows}, nil

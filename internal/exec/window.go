@@ -101,6 +101,9 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	// Partition boundaries over the (sorted) input.
 	partKey := make([]string, nrows)
 	for i, r := range rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		b := make([]byte, 0, 16)
 		for _, f := range n.PartKeys {
 			v, err := f(r)
@@ -127,6 +130,9 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 		}
 		orderRaw = make([]int64, nrows)
 		for i, r := range rows {
+			if err := ctx.Tick(i); err != nil {
+				return nil, err
+			}
 			v, err := n.OrderKeys[0](r)
 			if err != nil {
 				return nil, err
@@ -159,6 +165,9 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 			}
 			vals := argVals[ai]
 			for i := lo; i < hi; i++ {
+				if err := ctx.Tick(i - lo); err != nil {
+					return err
+				}
 				v, err := arg(rows[i])
 				if err != nil {
 					return err
@@ -225,9 +234,12 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 		workers = len(spans)
 	}
 	if workers <= 1 || nrows < parallelWindowThreshold {
-		for _, sp := range spans {
+		for si, sp := range spans {
+			if err := ctx.Tick(si); err != nil {
+				return nil, err
+			}
 			for ai := range n.Aggs {
-				if err := n.computePartition(ai, rows, argVals[ai], orderRaw, sp.start, sp.end, outCols[ai]); err != nil {
+				if err := n.computePartition(ctx, ai, rows, argVals[ai], orderRaw, sp.start, sp.end, outCols[ai]); err != nil {
 					return nil, err
 				}
 			}
@@ -241,13 +253,17 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 			go func(w int) {
 				defer wg.Done()
 				for {
+					if err := ctx.Canceled(); err != nil {
+						errs[w] = err
+						return
+					}
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= len(spans) {
 						return
 					}
 					sp := spans[i]
 					for ai := range n.Aggs {
-						if err := n.computePartition(ai, rows, argVals[ai], orderRaw, sp.start, sp.end, outCols[ai]); err != nil {
+						if err := n.computePartition(ctx, ai, rows, argVals[ai], orderRaw, sp.start, sp.end, outCols[ai]); err != nil {
 							errs[w] = err
 							return
 						}
@@ -265,6 +281,9 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 
 	out := make([]schema.Row, nrows)
 	for i, r := range rows {
+		if err := ctx.Tick(i); err != nil {
+			return nil, err
+		}
 		row := make(schema.Row, 0, len(r)+len(n.Aggs))
 		row = append(row, r...)
 		for ai := range n.Aggs {
@@ -275,8 +294,9 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	return &Result{Schema: n.schema, Rows: out}, nil
 }
 
-// computePartition fills results[start:end] for one aggregate.
-func (n *WindowNode) computePartition(ai int, rows []schema.Row, args []types.Value, keys []int64, start, end int, results []types.Value) error {
+// computePartition fills results[start:end] for one aggregate. It polls
+// ctx between rows so canceling a query stops partitions mid-frame.
+func (n *WindowNode) computePartition(ctx *Ctx, ai int, rows []schema.Row, args []types.Value, keys []int64, start, end int, results []types.Value) error {
 	agg := &n.Aggs[ai]
 	if agg.Func == "row_number" {
 		for i := start; i < end; i++ {
@@ -287,7 +307,7 @@ func (n *WindowNode) computePartition(ai int, rows []schema.Row, args []types.Va
 	spec := agg.Frame
 	switch spec.Mode {
 	case FramePartition:
-		v, err := n.foldRange(agg, args, start, end)
+		v, err := n.foldRange(ctx, agg, args, start, end)
 		if err != nil {
 			return err
 		}
@@ -301,6 +321,9 @@ func (n *WindowNode) computePartition(ai int, rows []schema.Row, args []types.Va
 		acc := newAccumulator(&AggSpec{Func: agg.Func})
 		i := start
 		for i < end {
+			if err := ctx.Tick(i - start); err != nil {
+				return err
+			}
 			j := i
 			for j < end && keys[j] == keys[i] {
 				j++
@@ -318,9 +341,9 @@ func (n *WindowNode) computePartition(ai int, rows []schema.Row, args []types.Va
 		}
 		return nil
 	case FrameRowsMode:
-		return n.rowsFrame(agg, args, start, end, results)
+		return n.rowsFrame(ctx, agg, args, start, end, results)
 	case FrameRangeMode:
-		return n.rangeFrame(agg, args, keys, start, end, results)
+		return n.rangeFrame(ctx, agg, args, keys, start, end, results)
 	}
 	return fmt.Errorf("exec: unknown frame mode")
 }
@@ -334,9 +357,12 @@ func accAdd(acc *accumulator, agg *WindowAgg, args []types.Value, i int) error {
 }
 
 // foldRange folds rows [lo,hi) with a fresh accumulator.
-func (n *WindowNode) foldRange(agg *WindowAgg, args []types.Value, lo, hi int) (types.Value, error) {
+func (n *WindowNode) foldRange(ctx *Ctx, agg *WindowAgg, args []types.Value, lo, hi int) (types.Value, error) {
 	acc := newAccumulator(&AggSpec{Func: agg.Func})
 	for i := lo; i < hi; i++ {
+		if err := ctx.Tick(i - lo); err != nil {
+			return types.Null, err
+		}
 		if err := accAdd(acc, agg, args, i); err != nil {
 			return types.Null, err
 		}
@@ -347,7 +373,7 @@ func (n *WindowNode) foldRange(agg *WindowAgg, args []types.Value, lo, hi int) (
 // rowsFrame evaluates a ROWS frame. Prefix frames (start unbounded) and
 // suffix frames (end unbounded) run incrementally; constant-offset frames
 // loop directly — rule-generated frames are a handful of rows wide.
-func (n *WindowNode) rowsFrame(agg *WindowAgg, args []types.Value, start, end int, results []types.Value) error {
+func (n *WindowNode) rowsFrame(ctx *Ctx, agg *WindowAgg, args []types.Value, start, end int, results []types.Value) error {
 	lo := func(i int) int { return rowsBoundLow(specStart(agg.Frame), i, start) }
 	hi := func(i int) int { return rowsBoundHigh(specEnd(agg.Frame), i, end) }
 	switch {
@@ -355,6 +381,9 @@ func (n *WindowNode) rowsFrame(agg *WindowAgg, args []types.Value, start, end in
 		acc := newAccumulator(&AggSpec{Func: agg.Func})
 		done := start // rows [start,done) already folded
 		for i := start; i < end; i++ {
+			if err := ctx.Tick(i - start); err != nil {
+				return err
+			}
 			h := hi(i)
 			for done < h {
 				if err := accAdd(acc, agg, args, done); err != nil {
@@ -369,6 +398,9 @@ func (n *WindowNode) rowsFrame(agg *WindowAgg, args []types.Value, start, end in
 		acc := newAccumulator(&AggSpec{Func: agg.Func})
 		done := end // rows [done,end) already folded
 		for i := end - 1; i >= start; i-- {
+			if err := ctx.Tick(end - 1 - i); err != nil {
+				return err
+			}
 			l := lo(i)
 			for done > l {
 				done--
@@ -380,13 +412,18 @@ func (n *WindowNode) rowsFrame(agg *WindowAgg, args []types.Value, start, end in
 		}
 		return nil
 	default:
+		// Constant-offset frames re-fold per row, so each iteration already
+		// costs a frame's worth of work — poll the context every row.
 		for i := start; i < end; i++ {
+			if err := ctx.Canceled(); err != nil {
+				return err
+			}
 			l, h := lo(i), hi(i)
 			if l >= h {
 				results[i] = emptyFrameResult(agg)
 				continue
 			}
-			v, err := n.foldRange(agg, args, l, h)
+			v, err := n.foldRange(ctx, agg, args, l, h)
 			if err != nil {
 				return err
 			}
@@ -447,7 +484,7 @@ func rowsBoundHigh(b boundSpec, i, partEnd int) int {
 }
 
 // rangeFrame evaluates a RANGE frame over the sorted numeric order key.
-func (n *WindowNode) rangeFrame(agg *WindowAgg, args []types.Value, keys []int64, start, end int, results []types.Value) error {
+func (n *WindowNode) rangeFrame(ctx *Ctx, agg *WindowAgg, args []types.Value, keys []int64, start, end int, results []types.Value) error {
 	// Index of the first row in [start,end) with key >= target.
 	lowerBound := func(target int64) int {
 		lo, hi := start, end
@@ -505,6 +542,9 @@ func (n *WindowNode) rangeFrame(agg *WindowAgg, args []types.Value, keys []int64
 		acc := newAccumulator(&AggSpec{Func: agg.Func})
 		done := start
 		for i := start; i < end; i++ {
+			if err := ctx.Tick(i - start); err != nil {
+				return err
+			}
 			h := hiIdx(i)
 			for done < h {
 				if err := accAdd(acc, agg, args, done); err != nil {
@@ -519,6 +559,9 @@ func (n *WindowNode) rangeFrame(agg *WindowAgg, args []types.Value, keys []int64
 		acc := newAccumulator(&AggSpec{Func: agg.Func})
 		done := end
 		for i := end - 1; i >= start; i-- {
+			if err := ctx.Tick(end - 1 - i); err != nil {
+				return err
+			}
 			l := loIdx(i)
 			for done > l {
 				done--
@@ -530,13 +573,17 @@ func (n *WindowNode) rangeFrame(agg *WindowAgg, args []types.Value, keys []int64
 		}
 		return nil
 	default:
+		// As in rowsFrame: per-row polling is amortized by the frame fold.
 		for i := start; i < end; i++ {
+			if err := ctx.Canceled(); err != nil {
+				return err
+			}
 			l, h := loIdx(i), hiIdx(i)
 			if l >= h {
 				results[i] = emptyFrameResult(agg)
 				continue
 			}
-			v, err := n.foldRange(agg, args, l, h)
+			v, err := n.foldRange(ctx, agg, args, l, h)
 			if err != nil {
 				return err
 			}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -26,6 +27,7 @@ type Shell struct {
 	explain  bool
 	analyze  bool
 	limit    int
+	timeout  time.Duration // 0 = unlimited
 	quit     bool
 }
 
@@ -121,6 +123,9 @@ func (s *Shell) opts() []repro.QueryOption {
 	if len(s.rules) > 0 {
 		opts = append(opts, repro.WithRules(s.rules...))
 	}
+	if s.timeout > 0 {
+		opts = append(opts, repro.WithTimeout(s.timeout))
+	}
 	return opts
 }
 
@@ -211,6 +216,36 @@ func (s *Shell) Meta(cmd string) error {
 		}
 		s.limit = n
 		return nil
+	case `\timeout`:
+		if len(fields) < 2 {
+			if s.timeout > 0 {
+				fmt.Fprintf(s.Out, "timeout: %s\n", s.timeout)
+			} else {
+				fmt.Fprintln(s.Out, "timeout: off")
+			}
+			return nil
+		}
+		if fields[1] == "off" {
+			s.timeout = 0
+			fmt.Fprintln(s.Out, "timeout: off")
+			return nil
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad timeout %q (want e.g. 500ms, 30s, or off)", fields[1])
+		}
+		s.timeout = d
+		fmt.Fprintf(s.Out, "timeout: %s\n", s.timeout)
+		return nil
+	case `\cache`:
+		if len(fields) > 1 && fields[1] == "reset" {
+			s.DB.ResetPlanCache()
+			fmt.Fprintln(s.Out, "plan cache reset")
+			return nil
+		}
+		st := s.DB.PlanCacheStats()
+		fmt.Fprintf(s.Out, "plan cache: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+		return nil
 	case `\conditions`:
 		if len(fields) < 2 {
 			return fmt.Errorf(`usage: \conditions <query without semicolon>`)
@@ -287,6 +322,8 @@ const helpText = `commands:
   \explain               toggle printing the plan before results
   \analyze               toggle EXPLAIN ANALYZE mode (plan only, with actuals)
   \limit <n>             rows printed per result
+  \timeout <dur|off>     cancel queries that run longer than dur (e.g. 30s)
+  \cache [reset]         show (or reset) the rewrite/plan cache counters
   \workload [scale pct]  generate + load the RFIDGen workload and paper rules
   \save <dir> / \open <dir>   persist / restore the database
   \q                     quit

@@ -23,11 +23,23 @@
 //	    WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
 //	    ACTION DELETE B`)
 //	rows, _ := db.Query(`SELECT count(*) FROM caseR WHERE rtime <= ...`)
+//
+// The DB serves many callers at once: queries run concurrently while rule
+// definitions and data loads serialize behind them, every entry point has
+// a Context variant (QueryContext, PrepareContext, ExplainContext,
+// Prepared.RunContext) that cancels cooperatively mid-operator, and a
+// rewrite+plan cache keyed by (SQL, strategy, rules, catalog epoch) lets
+// repeated queries skip parse, rewrite, and costing entirely — the
+// amortization a long-lived cleansing service needs, since the paper's
+// rewrites are recomputed per query otherwise.
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -94,8 +106,38 @@ func NewInterval(d time.Duration) Value { return types.NewIntervalFrom(d) }
 // Null is the SQL NULL value.
 var Null = types.Null
 
+// Sentinel errors, matchable with errors.Is. Methods wrap them with the
+// offending name, e.g. `repro: no such table: "caser"`.
+var (
+	// ErrNoTable reports a reference to a table the catalog doesn't hold.
+	ErrNoTable = errors.New("repro: no such table")
+	// ErrUnknownRule reports a reference to an unregistered cleansing rule.
+	ErrUnknownRule = errors.New("repro: unknown rule")
+	// ErrCanceled reports a query aborted by its context — canceled or past
+	// its deadline. The context's own error is wrapped too, so both
+	// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) (or
+	// context.DeadlineExceeded) hold.
+	ErrCanceled = errors.New("repro: query canceled")
+)
+
+// wrapCanceled tags context-abort errors with ErrCanceled; other errors
+// pass through untouched.
+func wrapCanceled(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
 // DB is a deferred-cleansing database: storage, planner, rules catalog,
 // and rewrite engine.
+//
+// A DB is safe for concurrent use. Queries (Query, Prepare, Explain,
+// Rewrite, Prepared.Run and their Context variants) run concurrently with
+// each other; catalog mutations (CreateTable, Insert, DefineRule,
+// BuildIndex, Analyze, LoadRFIDWorkload, MaterializeCleansed) serialize
+// behind them and block new queries until done. Mutating Catalog,
+// Registry, or table contents directly bypasses that guarantee.
 type DB struct {
 	Catalog  *catalog.Database
 	Registry *core.Registry
@@ -105,6 +147,13 @@ type DB struct {
 	// Workload carries the last RFIDGen dataset loaded, if any, exposing
 	// the generator's ground truth and rule constants.
 	Workload *rfidgen.Dataset
+
+	// mu is the serving lock: queries hold the read side for their whole
+	// rewrite+execute span (plans read table row slices in place), writers
+	// take the write side.
+	mu sync.RWMutex
+	// cache memoizes rewrites+plans per (SQL, strategy, rules, epoch).
+	cache *planCache
 }
 
 // Open creates an empty database.
@@ -116,6 +165,7 @@ func Open() *DB {
 		Registry: reg,
 		Rewriter: core.NewRewriter(cat, reg),
 		Planner:  plan.New(cat),
+		cache:    newPlanCache(),
 	}
 }
 
@@ -131,12 +181,15 @@ func OpenDir(dir string) (*DB, error) {
 		Registry: reg,
 		Rewriter: core.NewRewriter(cat, reg),
 		Planner:  plan.New(cat),
+		cache:    newPlanCache(),
 	}, nil
 }
 
 // Save persists the database — tables, views, rules — to a directory that
 // OpenDir can restore.
 func (db *DB) Save(dir string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return persist.Save(db.Catalog, db.Registry, dir)
 }
 
@@ -152,40 +205,54 @@ func (db *DB) CreateTable(name string, cols ...ColumnDef) error {
 	for _, c := range cols {
 		s.Columns = append(s.Columns, schema.Col(name, c.Name, c.Kind))
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Catalog.AddTable(storage.NewTable(name, s))
 }
 
 // Insert appends rows of values to a table. Row arity must match the
 // table schema.
 func (db *DB) Insert(table string, rows ...[]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.Catalog.Table(table)
 	if !ok {
-		return fmt.Errorf("repro: no table %q", table)
+		return fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
 	for _, r := range rows {
 		if err := t.Append(schema.Row(r)); err != nil {
 			return err
 		}
 	}
+	db.Catalog.BumpEpoch()
 	return nil
 }
 
 // BuildIndex creates (or rebuilds) a sorted index on a column.
 func (db *DB) BuildIndex(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.Catalog.Table(table)
 	if !ok {
-		return fmt.Errorf("repro: no table %q", table)
+		return fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
-	return t.BuildIndex(column)
+	if err := t.BuildIndex(column); err != nil {
+		return err
+	}
+	db.Catalog.BumpEpoch()
+	return nil
 }
 
 // Analyze refreshes optimizer statistics for a table.
 func (db *DB) Analyze(table string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.Catalog.Table(table)
 	if !ok {
-		return fmt.Errorf("repro: no table %q", table)
+		return fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
 	t.Analyze()
+	db.Catalog.BumpEpoch()
 	return nil
 }
 
@@ -195,6 +262,8 @@ func (db *DB) CreateView(name, query string) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Catalog.AddView(name, stmt)
 }
 
@@ -218,10 +287,13 @@ func (db *DB) LoadRFIDWorkload(cfg WorkloadConfig) error {
 	d := rfidgen.Generate(rfidgen.Config{
 		Scale: cfg.Scale, AnomalyPct: cfg.AnomalyPct, Seed: cfg.Seed, Start: cfg.Start,
 	})
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := d.Load(db.Catalog); err != nil {
 		return err
 	}
 	db.Workload = d
+	db.Catalog.BumpEpoch()
 	return nil
 }
 
@@ -229,6 +301,8 @@ func (db *DB) LoadRFIDWorkload(cfg WorkloadConfig) error {
 // loaded workload, in Table 1 order. It requires LoadRFIDWorkload first.
 // It returns the registered rule names.
 func (db *DB) DefinePaperRules() ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.Workload == nil {
 		return nil, fmt.Errorf("repro: DefinePaperRules requires LoadRFIDWorkload")
 	}
@@ -253,8 +327,11 @@ type RuleInfo struct {
 }
 
 // DefineRule parses, compiles, and registers a cleansing rule written in
-// extended SQL-TS.
+// extended SQL-TS. Registration invalidates cached rewrites of queries
+// over the rule's table.
 func (db *DB) DefineRule(src string) (RuleInfo, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	r, err := db.Registry.Define(src)
 	if err != nil {
 		return RuleInfo{}, err
@@ -268,6 +345,7 @@ type QueryOption func(*queryOpts)
 type queryOpts struct {
 	strategy Strategy
 	rules    []string
+	timeout  time.Duration
 }
 
 // WithStrategy forces a rewrite strategy (default Auto).
@@ -279,6 +357,23 @@ func WithStrategy(s Strategy) QueryOption {
 // registered rule on the tables the query touches, in creation order).
 func WithRules(names ...string) QueryOption {
 	return func(o *queryOpts) { o.rules = names }
+}
+
+// WithTimeout bounds the query's total rewrite+execution time. Zero (the
+// default) means no limit. It composes with any deadline already on the
+// caller's context: whichever expires first cancels the query, which then
+// fails with an error matching both ErrCanceled and
+// context.DeadlineExceeded.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(o *queryOpts) { o.timeout = d }
+}
+
+// deadline applies the WithTimeout option, if any, to ctx.
+func (o *queryOpts) deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.timeout > 0 {
+		return context.WithTimeout(ctx, o.timeout)
+	}
+	return ctx, func() {}
 }
 
 // Rows is a materialized query result.
@@ -298,41 +393,71 @@ type RewriteInfo struct {
 	EstCost  float64
 	// Candidates lists every evaluated (strategy, pushes, cost) triple.
 	Candidates []core.CandidateInfo
+	// CacheHit reports whether this rewrite was served from the DB's
+	// rewrite+plan cache (parse, rewrite, and costing were all skipped).
+	CacheHit bool
+	// CacheHits and CacheMisses are the cache's cumulative counters as of
+	// this query; PlanCacheStats reads them on demand.
+	CacheHits, CacheMisses uint64
 }
 
 // Query rewrites the SQL under the active cleansing rules and executes it.
 func (db *DB) Query(sql string, opts ...QueryOption) (*Rows, error) {
-	res, err := db.rewrite(sql, opts...)
+	return db.QueryContext(context.Background(), sql, opts...)
+}
+
+// QueryContext is Query governed by a context: cancellation or deadline
+// expiry stops execution cooperatively mid-operator, and the query fails
+// with an error matching ErrCanceled and the context's own error.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption) (*Rows, error) {
+	o := applyOpts(opts)
+	ctx, cancel := o.deadline(ctx)
+	defer cancel()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.queryLocked(ctx, sql, o)
+}
+
+// queryLocked runs one query under an already-held read lock.
+func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts) (*Rows, error) {
+	res, inf, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return nil, err
 	}
-	out, err := exec.Run(exec.NewCtx(), res.Plan)
+	out, err := exec.Run(exec.NewCtxWith(ctx), res.Plan)
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
-	rows := &Rows{Rewrite: info(res)}
-	for _, c := range out.Schema.Columns {
-		rows.Columns = append(rows.Columns, c.Name)
-	}
-	for _, r := range out.Rows {
-		rows.Data = append(rows.Data, append([]Value{}, r...))
-	}
-	return rows, nil
+	return newRows(out, inf), nil
 }
 
 // Rewrite returns the rewritten SQL without executing it.
 func (db *DB) Rewrite(sql string, opts ...QueryOption) (RewriteInfo, error) {
-	res, err := db.rewrite(sql, opts...)
-	if err != nil {
-		return RewriteInfo{}, err
-	}
-	return info(res), nil
+	o := applyOpts(opts)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, inf, err := db.rewriteCached(sql, o)
+	return inf, err
 }
 
 // Explain returns the physical plan of the rewritten query, with
 // cardinality and cost estimates.
 func (db *DB) Explain(sql string, opts ...QueryOption) (string, error) {
-	res, err := db.rewrite(sql, opts...)
+	return db.ExplainContext(context.Background(), sql, opts...)
+}
+
+// ExplainContext is Explain governed by a context. Planning is not
+// interruptible, but the context is checked before work starts.
+func (db *DB) ExplainContext(ctx context.Context, sql string, opts ...QueryOption) (string, error) {
+	o := applyOpts(opts)
+	ctx, cancel := o.deadline(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return "", wrapCanceled(err)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	res, _, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return "", err
 	}
@@ -354,11 +479,23 @@ type Prepared struct {
 
 // Prepare rewrites and plans a query once.
 func (db *DB) Prepare(sql string, opts ...QueryOption) (*Prepared, error) {
-	res, err := db.rewrite(sql, opts...)
+	return db.PrepareContext(context.Background(), sql, opts...)
+}
+
+// PrepareContext is Prepare governed by a context; a WithTimeout option
+// is ignored here (apply it per-run via RunContext deadlines instead).
+func (db *DB) PrepareContext(ctx context.Context, sql string, opts ...QueryOption) (*Prepared, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(err)
+	}
+	o := applyOpts(opts)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	res, inf, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, plan: res.Plan, info: info(res)}, nil
+	return &Prepared{db: db, plan: res.Plan, info: inf}, nil
 }
 
 // Rewrite reports how the prepared query will execute.
@@ -366,36 +503,63 @@ func (p *Prepared) Rewrite() RewriteInfo { return p.info }
 
 // Run executes the prepared plan.
 func (p *Prepared) Run() (*Rows, error) {
-	out, err := exec.Run(exec.NewCtx(), p.plan)
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the prepared plan under a context; cancellation
+// stops execution cooperatively, as in QueryContext.
+func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
+	p.db.mu.RLock()
+	defer p.db.mu.RUnlock()
+	out, err := exec.Run(exec.NewCtxWith(ctx), p.plan)
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
-	rows := &Rows{Rewrite: p.info}
-	for _, c := range out.Schema.Columns {
-		rows.Columns = append(rows.Columns, c.Name)
-	}
-	for _, r := range out.Rows {
-		rows.Data = append(rows.Data, append([]Value{}, r...))
-	}
-	return rows, nil
+	return newRows(out, p.info), nil
 }
 
 // ExplainAnalyze rewrites and executes the query, returning the plan
 // annotated with both the planner's estimates and the actual row counts
 // and operator times.
 func (db *DB) ExplainAnalyze(sql string, opts ...QueryOption) (string, error) {
-	res, err := db.rewrite(sql, opts...)
+	return db.ExplainAnalyzeContext(context.Background(), sql, opts...)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze governed by a context.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...QueryOption) (string, error) {
+	o := applyOpts(opts)
+	ctx, cancel := o.deadline(ctx)
+	defer cancel()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	res, _, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return "", err
 	}
-	ctx := exec.NewAnalyzeCtx()
-	if _, err := exec.Run(ctx, res.Plan); err != nil {
-		return "", err
+	ectx := exec.NewAnalyzeCtxWith(ctx)
+	if _, err := exec.Run(ectx, res.Plan); err != nil {
+		return "", wrapCanceled(err)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- strategy: %s (est cost %.0f)\n", res.Strategy, res.EstCost)
-	b.WriteString(exec.ExplainAnalyze(res.Plan, ctx))
+	b.WriteString(exec.ExplainAnalyze(res.Plan, ectx))
 	return b.String(), nil
+}
+
+// newRows materializes an executed result into the public Rows shape —
+// the single point where result rows are copied out of the engine, shared
+// by DB.Query and Prepared.Run.
+func newRows(out *exec.Result, inf RewriteInfo) *Rows {
+	rows := &Rows{Rewrite: inf}
+	rows.Columns = make([]string, len(out.Schema.Columns))
+	for i, c := range out.Schema.Columns {
+		rows.Columns[i] = c.Name
+	}
+	rows.Data = make([][]Value, len(out.Rows))
+	for i, r := range out.Rows {
+		rows.Data[i] = append([]Value{}, r...)
+	}
+	return rows
 }
 
 // MaterializeCleansed eagerly applies the named rules (all rules on the
@@ -406,17 +570,19 @@ func (db *DB) ExplainAnalyze(sql string, opts ...QueryOption) (string, error) {
 // statistics. Rules that create columns via MODIFY are rejected (the
 // destination keeps the source schema).
 func (db *DB) MaterializeCleansed(source, dest string, ruleNames ...string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	src, ok := db.Catalog.Table(source)
 	if !ok {
-		return 0, fmt.Errorf("repro: no table %q", source)
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, source)
 	}
 	cols := make([]string, src.Schema.Len())
 	for i, c := range src.Schema.Columns {
 		cols[i] = c.Name
 	}
-	res, err := db.rewrite(
+	res, err := db.Rewriter.RewriteSQL(
 		"SELECT "+strings.Join(cols, ", ")+" FROM "+source,
-		WithStrategy(Naive), WithRules(ruleNames...),
+		ruleNames, Naive,
 	)
 	if err != nil {
 		return 0, err
@@ -465,20 +631,22 @@ type RuleEffect struct {
 // reports the effect without touching stored data. The sample slices are
 // capped at limit entries each.
 func (db *DB) DryRunRule(ruleName string, limit int) (*RuleEffect, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	reg, ok := db.Registry.Rule(ruleName)
 	if !ok {
-		return nil, fmt.Errorf("repro: unknown rule %q", ruleName)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRule, ruleName)
 	}
 	inCols, err := db.Registry.InputColumns(reg.Rule)
 	if err != nil {
 		return nil, err
 	}
 	colList := strings.Join(inCols, ", ")
-	rawRows, err := db.Query("SELECT "+colList+" FROM "+reg.Rule.From, WithStrategy(Dirty))
+	rawRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.From, applyOpts([]QueryOption{WithStrategy(Dirty)}))
 	if err != nil {
 		return nil, err
 	}
-	cleanRows, err := db.Query("SELECT "+colList+" FROM "+reg.Rule.On, WithStrategy(Naive), WithRules(ruleName))
+	cleanRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.On, applyOpts([]QueryOption{WithStrategy(Naive), WithRules(ruleName)}))
 	if err != nil {
 		return nil, err
 	}
@@ -542,6 +710,8 @@ func (db *DB) DryRunRule(ruleName string, limit int) (*RuleEffect, error) {
 // infeasible rules map to "{}".
 func (db *DB) ExpandedConditions(sql string, opts ...QueryOption) (map[string]string, error) {
 	o := applyOpts(opts)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.Rewriter.ExpandedConditions(sql, o.rules)
 }
 
@@ -553,9 +723,26 @@ func applyOpts(opts []QueryOption) *queryOpts {
 	return o
 }
 
-func (db *DB) rewrite(sql string, opts ...QueryOption) (*core.Result, error) {
-	o := applyOpts(opts)
-	return db.Rewriter.RewriteSQL(sql, o.rules, o.strategy)
+// rewriteCached resolves a query to its rewritten plan through the plan
+// cache: a hit skips parse, rewrite, and costing entirely; a miss runs
+// the rewriter and stores the result under the current catalog epoch.
+// Callers must hold db.mu (either side).
+func (db *DB) rewriteCached(sql string, o *queryOpts) (*core.Result, RewriteInfo, error) {
+	key := newCacheKey(sql, o, db.Catalog.Epoch())
+	if res, ok := db.cache.get(key); ok {
+		inf := info(res)
+		inf.CacheHit = true
+		inf.CacheHits, inf.CacheMisses = db.cache.counters()
+		return res, inf, nil
+	}
+	res, err := db.Rewriter.RewriteSQL(sql, o.rules, o.strategy)
+	if err != nil {
+		return nil, RewriteInfo{}, err
+	}
+	db.cache.put(key, res)
+	inf := info(res)
+	inf.CacheHits, inf.CacheMisses = db.cache.counters()
+	return res, inf, nil
 }
 
 func info(res *core.Result) RewriteInfo {
