@@ -224,10 +224,58 @@ func BenchmarkConcurrentClients(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationWindowParallelism isolates the engine's parallel
-// window-partition evaluation — the in-process analogue of the DBMS
-// parallelism the paper's evaluation platform provides. Series: the naive
-// rewrite (window over the whole reads table) with 1 worker vs all cores.
+// BenchmarkParallelPipeline drives a full scan→filter→window→join→
+// aggregate pipeline (the paper's q1 shape under the dirty baseline, so
+// no rewrite machinery intrudes) over a ≥100k-row rfidgen workload, at
+// Parallelism=1 vs Parallelism=NumCPU. Before timing, it asserts the
+// two settings return bit-identical results — the determinism guarantee
+// that makes the knob safe to flip in production.
+func BenchmarkParallelPipeline(b *testing.B) {
+	scale := benchScale()
+	if scale < 70 {
+		scale = 70 // ≈105k caser rows — comfortably above the morsel threshold
+	}
+	e, err := bench.Load(scale, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := e.Q1(0.95)
+	opts := func(par int) []repro.QueryOption {
+		return []repro.QueryOption{repro.WithStrategy(repro.Dirty), repro.WithParallelism(par)}
+	}
+	serial, err := e.DB.Query(q, opts(1)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallel, err := e.DB.Query(q, opts(runtime.NumCPU())...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(serial.Data) != len(parallel.Data) {
+		b.Fatalf("row count: serial %d vs parallel %d", len(serial.Data), len(parallel.Data))
+	}
+	for i := range serial.Data {
+		for j := range serial.Data[i] {
+			if !serial.Data[i][j].Equal(parallel.Data[i][j]) {
+				b.Fatalf("row %d col %d differs between parallelism settings", i, j)
+			}
+		}
+	}
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.DB.Query(q, opts(par)...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindowParallelism isolates the engine's intra-query
+// parallelism — the in-process analogue of the DBMS parallelism the
+// paper's evaluation platform provides. Series: the naive rewrite
+// (window over the whole reads table) with 1 worker vs all cores.
 func BenchmarkAblationWindowParallelism(b *testing.B) {
 	e := loadEnv(b, 10)
 	q := "SELECT count(*) FROM caser"
@@ -240,9 +288,9 @@ func BenchmarkAblationWindowParallelism(b *testing.B) {
 			w = runtime.NumCPU()
 		}
 		b.Run(name, func(b *testing.B) {
-			old := exec.WindowParallelism
-			exec.WindowParallelism = w
-			defer func() { exec.WindowParallelism = old }()
+			old := exec.Parallelism
+			exec.Parallelism = w
+			defer func() { exec.Parallelism = old }()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Run(q, repro.Naive, rules); err != nil {
 					b.Fatal(err)

@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/schema"
@@ -148,57 +150,149 @@ func (n *GroupNode) Children() []Node { return []Node{n.Input} }
 type groupState struct {
 	keyVals schema.Row
 	accs    []*accumulator
-	order   int
+	first   int // global index of the group's first input row
 }
 
-// Execute implements Node.
+// Execute implements Node. Aggregation runs in two phases: first every
+// row's group key is encoded (and every aggregate argument evaluated)
+// morsel-parallel, then the groups are partitioned by key hash and one
+// worker per partition folds its groups' rows in global input order.
+// Each group is wholly owned by a single worker, so floating-point
+// accumulation keeps the serial association order and the output is
+// bit-identical at any parallelism — unlike merge-combined partial
+// aggregates, which would reassociate sums.
 func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
 		return nil, err
 	}
-	groups := map[string]*groupState{}
-	var sequence []*groupState
-	for ri, r := range in.Rows {
-		if err := ctx.Tick(ri); err != nil {
-			return nil, err
+	nrows := len(in.Rows)
+	workers := ctx.workersFor(nrows)
+	ctx.noteWorkers(n, workers)
+
+	// Phase 1: encode group keys into per-morsel arenas and evaluate
+	// aggregate arguments. NULL keys form regular groups — the encoding
+	// distinguishes NULL from every concrete value.
+	keyBytes := make([][]byte, nrows)
+	hashes := make([]uint64, nrows)
+	argVals := make([][]types.Value, len(n.Aggs))
+	for ai := range n.Aggs {
+		if n.Aggs[ai].Arg != nil {
+			argVals[ai] = make([]types.Value, nrows)
 		}
-		keyVals := make(schema.Row, len(n.Keys))
-		kb := make([]byte, 0, 16*len(n.Keys))
-		for i, f := range n.Keys {
-			v, err := f(r)
+	}
+	encs := make([]keyEnc, workers)
+	err = ctx.parallelFor(nrows, workers, func(w, _, lo, hi int) error {
+		enc := &encs[w]
+		var arena []byte
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
+			}
+			r := in.Rows[i]
+			key, _, err := enc.funcs(n.Keys, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			keyVals[i] = v
-			kb = append(kb, v.GroupKey()...)
-			kb = append(kb, 0x1f)
-		}
-		k := string(kb)
-		g, ok := groups[k]
-		if !ok {
-			g = &groupState{keyVals: keyVals, accs: make([]*accumulator, len(n.Aggs)), order: len(sequence)}
-			for i := range n.Aggs {
-				g.accs[i] = newAccumulator(&n.Aggs[i])
+			start := len(arena)
+			arena = append(arena, key...)
+			kb := arena[start:len(arena):len(arena)]
+			keyBytes[i] = kb
+			hashes[i] = hashKey(kb)
+			for ai := range n.Aggs {
+				if vals := argVals[ai]; vals != nil {
+					v, err := n.Aggs[ai].Arg(r)
+					if err != nil {
+						return err
+					}
+					vals[i] = v
+				}
 			}
-			groups[k] = g
-			sequence = append(sequence, g)
 		}
-		for i := range n.Aggs {
-			spec := &n.Aggs[i]
-			if spec.Arg == nil {
-				g.accs[i].addRowCount()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: partitioned fold. Each worker scans the rows in order and
+	// folds the ones whose key hash lands in its partition.
+	parts := make([]*keyTable[*groupState], workers)
+	foldPartition := func(p int) error {
+		t := newKeyTable[*groupState](nrows/(workers*4) + 1)
+		parts[p] = t
+		np := uint64(workers)
+		touched := 0
+		for i := 0; i < nrows; i++ {
+			if hashes[i]%np != uint64(p) {
 				continue
 			}
-			v, err := spec.Arg(r)
-			if err != nil {
-				return nil, err
+			if err := ctx.Tick(touched); err != nil {
+				return err
 			}
-			if err := g.accs[i].add(v); err != nil {
-				return nil, err
+			touched++
+			var g *groupState
+			if gp := t.lookup(hashes[i], keyBytes[i]); gp != nil {
+				g = *gp
+			} else {
+				r := in.Rows[i]
+				keyVals := make(schema.Row, len(n.Keys))
+				for ki, f := range n.Keys {
+					v, err := f(r)
+					if err != nil {
+						return err
+					}
+					keyVals[ki] = v
+				}
+				g = &groupState{keyVals: keyVals, accs: make([]*accumulator, len(n.Aggs)), first: i}
+				for ai := range n.Aggs {
+					g.accs[ai] = newAccumulator(&n.Aggs[ai])
+				}
+				t.insert(hashes[i], keyBytes[i], g)
+			}
+			for ai := range n.Aggs {
+				if vals := argVals[ai]; vals != nil {
+					if err := g.accs[ai].add(vals[i]); err != nil {
+						return err
+					}
+				} else {
+					g.accs[ai].addRowCount()
+				}
+			}
+		}
+		return nil
+	}
+	if workers == 1 {
+		if err := foldPartition(0); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for p := 0; p < workers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				errs[p] = foldPartition(p)
+			}(p)
+		}
+		wg.Wait()
+		if err := firstError(errs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sequence groups by first appearance — the serial output order.
+	var sequence []*groupState
+	for _, t := range parts {
+		for _, b := range t.buckets {
+			for i := range b {
+				sequence = append(sequence, b[i].val)
 			}
 		}
 	}
+	sort.Slice(sequence, func(i, j int) bool { return sequence[i].first < sequence[j].first })
+
 	if len(n.Keys) == 0 && len(sequence) == 0 {
 		// Global aggregate over empty input: one row of empty-group results.
 		g := &groupState{accs: make([]*accumulator, len(n.Aggs))}

@@ -15,10 +15,26 @@ func Explain(n Node) string {
 }
 
 func explainNode(b *strings.Builder, n Node, depth int) {
-	fmt.Fprintf(b, "%s%s  [rows=%.0f cost=%.0f]\n", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
+	fmt.Fprintf(b, "%s%s  [rows=%.0f cost=%.0f]", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
+	if Parallelism > 1 && parallelCapable(n) && n.EstRows() >= float64(ParallelThreshold) {
+		b.WriteString("  [parallel]")
+	}
+	b.WriteString("\n")
 	for _, c := range n.Children() {
 		explainNode(b, c, depth+1)
 	}
+}
+
+// parallelCapable reports whether the operator fans out morsel workers
+// when its input is large enough; Explain marks such nodes so plans show
+// where intra-query parallelism will apply.
+func parallelCapable(n Node) bool {
+	switch n.(type) {
+	case *ScanNode, *FilterNode, *ProjectNode, *SortNode, *DistinctNode,
+		*HashJoinNode, *GroupNode, *WindowNode:
+		return true
+	}
+	return false
 }
 
 // ExplainAnalyze renders the plan with both the planner's estimates and
@@ -36,6 +52,9 @@ func explainAnalyzeNode(b *strings.Builder, n Node, ctx *Ctx, depth int) {
 	fmt.Fprintf(b, "%s%s  [est rows=%.0f cost=%.0f]", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
 	if st := ctx.Stats(n); st != nil {
 		fmt.Fprintf(b, "  [actual rows=%d time=%s", st.Rows, st.Elapsed.Round(10*time.Microsecond))
+		if st.Workers > 1 {
+			fmt.Fprintf(b, " workers=%d", st.Workers)
+		}
 		if st.Hits > 0 {
 			fmt.Fprintf(b, " cached×%d", st.Hits)
 		}

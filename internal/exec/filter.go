@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/schema"
@@ -32,26 +33,38 @@ func (n *FilterNode) Label() string { return "Filter(" + n.Desc + ")" }
 // Children implements Node.
 func (n *FilterNode) Children() []Node { return []Node{n.Input} }
 
-// Execute implements Node.
+// Execute implements Node. Morsels filter into per-morsel output slices
+// that concatenate in morsel order, preserving the serial row order.
 func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]schema.Row, 0, len(in.Rows)/4+1)
-	for i, r := range in.Rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
+	workers := ctx.workersFor(len(in.Rows))
+	ctx.noteWorkers(n, workers)
+	outs := make([][]schema.Row, morselCount(len(in.Rows), workers))
+	err = ctx.parallelFor(len(in.Rows), workers, func(_, m, lo, hi int) error {
+		out := make([]schema.Row, 0, (hi-lo)/4+1)
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
+			}
+			r := in.Rows[i]
+			ok, err := eval.EvalPredicate(n.Pred, r)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, r)
+			}
 		}
-		ok, err := eval.EvalPredicate(n.Pred, r)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{Schema: n.schema, Rows: out}, nil
+	return &Result{Schema: n.schema, Rows: concatMorsels(outs)}, nil
 }
 
 // ProjectNode computes output columns from input rows.
@@ -75,26 +88,36 @@ func (n *ProjectNode) Label() string { return fmt.Sprintf("Project(%d cols)", n.
 // Children implements Node.
 func (n *ProjectNode) Children() []Node { return []Node{n.Input} }
 
-// Execute implements Node.
+// Execute implements Node. Workers write disjoint output positions, so
+// projection parallelizes with no ordering concern at all.
 func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
 		return nil, err
 	}
+	workers := ctx.workersFor(len(in.Rows))
+	ctx.noteWorkers(n, workers)
 	out := make([]schema.Row, len(in.Rows))
-	for i, r := range in.Rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
-		}
-		row := make(schema.Row, len(n.Exprs))
-		for j, f := range n.Exprs {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
+	err = ctx.parallelFor(len(in.Rows), workers, func(_, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
 			}
-			row[j] = v
+			r := in.Rows[i]
+			row := make(schema.Row, len(n.Exprs))
+			for j, f := range n.Exprs {
+				v, err := f(r)
+				if err != nil {
+					return err
+				}
+				row[j] = v
+			}
+			out[i] = row
 		}
-		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{Schema: n.schema, Rows: out}, nil
 }
@@ -121,50 +144,133 @@ func (n *SortNode) Label() string { return fmt.Sprintf("Sort(%d keys)", len(n.Ke
 // Children implements Node.
 func (n *SortNode) Children() []Node { return []Node{n.Input} }
 
-// Execute implements Node.
+// Execute implements Node. Sort keys are evaluated exactly once per row
+// (never per comparison), morsel-parallel; the sort itself runs as
+// stable per-chunk sorts over contiguous input ranges followed by a
+// stable k-way merge (ties go to the earlier chunk), which yields the
+// same permutation as a serial stable sort.
 func (n *SortNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
 		return nil, err
 	}
-	keys := make([][]types.Value, len(in.Rows))
-	for i, r := range in.Rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
-		}
-		ks := make([]types.Value, len(n.Keys))
-		for j, f := range n.Keys {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
+	nrows := len(in.Rows)
+	workers := ctx.workersFor(nrows)
+	ctx.noteWorkers(n, workers)
+
+	keys := make([][]types.Value, nrows)
+	err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
 			}
-			ks[j] = v
+			ks := make([]types.Value, len(n.Keys))
+			for j, f := range n.Keys {
+				v, err := f(in.Rows[i])
+				if err != nil {
+					return err
+				}
+				ks[j] = v
+			}
+			keys[i] = ks
 		}
-		keys[i] = ks
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	idx := make([]int, len(in.Rows))
+
+	idx := make([]int, nrows)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
-		for j := range n.Keys {
-			c := compareForSort(ka[j], kb[j])
-			if c == 0 {
-				continue
-			}
-			if n.Desc[j] {
-				return c > 0
-			}
-			return c < 0
+	if workers <= 1 {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return n.cmpKeys(keys[idx[a]], keys[idx[b]]) < 0
+		})
+	} else {
+		if err := n.parallelSort(ctx, idx, keys, workers); err != nil {
+			return nil, err
 		}
-		return false
-	})
-	out := make([]schema.Row, len(in.Rows))
+	}
+
+	out := make([]schema.Row, nrows)
 	for i, id := range idx {
 		out[i] = in.Rows[id]
 	}
 	return &Result{Schema: n.schema, Rows: out}, nil
+}
+
+// cmpKeys orders two evaluated key tuples under the node's directions.
+func (n *SortNode) cmpKeys(ka, kb []types.Value) int {
+	for j := range n.Keys {
+		c := compareForSort(ka[j], kb[j])
+		if c == 0 {
+			continue
+		}
+		if n.Desc[j] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// parallelSort stable-sorts idx in place: contiguous chunks sort on
+// separate goroutines, then a k-way merge picks the smallest head each
+// step, breaking ties toward the earliest chunk. Chunks are contiguous
+// input ranges, so earliest-chunk tie-breaking is exactly the stability
+// rule, and the merged permutation equals the serial stable sort's.
+func (n *SortNode) parallelSort(ctx *Ctx, idx []int, keys [][]types.Value, workers int) error {
+	nrows := len(idx)
+	chunk := (nrows + workers - 1) / workers
+	type span struct{ lo, hi int }
+	var spans []span
+	for lo := 0; lo < nrows; lo += chunk {
+		hi := lo + chunk
+		if hi > nrows {
+			hi = nrows
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	var wg sync.WaitGroup
+	for _, sp := range spans {
+		wg.Add(1)
+		go func(sub []int) {
+			defer wg.Done()
+			sort.SliceStable(sub, func(a, b int) bool {
+				return n.cmpKeys(keys[sub[a]], keys[sub[b]]) < 0
+			})
+		}(idx[sp.lo:sp.hi])
+	}
+	wg.Wait()
+	if err := ctx.Canceled(); err != nil {
+		return err
+	}
+
+	heads := make([]int, len(spans))
+	for i, sp := range spans {
+		heads[i] = sp.lo
+	}
+	merged := make([]int, 0, nrows)
+	for len(merged) < nrows {
+		if err := ctx.Tick(len(merged)); err != nil {
+			return err
+		}
+		best := -1
+		for c, sp := range spans {
+			if heads[c] >= sp.hi {
+				continue
+			}
+			if best < 0 || n.cmpKeys(keys[idx[heads[c]]], keys[idx[heads[best]]]) < 0 {
+				best = c
+			}
+		}
+		merged = append(merged, idx[heads[best]])
+		heads[best]++
+	}
+	copy(idx, merged)
+	return nil
 }
 
 // compareForSort orders values with NULLS FIRST and falls back to kind
@@ -266,33 +372,18 @@ func (n *DistinctNode) Execute(ctx *Ctx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]struct{}, len(in.Rows))
+	seen := newRowSet(len(in.Rows))
+	var enc keyEnc
 	out := make([]schema.Row, 0, len(in.Rows))
 	for i, r := range in.Rows {
 		if err := ctx.Tick(i); err != nil {
 			return nil, err
 		}
-		k := rowKey(r)
-		if _, dup := seen[k]; dup {
-			continue
+		if seen.add(enc.row(r)) {
+			out = append(out, r)
 		}
-		seen[k] = struct{}{}
-		out = append(out, r)
 	}
 	return &Result{Schema: n.schema, Rows: out}, nil
-}
-
-func rowKey(r schema.Row) string {
-	n := 0
-	for _, v := range r {
-		n += len(v.GroupKey()) + 1
-	}
-	b := make([]byte, 0, n)
-	for _, v := range r {
-		b = append(b, v.GroupKey()...)
-		b = append(b, 0x1f)
-	}
-	return string(b)
 }
 
 // SetOpKind distinguishes EXCEPT from INTERSECT in SetOpNode.
@@ -333,36 +424,31 @@ func (n *SetOpNode) Label() string {
 // Children implements Node.
 func (n *SetOpNode) Children() []Node { return []Node{n.Left, n.Right} }
 
-// Execute implements Node.
+// Execute implements Node. The two inputs execute concurrently.
 func (n *SetOpNode) Execute(ctx *Ctx) (*Result, error) {
-	l, err := Run(ctx, n.Left)
+	l, r, err := runPair(ctx, n.Left, n.Right)
 	if err != nil {
 		return nil, err
 	}
-	r, err := Run(ctx, n.Right)
-	if err != nil {
-		return nil, err
-	}
-	right := make(map[string]struct{}, len(r.Rows))
+	var enc keyEnc
+	right := newRowSet(len(r.Rows))
 	for i, row := range r.Rows {
 		if err := ctx.Tick(i); err != nil {
 			return nil, err
 		}
-		right[rowKey(row)] = struct{}{}
+		right.add(enc.row(row))
 	}
-	seen := map[string]struct{}{}
+	seen := newRowSet(len(l.Rows))
 	var out []schema.Row
 	for i, row := range l.Rows {
 		if err := ctx.Tick(i); err != nil {
 			return nil, err
 		}
-		k := rowKey(row)
-		if _, dup := seen[k]; dup {
+		k := enc.row(row)
+		if !seen.add(k) {
 			continue
 		}
-		seen[k] = struct{}{}
-		_, inRight := right[k]
-		if (n.Kind == SetOpExcept) != inRight {
+		if (n.Kind == SetOpExcept) != right.contains(k) {
 			out = append(out, row)
 		}
 	}
@@ -397,13 +483,9 @@ func (n *UnionNode) Label() string {
 // Children implements Node.
 func (n *UnionNode) Children() []Node { return []Node{n.Left, n.Right} }
 
-// Execute implements Node.
+// Execute implements Node. The two inputs execute concurrently.
 func (n *UnionNode) Execute(ctx *Ctx) (*Result, error) {
-	l, err := Run(ctx, n.Left)
-	if err != nil {
-		return nil, err
-	}
-	r, err := Run(ctx, n.Right)
+	l, r, err := runPair(ctx, n.Left, n.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -413,18 +495,16 @@ func (n *UnionNode) Execute(ctx *Ctx) (*Result, error) {
 	if !n.Distinct {
 		return &Result{Schema: n.schema, Rows: rows}, nil
 	}
-	seen := make(map[string]struct{}, len(rows))
+	var enc keyEnc
+	seen := newRowSet(len(rows))
 	out := rows[:0:0]
 	for i, row := range rows {
 		if err := ctx.Tick(i); err != nil {
 			return nil, err
 		}
-		k := rowKey(row)
-		if _, dup := seen[k]; dup {
-			continue
+		if seen.add(enc.row(row)) {
+			out = append(out, row)
 		}
-		seen[k] = struct{}{}
-		out = append(out, row)
 	}
 	return &Result{Schema: n.schema, Rows: out}, nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/schema"
@@ -11,6 +12,13 @@ import (
 // HashJoinNode joins Left (probe, streamed — its ordering survives) with
 // Right (build) on equality keys, with an optional residual predicate over
 // the concatenated row.
+//
+// Both phases are morsel-parallel: build keys are evaluated in parallel,
+// then the hash table is partitioned by key hash into per-worker
+// sub-tables each built by one goroutine (rows land in input order, as in
+// the serial build); probe morsels write per-morsel output slices that
+// concatenate in morsel order, so the output is bit-identical to serial
+// execution. The two inputs themselves execute concurrently.
 type HashJoinNode struct {
 	base
 	Left, Right Node
@@ -53,79 +61,173 @@ func (n *HashJoinNode) Label() string {
 // Children implements Node.
 func (n *HashJoinNode) Children() []Node { return []Node{n.Left, n.Right} }
 
-// Execute implements Node.
-func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
-	l, err := Run(ctx, n.Left)
-	if err != nil {
-		return nil, err
-	}
-	r, err := Run(ctx, n.Right)
-	if err != nil {
-		return nil, err
-	}
-	// Build phase over the right input.
-	build := make(map[string][]schema.Row, len(r.Rows))
-	for i, row := range r.Rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
-		}
-		key, null, err := joinKey(n.RightKeys, row)
-		if err != nil {
-			return nil, err
-		}
-		if null {
-			continue // NULL keys never join
-		}
-		build[key] = append(build[key], row)
-	}
-	rightWidth := r.Schema.Len()
-	out := make([]schema.Row, 0, len(l.Rows))
-	for i, lrow := range l.Rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
-		}
-		key, null, err := joinKey(n.LeftKeys, lrow)
-		if err != nil {
-			return nil, err
-		}
-		matched := false
-		if !null {
-			for _, rrow := range build[key] {
-				joined := concatRows(lrow, rrow)
-				if n.Residual != nil {
-					ok, err := eval.EvalPredicate(n.Residual, joined)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
-						continue
-					}
-				}
-				matched = true
-				out = append(out, joined)
-			}
-		}
-		if !matched && n.JoinType == JoinKindLeft {
-			out = append(out, concatRows(lrow, nullRow(rightWidth)))
-		}
-	}
-	return &Result{Schema: n.schema, Rows: out}, nil
+// joinTable is the build side of a hash join, partitioned by key hash so
+// that independent workers could build (and later probe) disjoint
+// sub-tables without synchronization.
+type joinTable struct {
+	parts []*keyTable[[]schema.Row]
 }
 
-func joinKey(keys []eval.Func, row schema.Row) (string, bool, error) {
-	b := make([]byte, 0, 16*len(keys))
-	for _, f := range keys {
-		v, err := f(row)
-		if err != nil {
-			return "", false, err
-		}
-		if v.IsNull() {
-			return "", true, nil
-		}
-		b = append(b, v.GroupKey()...)
-		b = append(b, 0x1f)
+func (jt *joinTable) lookupRows(h uint64, key []byte) []schema.Row {
+	p := jt.parts[h%uint64(len(jt.parts))]
+	if rows := p.lookup(h, key); rows != nil {
+		return *rows
 	}
-	return string(b), false, nil
+	return nil
+}
+
+// buildJoinTable evaluates the build-side keys morsel-parallel, then has
+// one goroutine per hash partition insert its share of the rows. Each
+// partition is filled by a single worker scanning rows in input order, so
+// the per-key row lists match the serial build exactly.
+func buildJoinTable(ctx *Ctx, rows []schema.Row, keys []eval.Func, workers int) (*joinTable, error) {
+	n := len(rows)
+	if w := ctx.workersFor(n); workers > w {
+		workers = w
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Phase 1: encode every row's key into per-morsel arenas (NULL keys
+	// never join; they keep a nil slot).
+	keyBytes := make([][]byte, n)
+	hashes := make([]uint64, n)
+	encs := make([]keyEnc, workers)
+	err := ctx.parallelFor(n, workers, func(w, _, lo, hi int) error {
+		enc := &encs[w]
+		var arena []byte
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
+			}
+			key, null, err := enc.funcs(keys, rows[i])
+			if err != nil {
+				return err
+			}
+			if null {
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, key...)
+			kb := arena[start:len(arena):len(arena)]
+			keyBytes[i] = kb
+			hashes[i] = hashKey(kb)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: partitioned insert.
+	jt := &joinTable{parts: make([]*keyTable[[]schema.Row], workers)}
+	insertPartition := func(p int) error {
+		t := newKeyTable[[]schema.Row](n/workers + 1)
+		jt.parts[p] = t
+		np := uint64(workers)
+		touched := 0
+		for i := 0; i < n; i++ {
+			kb := keyBytes[i]
+			if kb == nil || hashes[i]%np != uint64(p) {
+				continue
+			}
+			if err := ctx.Tick(touched); err != nil {
+				return err
+			}
+			touched++
+			if rp := t.lookup(hashes[i], kb); rp != nil {
+				*rp = append(*rp, rows[i])
+			} else {
+				// Arena-backed keys are stable; no copy needed.
+				t.insert(hashes[i], kb, []schema.Row{rows[i]})
+			}
+		}
+		return nil
+	}
+	if workers == 1 {
+		if err := insertPartition(0); err != nil {
+			return nil, err
+		}
+		return jt, nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = insertPartition(p)
+		}(p)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return jt, nil
+}
+
+// Execute implements Node.
+func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
+	l, r, err := runPair(ctx, n.Left, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	workers := ctx.workersFor(max(len(l.Rows), len(r.Rows)))
+	ctx.noteWorkers(n, workers)
+
+	build, err := buildJoinTable(ctx, r.Rows, n.RightKeys, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	rightWidth := r.Schema.Len()
+	probeWorkers := workers
+	if w := ctx.workersFor(len(l.Rows)); probeWorkers > w {
+		probeWorkers = w
+	}
+	outs := make([][]schema.Row, morselCount(len(l.Rows), probeWorkers))
+	encs := make([]keyEnc, probeWorkers)
+	err = ctx.parallelFor(len(l.Rows), probeWorkers, func(w, m, lo, hi int) error {
+		enc := &encs[w]
+		out := make([]schema.Row, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
+			}
+			lrow := l.Rows[i]
+			key, null, err := enc.funcs(n.LeftKeys, lrow)
+			if err != nil {
+				return err
+			}
+			matched := false
+			if !null {
+				for _, rrow := range build.lookupRows(hashKey(key), key) {
+					joined := concatRows(lrow, rrow)
+					if n.Residual != nil {
+						ok, err := eval.EvalPredicate(n.Residual, joined)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							continue
+						}
+					}
+					matched = true
+					out = append(out, joined)
+				}
+			}
+			if !matched && n.JoinType == JoinKindLeft {
+				out = append(out, concatRows(lrow, nullRow(rightWidth)))
+			}
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: n.schema, Rows: concatMorsels(outs)}, nil
 }
 
 func concatRows(l, r schema.Row) schema.Row {
@@ -143,7 +245,9 @@ func nullRow(width int) schema.Row {
 }
 
 // NestedLoopJoinNode joins two inputs with an arbitrary predicate; used
-// when no equality keys exist. Inner joins only.
+// when no equality keys exist. Inner joins only. The pair loop stays
+// serial (nested-loop inputs are small by construction — the planner only
+// picks it without equality keys), but the two inputs run concurrently.
 type NestedLoopJoinNode struct {
 	base
 	Left, Right Node
@@ -166,11 +270,7 @@ func (n *NestedLoopJoinNode) Children() []Node { return []Node{n.Left, n.Right} 
 
 // Execute implements Node.
 func (n *NestedLoopJoinNode) Execute(ctx *Ctx) (*Result, error) {
-	l, err := Run(ctx, n.Left)
-	if err != nil {
-		return nil, err
-	}
-	r, err := Run(ctx, n.Right)
+	l, r, err := runPair(ctx, n.Left, n.Right)
 	if err != nil {
 		return nil, err
 	}

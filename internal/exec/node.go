@@ -8,11 +8,17 @@
 // At the scales this reproduction targets (hundreds of thousands to a few
 // million reads in memory) this is simpler and faster than an iterator
 // protocol, and it keeps per-operator timing honest in benchmarks.
+//
+// Within a query, operators are morsel-parallel (see parallel.go): hot
+// loops fan out over a worker pool sized by the Parallelism knob while
+// preserving the exact serial output, and independent plan children (the
+// two inputs of a join or set operation) execute concurrently.
 package exec
 
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/schema"
@@ -26,15 +32,33 @@ type Result struct {
 }
 
 // Ctx carries per-execution state: the governing context.Context (for
-// cancellation and deadlines), the result cache that lets shared subtrees
-// (CTEs referenced twice, IN-subqueries) run once per statement, and
-// optional per-operator runtime statistics.
+// cancellation and deadlines), the per-query parallelism cap, the result
+// cache that lets shared subtrees (CTEs referenced twice, IN-subqueries)
+// run once per statement, and optional per-operator runtime statistics.
+// The cache and stats maps are mutex-guarded because independent plan
+// children execute concurrently (see runPair).
 type Ctx struct {
-	ctx   context.Context
-	cache map[Node]*Result
+	ctx context.Context
+	// par caps intra-query parallelism (worker-pool width per operator
+	// and concurrent children); defaults to the Parallelism package knob.
+	par int
+
+	mu    sync.Mutex
+	cache map[Node]*inflight
 	// stats, when non-nil, collects actual rows and elapsed time per
 	// operator (EXPLAIN ANALYZE).
 	stats map[Node]*NodeStats
+	// workerNotes records each operator's actual fan-out (stats runs only).
+	workerNotes map[Node]int
+}
+
+// inflight is one node's execution slot: the sync.Once makes a subtree
+// shared between concurrently-executing plan children run exactly once,
+// with late arrivals blocking until the first execution completes.
+type inflight struct {
+	once sync.Once
+	res  *Result
+	err  error
 }
 
 // NodeStats is the measured behaviour of one operator in one execution.
@@ -45,6 +69,9 @@ type NodeStats struct {
 	Elapsed time.Duration
 	// Hits counts cache hits beyond the first execution (shared CTEs).
 	Hits int
+	// Workers is the operator's parallel fan-out; 0 or 1 means it ran
+	// serially (small input, or Parallelism=1).
+	Workers int
 }
 
 // NewCtx returns a fresh execution context that is never canceled.
@@ -54,7 +81,7 @@ func NewCtx() *Ctx { return NewCtxWith(context.Background()) }
 // poll it cooperatively (every cancelCheckInterval rows in their hot
 // loops) and abort with ctx.Err() once it is done.
 func NewCtxWith(ctx context.Context) *Ctx {
-	return &Ctx{ctx: ctx, cache: map[Node]*Result{}}
+	return &Ctx{ctx: ctx, par: defaultParallelism(), cache: map[Node]*inflight{}}
 }
 
 // NewAnalyzeCtx returns a context that records per-operator statistics.
@@ -62,11 +89,49 @@ func NewAnalyzeCtx() *Ctx { return NewAnalyzeCtxWith(context.Background()) }
 
 // NewAnalyzeCtxWith is NewAnalyzeCtx governed by a context.Context.
 func NewAnalyzeCtxWith(ctx context.Context) *Ctx {
-	return &Ctx{ctx: ctx, cache: map[Node]*Result{}, stats: map[Node]*NodeStats{}}
+	c := NewCtxWith(ctx)
+	c.stats = map[Node]*NodeStats{}
+	c.workerNotes = map[Node]int{}
+	return c
+}
+
+// SetParallelism caps intra-query parallelism for executions under this
+// context; n < 1 resets to the package-level Parallelism default. It
+// returns c for chaining and must be called before Run.
+func (c *Ctx) SetParallelism(n int) *Ctx {
+	if n < 1 {
+		n = defaultParallelism()
+	}
+	c.par = n
+	return c
+}
+
+func defaultParallelism() int {
+	if Parallelism < 1 {
+		return 1
+	}
+	return Parallelism
 }
 
 // Stats returns the recorded statistics for a node, or nil.
-func (c *Ctx) Stats(n Node) *NodeStats { return c.stats[n] }
+func (c *Ctx) Stats(n Node) *NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats[n]
+}
+
+// noteWorkers records an operator's actual fan-out for EXPLAIN ANALYZE;
+// serial execution is not recorded.
+func (c *Ctx) noteWorkers(n Node, workers int) {
+	if c.stats == nil || workers <= 1 {
+		return
+	}
+	c.mu.Lock()
+	if workers > c.workerNotes[n] {
+		c.workerNotes[n] = workers
+	}
+	c.mu.Unlock()
+}
 
 // cancelCheckInterval is how many rows an operator hot loop processes
 // between context polls. A power of two so the tick test compiles to a
@@ -115,30 +180,47 @@ type Node interface {
 }
 
 // Run executes a node through the context cache. Nodes shared between
-// plan subtrees (CTEs) therefore execute exactly once per statement.
+// plan subtrees (CTEs) therefore execute exactly once per statement,
+// even when two plan children racing through runPair reach the shared
+// subtree at the same time — the second caller blocks on the first
+// execution and reuses its result.
 func Run(ctx *Ctx, n Node) (*Result, error) {
-	if r, ok := ctx.cache[n]; ok {
+	ctx.mu.Lock()
+	f, hit := ctx.cache[n]
+	if !hit {
+		f = &inflight{}
+		ctx.cache[n] = f
+	}
+	ctx.mu.Unlock()
+	f.once.Do(func() {
+		if err := ctx.Canceled(); err != nil {
+			f.err = err
+			return
+		}
+		var start time.Time
+		if ctx.stats != nil {
+			start = time.Now()
+		}
+		f.res, f.err = n.Execute(ctx)
+		if ctx.stats != nil && f.err == nil {
+			st := &NodeStats{Rows: len(f.res.Rows), Elapsed: time.Since(start)}
+			ctx.mu.Lock()
+			st.Workers = ctx.workerNotes[n]
+			ctx.stats[n] = st
+			ctx.mu.Unlock()
+		}
+	})
+	if f.err != nil {
+		return nil, f.err
+	}
+	if hit && ctx.stats != nil {
+		ctx.mu.Lock()
 		if st := ctx.stats[n]; st != nil {
 			st.Hits++
 		}
-		return r, nil
+		ctx.mu.Unlock()
 	}
-	if err := ctx.Canceled(); err != nil {
-		return nil, err
-	}
-	var start time.Time
-	if ctx.stats != nil {
-		start = time.Now()
-	}
-	r, err := n.Execute(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.stats != nil {
-		ctx.stats[n] = &NodeStats{Rows: len(r.Rows), Elapsed: time.Since(start)}
-	}
-	ctx.cache[n] = r
-	return r, nil
+	return f.res, nil
 }
 
 // base carries the estimate/ordering fields every operator shares. The
@@ -217,11 +299,21 @@ func (s *ScanNode) Execute(ctx *Ctx) (*Result, error) {
 		}
 		ids := ix.Scan(s.Bounds)
 		rows := make([]schema.Row, len(ids))
-		for i, id := range ids {
-			if err := ctx.Tick(i); err != nil {
-				return nil, err
+		// The gather loop writes disjoint positions, so morsels of the
+		// matched-id range fan out across workers.
+		workers := ctx.workersFor(len(ids))
+		ctx.noteWorkers(s, workers)
+		err := ctx.parallelFor(len(ids), workers, func(_, _, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := ctx.Tick(i - lo); err != nil {
+					return err
+				}
+				rows[i] = s.Table.Rows[ids[i]]
 			}
-			rows[i] = s.Table.Rows[id]
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return &Result{Schema: s.schema, Rows: rows}, nil
 	}

@@ -1,0 +1,323 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// bigRows builds a deterministic mixed-type table comfortably above
+// ParallelThreshold: id ascending, k with heavy duplication (exercises
+// sort stability and grouping), f a float payload, s a low-cardinality
+// string, plus a NULL sprinkled into every column.
+func bigRows(n int) []schema.Row {
+	rows := make([]schema.Row, n)
+	for i := 0; i < n; i++ {
+		id := types.NewInt(int64(i))
+		k := types.NewInt(int64((i * 7919) % 97))
+		f := types.NewFloat(float64(i%1000) * 0.125)
+		s := types.NewString(fmt.Sprintf("s%02d", i%53))
+		if i%211 == 0 {
+			k = types.Null
+		}
+		if i%307 == 0 {
+			f = types.Null
+		}
+		rows[n-1-i] = schema.Row{id, k, f, s}
+	}
+	return rows
+}
+
+func bigSchema() *schema.Schema {
+	s := &schema.Schema{}
+	for i, n := range []string{"id", "k", "f", "s"} {
+		kind := types.KindInt
+		switch i {
+		case 2:
+			kind = types.KindFloat
+		case 3:
+			kind = types.KindString
+		}
+		s.Columns = append(s.Columns, schema.Col("t", n, kind))
+	}
+	return s
+}
+
+// execBoth runs the same plan serially and with 8 workers and asserts
+// the outputs are identical cell by cell — the core determinism
+// guarantee of the morsel framework.
+func execBoth(t *testing.T, n Node) {
+	t.Helper()
+	serial, err := Run(NewCtx().SetParallelism(1), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(NewCtx().SetParallelism(8), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row count: serial %d vs parallel %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		if len(serial.Rows[i]) != len(parallel.Rows[i]) {
+			t.Fatalf("row %d width mismatch", i)
+		}
+		for j := range serial.Rows[i] {
+			a, b := serial.Rows[i][j], parallel.Rows[i][j]
+			if !a.Equal(b) || a.IsNull() != b.IsNull() {
+				t.Fatalf("row %d col %d: serial %s vs parallel %s", i, j, a.SQL(), b.SQL())
+			}
+		}
+	}
+}
+
+func TestParallelFilterMatchesSerial(t *testing.T) {
+	in := NewValuesNode(bigSchema(), bigRows(20000))
+	pred := func(r schema.Row) (types.Value, error) {
+		if r[1].IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(r[1].Int()%3 == 0), nil
+	}
+	execBoth(t, NewFilterNode(in, pred, "k%3=0"))
+}
+
+func TestParallelProjectMatchesSerial(t *testing.T) {
+	in := NewValuesNode(bigSchema(), bigRows(20000))
+	double := func(r schema.Row) (types.Value, error) {
+		return types.NewInt(r[0].Int() * 2), nil
+	}
+	execBoth(t, NewProjectNode(in, intSchema("a", "b"), []eval.Func{colFn(0), double}))
+}
+
+func TestParallelSortMatchesSerial(t *testing.T) {
+	// Heavy duplication in the key makes any stability violation visible.
+	in := NewValuesNode(bigSchema(), bigRows(30000))
+	execBoth(t, NewSortNode(in, []eval.Func{colFn(1), colFn(3)}, []bool{false, true}))
+}
+
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	// id%4096 keeps per-key match lists short (a few rows) while still
+	// exercising duplicate keys and NULL handling.
+	modKey := func(r schema.Row) (types.Value, error) {
+		if r[0].Int()%977 == 0 {
+			return types.Null, nil
+		}
+		return types.NewInt(r[0].Int() % 4096), nil
+	}
+	build := func(kind JoinKind, residual eval.Func) Node {
+		l := NewValuesNode(bigSchema(), bigRows(20000))
+		r := NewValuesNode(bigSchema(), bigRows(9000))
+		return NewHashJoinNode(l, r, []eval.Func{modKey}, []eval.Func{modKey}, kind, residual, "k=k")
+	}
+	t.Run("inner", func(t *testing.T) { execBoth(t, build(JoinKindInner, nil)) })
+	t.Run("left", func(t *testing.T) { execBoth(t, build(JoinKindLeft, nil)) })
+	t.Run("residual", func(t *testing.T) {
+		res := func(r schema.Row) (types.Value, error) {
+			return types.NewBool(r[0].Int() < r[4].Int()), nil
+		}
+		execBoth(t, build(JoinKindInner, res))
+	})
+}
+
+func TestParallelGroupMatchesSerial(t *testing.T) {
+	in := NewValuesNode(bigSchema(), bigRows(25000))
+	out := &schema.Schema{}
+	for _, n := range []string{"k", "c", "cd", "sf", "si", "av", "mn", "mx"} {
+		out.Columns = append(out.Columns, schema.Col("", n, types.KindInt))
+	}
+	aggs := []AggSpec{
+		{Func: "count", OutName: "c"},
+		{Func: "count", Arg: colFn(3), Distinct: true, OutName: "cd"},
+		{Func: "sum", Arg: colFn(2), OutName: "sf"},
+		{Func: "sum", Arg: colFn(0), OutName: "si"},
+		{Func: "avg", Arg: colFn(2), OutName: "av"},
+		{Func: "min", Arg: colFn(0), OutName: "mn"},
+		{Func: "max", Arg: colFn(2), OutName: "mx"},
+	}
+	execBoth(t, NewGroupNode(in, out, []eval.Func{colFn(1)}, aggs))
+}
+
+func TestParallelGlobalAggMatchesSerial(t *testing.T) {
+	in := NewValuesNode(bigSchema(), bigRows(25000))
+	out := &schema.Schema{Columns: []schema.Column{schema.Col("", "sf", types.KindFloat)}}
+	execBoth(t, NewGroupNode(in, out, nil, []AggSpec{{Func: "sum", Arg: colFn(2), OutName: "sf"}}))
+}
+
+func TestParallelDistinctAndSetOpsMatchSerial(t *testing.T) {
+	proj := func(n int) Node {
+		in := NewValuesNode(bigSchema(), bigRows(n))
+		return NewProjectNode(in, intSchema("k", "s"), []eval.Func{colFn(1), colFn(3)})
+	}
+	t.Run("distinct", func(t *testing.T) { execBoth(t, NewDistinctNode(proj(20000))) })
+	t.Run("union", func(t *testing.T) {
+		n, err := NewUnionNode(proj(15000), proj(9000), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execBoth(t, n)
+	})
+	t.Run("except", func(t *testing.T) {
+		n, err := NewSetOpNode(proj(15000), proj(9000), SetOpExcept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execBoth(t, n)
+	})
+	t.Run("intersect", func(t *testing.T) {
+		n, err := NewSetOpNode(proj(15000), proj(9000), SetOpIntersect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execBoth(t, n)
+	})
+}
+
+func TestParallelIndexScanMatchesSerial(t *testing.T) {
+	tab := storage.NewTable("t", intSchema("a"))
+	for i := 0; i < 20000; i++ {
+		tab.Append(schema.Row{types.NewInt(int64((i * 7919) % 20011))})
+	}
+	tab.BuildIndex("a")
+	lo := types.NewInt(100)
+	scan := NewScanNode(tab, "t")
+	scan.IndexOrd = 0
+	scan.Bounds = storage.Bounds{Lo: &lo, LoIncl: true}
+	execBoth(t, scan)
+}
+
+// Sort keys must be computed once per row, never per comparison — a
+// counting key function proves it at both parallelism settings.
+func TestSortEvaluatesKeysOncePerRow(t *testing.T) {
+	const n = 20000
+	for _, par := range []int{1, 8} {
+		in := NewValuesNode(bigSchema(), bigRows(n))
+		var calls atomic.Int64
+		key := func(r schema.Row) (types.Value, error) {
+			calls.Add(1)
+			return r[1], nil
+		}
+		if _, err := Run(NewCtx().SetParallelism(par), NewSortNode(in, []eval.Func{key}, []bool{false})); err != nil {
+			t.Fatal(err)
+		}
+		if got := calls.Load(); got != n {
+			t.Fatalf("par=%d: key func called %d times for %d rows", par, got, n)
+		}
+	}
+}
+
+// AppendGroupKey must encode exactly like GroupKey for every kind —
+// the keyEnc fast path and the accumulator's DISTINCT map must agree on
+// value identity.
+func TestAppendGroupKeyMatchesGroupKey(t *testing.T) {
+	vals := []types.Value{
+		types.Null,
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewInt(-42),
+		types.NewInt(1 << 40),
+		types.NewFloat(3.25),
+		types.NewFloat(-0.0),
+		types.NewString(""),
+		types.NewString("abc\x00def"),
+		types.NewTime(1158019200000000),
+		types.NewInterval(-5000000),
+	}
+	for _, v := range vals {
+		if got, want := string(v.AppendGroupKey(nil)), v.GroupKey(); got != want {
+			t.Errorf("%s: AppendGroupKey %q != GroupKey %q", v.SQL(), got, want)
+		}
+	}
+}
+
+// The keying hot path — encode a row and hash it — must not allocate.
+func TestKeyEncodingZeroAllocs(t *testing.T) {
+	row := schema.Row{types.NewInt(12345), types.NewString("case07"), types.NewFloat(2.5), types.Null}
+	var enc keyEnc
+	enc.row(row) // warm the scratch buffer
+	var sink uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += hashKey(enc.row(row))
+	})
+	if allocs != 0 {
+		t.Fatalf("key encode+hash allocates %.1f per row", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkRowKeying contrasts the legacy per-row string-concatenation
+// key (what joinKey/rowKey/the group-by map used to build) with the
+// maphash scratch-buffer encoder: the new path is allocation-free.
+func BenchmarkRowKeying(b *testing.B) {
+	rows := bigRows(4096)
+	b.Run("string-concat", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			r := rows[i%len(rows)]
+			kb := make([]byte, 0, 16)
+			for _, v := range r {
+				kb = append(kb, v.GroupKey()...)
+				kb = append(kb, 0x1f)
+			}
+			sink += len(string(kb))
+		}
+		_ = sink
+	})
+	b.Run("maphash", func(b *testing.B) {
+		b.ReportAllocs()
+		var enc keyEnc
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += hashKey(enc.row(rows[i%len(rows)]))
+		}
+		_ = sink
+	})
+}
+
+// Canceling mid-operator must stop parallel workers: a predicate cancels
+// the context partway through a large parallel filter, and the query
+// must fail with the context's error.
+func TestCancellationInsideParallelOperator(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := NewValuesNode(bigSchema(), bigRows(200000))
+	var n atomic.Int64
+	pred := func(r schema.Row) (types.Value, error) {
+		if n.Add(1) == 10000 {
+			cancel()
+		}
+		return types.NewBool(true), nil
+	}
+	_, err := Run(NewCtxWith(ctx).SetParallelism(8), NewFilterNode(in, pred, "cancelable"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// EXPLAIN ANALYZE must surface per-operator fan-out.
+func TestExplainAnalyzeReportsWorkers(t *testing.T) {
+	in := NewValuesNode(bigSchema(), bigRows(20000))
+	n := NewFilterNode(in, func(schema.Row) (types.Value, error) { return types.NewBool(true), nil }, "true")
+	ctx := NewAnalyzeCtx().SetParallelism(4)
+	if _, err := Run(ctx, n); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Stats(n)
+	if st == nil || st.Workers != 4 {
+		t.Fatalf("stats = %+v, want Workers=4", st)
+	}
+	out := ExplainAnalyze(n, ctx)
+	if want := "workers=4"; !strings.Contains(out, want) {
+		t.Fatalf("ExplainAnalyze missing %q:\n%s", want, out)
+	}
+}

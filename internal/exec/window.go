@@ -1,9 +1,9 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -12,15 +12,6 @@ import (
 	"repro/internal/sqlast"
 	"repro/internal/types"
 )
-
-// WindowParallelism caps how many goroutines evaluate window partitions
-// concurrently. Set to 1 to force serial evaluation (the ablation
-// benchmark does); defaults to the machine's CPU count.
-var WindowParallelism = runtime.NumCPU()
-
-// parallelWindowThreshold is the minimum input size worth fanning out
-// for; tiny inputs stay serial to avoid goroutine overhead.
-const parallelWindowThreshold = 4096
 
 // FrameMode classifies how a window frame selects rows.
 type FrameMode uint8
@@ -89,7 +80,11 @@ func (n *WindowNode) Label() string {
 // Children implements Node.
 func (n *WindowNode) Children() []Node { return []Node{n.Input} }
 
-// Execute implements Node.
+// Execute implements Node. Every per-row stage — partition-key
+// encoding, order-key extraction, aggregate-argument evaluation, and
+// the final column concatenation — is morsel-parallel with disjoint
+// position writes; partition spans then evaluate concurrently, each
+// span owned by one worker so running aggregates fold in input order.
 func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
@@ -97,23 +92,32 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	rows := in.Rows
 	nrows := len(rows)
+	workers := ctx.workersFor(nrows)
+	ctx.noteWorkers(n, workers)
 
-	// Partition boundaries over the (sorted) input.
-	partKey := make([]string, nrows)
-	for i, r := range rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
-		}
-		b := make([]byte, 0, 16)
-		for _, f := range n.PartKeys {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
+	// Partition keys over the (sorted) input, encoded into per-morsel
+	// arenas.
+	partKey := make([][]byte, nrows)
+	encs := make([]keyEnc, workers)
+	err = ctx.parallelFor(nrows, workers, func(w, _, lo, hi int) error {
+		enc := &encs[w]
+		var arena []byte
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
 			}
-			b = append(b, v.GroupKey()...)
-			b = append(b, 0x1f)
+			key, _, err := enc.funcs(n.PartKeys, rows[i])
+			if err != nil {
+				return err
+			}
+			start := len(arena)
+			arena = append(arena, key...)
+			partKey[i] = arena[start:len(arena):len(arena)]
 		}
-		partKey[i] = string(b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Order keys, needed for RANGE and peer frames.
@@ -129,35 +133,41 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 			return nil, fmt.Errorf("exec: RANGE frames require a single ascending ORDER BY key")
 		}
 		orderRaw = make([]int64, nrows)
-		for i, r := range rows {
-			if err := ctx.Tick(i); err != nil {
-				return nil, err
+		err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := ctx.Tick(i - lo); err != nil {
+					return err
+				}
+				v, err := n.OrderKeys[0](rows[i])
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					return fmt.Errorf("exec: NULL order key in RANGE frame")
+				}
+				switch v.Kind() {
+				case types.KindInt, types.KindTime, types.KindInterval:
+					orderRaw[i] = v.Raw()
+				default:
+					return fmt.Errorf("exec: RANGE frame order key must be numeric or time, got %s", v.Kind())
+				}
 			}
-			v, err := n.OrderKeys[0](r)
-			if err != nil {
-				return nil, err
-			}
-			if v.IsNull() {
-				return nil, fmt.Errorf("exec: NULL order key in RANGE frame")
-			}
-			switch v.Kind() {
-			case types.KindInt, types.KindTime, types.KindInterval:
-				orderRaw[i] = v.Raw()
-			default:
-				return nil, fmt.Errorf("exec: RANGE frame order key must be numeric or time, got %s", v.Kind())
-			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
-	// Pre-evaluate aggregate arguments once per row — in parallel chunks,
-	// since the CASE payloads of rule flags are the per-row hot path.
+	// Pre-evaluate aggregate arguments once per row, morsel-parallel —
+	// the CASE payloads of rule flags are the per-row hot path.
 	argVals := make([][]types.Value, len(n.Aggs))
 	for ai := range n.Aggs {
 		if n.Aggs[ai].Arg != nil {
 			argVals[ai] = make([]types.Value, nrows)
 		}
 	}
-	evalChunk := func(lo, hi int) error {
+	err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
 		for ai := range n.Aggs {
 			arg := n.Aggs[ai].Arg
 			if arg == nil {
@@ -176,37 +186,9 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 			}
 		}
 		return nil
-	}
-	if WindowParallelism <= 1 || nrows < parallelWindowThreshold {
-		if err := evalChunk(0, nrows); err != nil {
-			return nil, err
-		}
-	} else {
-		workers := WindowParallelism
-		chunk := (nrows + workers - 1) / workers
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > nrows {
-				hi = nrows
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				errs[w] = evalChunk(lo, hi)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	outCols := make([][]types.Value, len(n.Aggs))
@@ -219,7 +201,7 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	var spans []span
 	for start := 0; start < nrows; {
 		end := start + 1
-		for end < nrows && partKey[end] == partKey[start] {
+		for end < nrows && bytes.Equal(partKey[end], partKey[start]) {
 			end++
 		}
 		spans = append(spans, span{start, end})
@@ -229,11 +211,11 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	// Partitions are independent, so they evaluate in parallel — the
 	// in-engine analogue of the intra-query parallelism the paper's DBMS
 	// provides. Each worker writes disjoint slices of the output columns.
-	workers := WindowParallelism
-	if workers > len(spans) {
-		workers = len(spans)
+	spanWorkers := workers
+	if spanWorkers > len(spans) {
+		spanWorkers = len(spans)
 	}
-	if workers <= 1 || nrows < parallelWindowThreshold {
+	if spanWorkers <= 1 {
 		for si, sp := range spans {
 			if err := ctx.Tick(si); err != nil {
 				return nil, err
@@ -247,8 +229,8 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	} else {
 		var wg sync.WaitGroup
 		next := int64(-1)
-		errs := make([]error, workers)
-		for w := 0; w < workers; w++ {
+		errs := make([]error, spanWorkers)
+		for w := 0; w < spanWorkers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
@@ -272,24 +254,28 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 			}(w)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		if err := firstError(errs); err != nil {
+			return nil, err
 		}
 	}
 
 	out := make([]schema.Row, nrows)
-	for i, r := range rows {
-		if err := ctx.Tick(i); err != nil {
-			return nil, err
+	err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Tick(i - lo); err != nil {
+				return err
+			}
+			row := make(schema.Row, 0, len(rows[i])+len(n.Aggs))
+			row = append(row, rows[i]...)
+			for ai := range n.Aggs {
+				row = append(row, outCols[ai][i])
+			}
+			out[i] = row
 		}
-		row := make(schema.Row, 0, len(r)+len(n.Aggs))
-		row = append(row, r...)
-		for ai := range n.Aggs {
-			row = append(row, outCols[ai][i])
-		}
-		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{Schema: n.schema, Rows: out}, nil
 }

@@ -380,12 +380,12 @@ func TestWindowParallelMatchesSerial(t *testing.T) {
 			[]WindowAgg{{Func: "sum", Arg: colFn(2), OutName: "w",
 				Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundPreceding, StartOff: 3, EndType: sqlast.BoundFollowing, EndOff: 2}}})
 	}
-	old := WindowParallelism
-	defer func() { WindowParallelism = old }()
+	old := Parallelism
+	defer func() { Parallelism = old }()
 
-	WindowParallelism = 1
+	Parallelism = 1
 	serial := mustExec(t, build())
-	WindowParallelism = 8
+	Parallelism = 8
 	parallel := mustExec(t, build())
 	if len(serial.Rows) != len(parallel.Rows) {
 		t.Fatal("row count mismatch")

@@ -13,6 +13,30 @@ type sschema = schema.Schema
 
 const defaultSel = 1.0 / 3
 
+// costDOP is the effective degree of parallelism the cost model assumes:
+// morsel-driven workers overlap but pay coordination overhead, so each
+// extra core contributes 0.75 of a serial core, capped at 16 (memory
+// bandwidth bounds scan-heavy operators well before wide machines run
+// out of cores). It reads the process-wide exec.Parallelism knob at plan
+// time; per-query overrides do not replan.
+func costDOP() float64 {
+	p := exec.Parallelism
+	if p > 16 {
+		p = 16
+	}
+	if p <= 1 {
+		return 1
+	}
+	return 1 + 0.75*float64(p-1)
+}
+
+// cpu scales an operator's CPU work term by the expected parallel
+// speedup. Every operator's work is scaled by the same factor — morsel
+// parallelism applies across the whole tree — so relative plan choices
+// (index vs sequential scan, join order, rewrite strategy) are exactly
+// what a serial cost model would pick; only the absolute numbers shrink.
+func cpu(work float64) float64 { return work / costDOP() }
+
 func concatSchemas(l, r *planned) *schema.Schema {
 	return schema.Concat(l.schema(), r.schema())
 }

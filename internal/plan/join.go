@@ -180,7 +180,7 @@ func (b *builder) buildJoin(l, r *planned, conjs []sqlast.Expr, kind exec.JoinKi
 			res = f
 		}
 		n := exec.NewHashJoinNode(l.node, r.node, lFns, rFns, kind, res, desc)
-		cost := l.node.EstCost() + r.node.EstCost() + (l.node.EstRows()+r.node.EstRows())*costHashRow
+		cost := l.node.EstCost() + r.node.EstCost() + cpu((l.node.EstRows()+r.node.EstRows())*costHashRow)
 		exec.SetEstimates(n, rows, cost)
 		exec.SetOrdering(n, l.node.Ordering())
 		return &planned{node: n, stats: stats}, nil
@@ -199,7 +199,7 @@ func (b *builder) buildJoin(l, r *planned, conjs []sqlast.Expr, kind exec.JoinKi
 		pred = f
 	}
 	n := exec.NewNestedLoopJoinNode(l.node, r.node, pred, desc)
-	cost := l.node.EstCost() + r.node.EstCost() + l.node.EstRows()*r.node.EstRows()*0.3
+	cost := l.node.EstCost() + r.node.EstCost() + cpu(l.node.EstRows()*r.node.EstRows()*0.3)
 	exec.SetEstimates(n, rows, cost)
 	return &planned{node: n, stats: stats}, nil
 }

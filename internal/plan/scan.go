@@ -84,8 +84,8 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 	remaining := conjs
 	if best != nil {
 		matched := total * best.sel
-		idxCost := matched*costIndexRow + math.Log2(total+2)
-		if idxCost < total*costSeqRow {
+		idxCost := cpu(matched*costIndexRow + math.Log2(total+2))
+		if idxCost < cpu(total*costSeqRow) {
 			scan.IndexOrd = best.ord
 			scan.Bounds = best.bounds
 			exec.SetEstimates(scan, matched, idxCost)
@@ -100,7 +100,7 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 			return b.applyFilter(pl, remaining, scope)
 		}
 	}
-	exec.SetEstimates(scan, total, total*costSeqRow)
+	exec.SetEstimates(scan, total, cpu(total*costSeqRow))
 	pl.node = scan
 	return b.applyFilter(pl, remaining, scope)
 }

@@ -104,7 +104,7 @@ func (b *builder) finishSelect(sel *sqlast.SelectStmt, pl *planned, scope *cteSc
 	if sel.Distinct {
 		n := exec.NewDistinctNode(pl.node)
 		rows := b.distinctEstimate(pl)
-		exec.SetEstimates(n, rows, pl.node.EstCost()+pl.node.EstRows()*costGroupRow)
+		exec.SetEstimates(n, rows, pl.node.EstCost()+cpu(pl.node.EstRows()*costGroupRow))
 		pl = &planned{node: n, stats: pl.stats}
 	}
 	if sel.Limit != nil || sel.Offset != nil {
@@ -319,7 +319,7 @@ func (b *builder) planGrouping(sel *sqlast.SelectStmt, pl *planned, items []outI
 	}
 
 	n := exec.NewGroupNode(pl.node, outSchema, keyFns, aggs)
-	exec.SetEstimates(n, rowsEst, pl.node.EstCost()+pl.node.EstRows()*costGroupRow)
+	exec.SetEstimates(n, rowsEst, pl.node.EstCost()+cpu(pl.node.EstRows()*costGroupRow))
 	out := &planned{node: n, stats: outStats}
 
 	// Rewrite consumers to reference the aggregation output.
@@ -416,7 +416,7 @@ func (b *builder) planWindows(pl *planned, items []outItem, orderBy []sqlast.Ord
 			winIdx++
 		}
 		n := exec.NewWindowNode(pl.node, outSchema, partFns, orderFns, orderDesc, aggs)
-		cost := pl.node.EstCost() + pl.node.EstRows()*float64(len(aggs))*costWindowAgg
+		cost := pl.node.EstCost() + cpu(pl.node.EstRows()*float64(len(aggs))*costWindowAgg)
 		exec.SetEstimates(n, pl.node.EstRows(), cost)
 		exec.SetOrdering(n, pl.node.Ordering())
 		pl = &planned{node: n, stats: outStats}
@@ -503,7 +503,7 @@ func (b *builder) ensureWindowOrder(pl *planned, w *sqlast.WindowExpr) (*planned
 	}
 	n := exec.NewSortNode(pl.node, keys, desc)
 	rows := pl.node.EstRows()
-	exec.SetEstimates(n, rows, pl.node.EstCost()+rows*math.Log2(rows+2)*costSortFactor)
+	exec.SetEstimates(n, rows, pl.node.EstCost()+cpu(rows*math.Log2(rows+2)*costSortFactor))
 	if known {
 		exec.SetOrdering(n, want)
 	}
@@ -672,7 +672,7 @@ func (b *builder) planProject(pl *planned, items []outItem) (*planned, error) {
 		outStats = append(outStats, st)
 	}
 	n := exec.NewProjectNode(pl.node, outSchema, exprs)
-	exec.SetEstimates(n, pl.node.EstRows(), pl.node.EstCost()+pl.node.EstRows()*float64(len(items))*costProjectRow)
+	exec.SetEstimates(n, pl.node.EstRows(), pl.node.EstCost()+cpu(pl.node.EstRows()*float64(len(items))*costProjectRow))
 	// Ordering survives projection for the prefix of keys that pass through.
 	var ord []exec.OrderCol
 	for _, oc := range pl.node.Ordering() {
@@ -716,7 +716,7 @@ func (b *builder) planOrderBy(pl *planned, orderBy []sqlast.OrderItem) (*planned
 	}
 	n := exec.NewSortNode(pl.node, keys, desc)
 	rows := pl.node.EstRows()
-	exec.SetEstimates(n, rows, pl.node.EstCost()+rows*math.Log2(rows+2)*costSortFactor)
+	exec.SetEstimates(n, rows, pl.node.EstCost()+cpu(rows*math.Log2(rows+2)*costSortFactor))
 	if known {
 		exec.SetOrdering(n, ord)
 	}

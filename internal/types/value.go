@@ -213,6 +213,33 @@ func quoteSQLString(s string) string {
 	return string(append(out, '\''))
 }
 
+// AppendGroupKey appends v's group key (the same encoding GroupKey
+// returns) to b and returns the extended slice. Operator hot loops use it
+// with a reused scratch buffer so composite keys cost zero allocations
+// per row; GroupKey remains for callers that want a map-ready string.
+func (v Value) AppendGroupKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 0x00, 'n')
+	case KindBool:
+		if v.i != 0 {
+			return append(b, 0x00, 't')
+		}
+		return append(b, 0x00, 'f')
+	case KindInt:
+		return strconv.AppendInt(append(b, 0x00, 'i'), v.i, 10)
+	case KindFloat:
+		return strconv.AppendFloat(append(b, 0x00, 'd'), v.f, 'x', -1, 64)
+	case KindString:
+		return append(append(b, 0x00, 's'), v.s...)
+	case KindTime:
+		return strconv.AppendInt(append(b, 0x00, 'T'), v.i, 10)
+	case KindInterval:
+		return strconv.AppendInt(append(b, 0x00, 'I'), v.i, 10)
+	}
+	return append(b, 0x00, '?')
+}
+
 // Equal reports strict equality of kind and payload. NULLs are equal to
 // each other here (Go-level identity, not SQL semantics); use Compare for
 // SQL comparison semantics.

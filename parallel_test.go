@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+// TestQueryCorpusParallelInvariance runs the paper's benchmark queries
+// under every rewrite strategy at Parallelism=1 and Parallelism=NumCPU
+// and asserts the results are identical — the end-to-end form of the
+// determinism guarantee the morsel framework makes. The -race runs of
+// CI double this test as the engine's concurrency check.
+func TestQueryCorpusParallelInvariance(t *testing.T) {
+	e, err := bench.Load(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := e.RulePrefix(5)
+	queries := map[string]string{
+		"q1":  e.Q1(0.4),
+		"q2":  e.Q2(0.3),
+		"q2p": e.Q2Prime(0.3),
+	}
+	for qname, q := range queries {
+		for _, v := range bench.Variants() {
+			t.Run(qname+"/"+v.Name, func(t *testing.T) {
+				serial, err := e.DB.Query(q,
+					repro.WithStrategy(v.Strat), repro.WithRules(rules...),
+					repro.WithParallelism(1))
+				if err != nil {
+					// Expanded rewrites are legitimately infeasible for
+					// some rule sets (Table 1's {} entries).
+					if v.Strat == repro.Expanded {
+						t.Skipf("infeasible: %v", err)
+					}
+					t.Fatal(err)
+				}
+				parallel, err := e.DB.Query(q,
+					repro.WithStrategy(v.Strat), repro.WithRules(rules...),
+					repro.WithParallelism(runtime.NumCPU()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameRows(t, serial, parallel)
+			})
+		}
+	}
+}
+
+func assertSameRows(t *testing.T, a, b *repro.Rows) {
+	t.Helper()
+	if len(a.Columns) != len(b.Columns) {
+		t.Fatalf("column count: %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			t.Fatalf("column %d name: %q vs %q", i, a.Columns[i], b.Columns[i])
+		}
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("row count: serial %d vs parallel %d", len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		for j := range a.Data[i] {
+			va, vb := a.Data[i][j], b.Data[i][j]
+			if !va.Equal(vb) || va.IsNull() != vb.IsNull() {
+				t.Fatalf("row %d col %d: serial %s vs parallel %s", i, j, va.SQL(), vb.SQL())
+			}
+		}
+	}
+}

@@ -343,9 +343,10 @@ func (db *DB) DefineRule(src string) (RuleInfo, error) {
 type QueryOption func(*queryOpts)
 
 type queryOpts struct {
-	strategy Strategy
-	rules    []string
-	timeout  time.Duration
+	strategy    Strategy
+	rules       []string
+	timeout     time.Duration
+	parallelism int
 }
 
 // WithStrategy forces a rewrite strategy (default Auto).
@@ -366,6 +367,24 @@ func WithRules(names ...string) QueryOption {
 // context.DeadlineExceeded.
 func WithTimeout(d time.Duration) QueryOption {
 	return func(o *queryOpts) { o.timeout = d }
+}
+
+// WithParallelism sets this query's intra-query worker-pool width: scans,
+// filters, joins, sorts, aggregations, and window partitions split large
+// inputs into morsels executed by up to n goroutines, and independent
+// plan subtrees run concurrently. 1 forces serial execution; values < 1
+// (including the zero default) use the process-wide exec.Parallelism,
+// which defaults to the CPU count. Results are bit-identical at every
+// setting — parallel operators preserve serial output order exactly — so
+// the knob trades only latency for CPU, never answers.
+func WithParallelism(n int) QueryOption {
+	return func(o *queryOpts) { o.parallelism = n }
+}
+
+// execCtx builds the execution context for one query run, applying the
+// WithParallelism option.
+func (o *queryOpts) execCtx(ctx context.Context) *exec.Ctx {
+	return exec.NewCtxWith(ctx).SetParallelism(o.parallelism)
 }
 
 // deadline applies the WithTimeout option, if any, to ctx.
@@ -424,7 +443,7 @@ func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts) (*Rows,
 	if err != nil {
 		return nil, err
 	}
-	out, err := exec.Run(exec.NewCtxWith(ctx), res.Plan)
+	out, err := exec.Run(o.execCtx(ctx), res.Plan)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
@@ -475,6 +494,7 @@ type Prepared struct {
 	db   *DB
 	plan exec.Node
 	info RewriteInfo
+	par  int // WithParallelism at Prepare time; applied to every Run
 }
 
 // Prepare rewrites and plans a query once.
@@ -495,7 +515,7 @@ func (db *DB) PrepareContext(ctx context.Context, sql string, opts ...QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, plan: res.Plan, info: inf}, nil
+	return &Prepared{db: db, plan: res.Plan, info: inf, par: o.parallelism}, nil
 }
 
 // Rewrite reports how the prepared query will execute.
@@ -511,7 +531,7 @@ func (p *Prepared) Run() (*Rows, error) {
 func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
-	out, err := exec.Run(exec.NewCtxWith(ctx), p.plan)
+	out, err := exec.Run(exec.NewCtxWith(ctx).SetParallelism(p.par), p.plan)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
@@ -536,7 +556,7 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 	if err != nil {
 		return "", err
 	}
-	ectx := exec.NewAnalyzeCtxWith(ctx)
+	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism)
 	if _, err := exec.Run(ectx, res.Plan); err != nil {
 		return "", wrapCanceled(err)
 	}
