@@ -32,6 +32,7 @@ verify:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelPipeline|BenchmarkAblationWindowParallelism|BenchmarkPlanCache|BenchmarkConcurrentClients' -benchmem . | tee BENCH_PR2.json
 	$(GO) test -run '^$$' -bench 'BenchmarkRowKeying' -benchmem ./internal/exec/ | tee -a BENCH_PR2.json
+	$(GO) test -run '^$$' -bench 'BenchmarkVectorized' -benchmem ./internal/exec/ | tee BENCH_PR3.json
 
 # Every benchmark, including the full paper-figure grid (slow).
 bench-all:

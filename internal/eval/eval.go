@@ -1,7 +1,14 @@
-// Package eval compiles resolved sqlast expressions into closures that
-// evaluate over flat rows with SQL three-valued-logic semantics. Column
-// references are resolved to ordinals once at compile time; the executor
-// then evaluates predicates and projections with no per-row name lookups.
+// Package eval compiles resolved sqlast expressions into executable form
+// with SQL three-valued-logic semantics. Column references are resolved
+// to ordinals once at compile time; the executor then evaluates
+// predicates and projections with no per-row name lookups.
+//
+// Compile returns a *Compiled carrying two evaluation paths: the
+// row-at-a-time closure (Eval) and, for every supported construct, a
+// vectorized kernel (EvalBatch/TryBatch, see batch.go) that processes a
+// whole morsel per call. Literal-only subexpressions are folded to
+// constants at compile time. The two paths are guaranteed bit-identical
+// in both values and errors.
 //
 // Aggregates and window functions are not handled here — the planner
 // replaces them with references to computed columns before compiling.
@@ -16,7 +23,7 @@ import (
 	"repro/internal/types"
 )
 
-// Func is a compiled expression.
+// Func is a compiled expression's row-at-a-time form.
 type Func func(row schema.Row) (types.Value, error)
 
 // Env supplies name resolution and subquery evaluation to the compiler.
@@ -29,20 +36,19 @@ type Env struct {
 	SubEval func(sqlast.Stmt) ([]types.Value, error)
 }
 
-// Compile translates e into an executable closure.
-func Compile(e sqlast.Expr, env *Env) (Func, error) {
+// Compile translates e into an executable Compiled expression.
+func Compile(e sqlast.Expr, env *Env) (*Compiled, error) {
 	switch e := e.(type) {
 	case nil:
 		return nil, fmt.Errorf("eval: nil expression")
 	case *sqlast.Const:
-		v := e.V
-		return func(schema.Row) (types.Value, error) { return v, nil }, nil
+		return constCompiled(e.V), nil
 	case *sqlast.ColRef:
 		idx, err := env.Schema.Resolve(e.Table, e.Name)
 		if err != nil {
 			return nil, err
 		}
-		return func(row schema.Row) (types.Value, error) { return row[idx], nil }, nil
+		return Column(idx), nil
 	case *sqlast.Bin:
 		return compileBin(e, env)
 	case *sqlast.Un:
@@ -50,10 +56,11 @@ func Compile(e sqlast.Expr, env *Env) (Func, error) {
 		if err != nil {
 			return nil, err
 		}
+		c := &Compiled{}
 		switch e.Op {
 		case sqlast.OpNot:
-			return func(row schema.Row) (types.Value, error) {
-				v, err := inner(row)
+			c.row = func(row schema.Row) (types.Value, error) {
+				v, err := inner.row(row)
 				if err != nil {
 					return types.Null, err
 				}
@@ -62,10 +69,14 @@ func Compile(e sqlast.Expr, env *Env) (Func, error) {
 					return types.Null, err
 				}
 				return types.ValueOfTristate(types.Not(t)), nil
-			}, nil
+			}
+			if inner.batch != nil {
+				c.bbatch = triNot(inner)
+				c.batch = batchFromTri(c.bbatch)
+			}
 		case sqlast.OpNeg:
-			return func(row schema.Row) (types.Value, error) {
-				v, err := inner(row)
+			c.row = func(row schema.Row) (types.Value, error) {
+				v, err := inner.row(row)
 				if err != nil {
 					return types.Null, err
 				}
@@ -73,22 +84,32 @@ func Compile(e sqlast.Expr, env *Env) (Func, error) {
 					return types.NewInterval(-v.IntervalUsec()), nil
 				}
 				return types.Arith(types.OpSub, types.NewInt(0), v)
-			}, nil
+			}
+			if inner.batch != nil {
+				c.batch = batchNeg(inner)
+			}
+		default:
+			return nil, fmt.Errorf("eval: unknown unary operator")
 		}
-		return nil, fmt.Errorf("eval: unknown unary operator")
+		return foldIfConst(c, inner.isConst), nil
 	case *sqlast.IsNull:
 		inner, err := Compile(e.E, env)
 		if err != nil {
 			return nil, err
 		}
 		neg := e.Neg
-		return func(row schema.Row) (types.Value, error) {
-			v, err := inner(row)
+		c := &Compiled{row: func(row schema.Row) (types.Value, error) {
+			v, err := inner.row(row)
 			if err != nil {
 				return types.Null, err
 			}
 			return types.NewBool(v.IsNull() != neg), nil
-		}, nil
+		}}
+		if inner.batch != nil {
+			c.bbatch = triIsNull(inner, neg)
+			c.batch = batchFromTri(c.bbatch)
+		}
+		return foldIfConst(c, inner.isConst), nil
 	case *sqlast.Case:
 		return compileCase(e, env)
 	case *sqlast.In:
@@ -101,8 +122,7 @@ func Compile(e sqlast.Expr, env *Env) (Func, error) {
 		if err != nil {
 			return nil, err
 		}
-		result := types.NewBool((len(vals) > 0) != e.Neg)
-		return func(schema.Row) (types.Value, error) { return result, nil }, nil
+		return constCompiled(types.NewBool((len(vals) > 0) != e.Neg)), nil
 	case *sqlast.Like:
 		return compileLike(e, env)
 	case *sqlast.FuncCall:
@@ -113,7 +133,7 @@ func Compile(e sqlast.Expr, env *Env) (Func, error) {
 	return nil, fmt.Errorf("eval: unsupported expression %T", e)
 }
 
-func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
+func compileBin(e *sqlast.Bin, env *Env) (*Compiled, error) {
 	l, err := Compile(e.L, env)
 	if err != nil {
 		return nil, err
@@ -123,10 +143,12 @@ func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
 		return nil, err
 	}
 	op := e.Op
+	c := &Compiled{}
+	vectorizable := allVectorized(l, r)
 	switch {
 	case op == sqlast.OpAnd:
-		return func(row schema.Row) (types.Value, error) {
-			lv, err := l(row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			lv, err := l.row(row)
 			if err != nil {
 				return types.Null, err
 			}
@@ -137,7 +159,7 @@ func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
 			if lt == types.False {
 				return types.NewBool(false), nil
 			}
-			rv, err := r(row)
+			rv, err := r.row(row)
 			if err != nil {
 				return types.Null, err
 			}
@@ -146,10 +168,14 @@ func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
 				return types.Null, err
 			}
 			return types.ValueOfTristate(types.And(lt, rt)), nil
-		}, nil
+		}
+		if vectorizable {
+			c.bbatch = triAnd(l, r)
+			c.batch = batchFromTri(c.bbatch)
+		}
 	case op == sqlast.OpOr:
-		return func(row schema.Row) (types.Value, error) {
-			lv, err := l(row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			lv, err := l.row(row)
 			if err != nil {
 				return types.Null, err
 			}
@@ -160,7 +186,7 @@ func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
 			if lt == types.True {
 				return types.NewBool(true), nil
 			}
-			rv, err := r(row)
+			rv, err := r.row(row)
 			if err != nil {
 				return types.Null, err
 			}
@@ -169,26 +195,34 @@ func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
 				return types.Null, err
 			}
 			return types.ValueOfTristate(types.Or(lt, rt)), nil
-		}, nil
+		}
+		if vectorizable {
+			c.bbatch = triOr(l, r)
+			c.batch = batchFromTri(c.bbatch)
+		}
 	case op.IsComparison():
-		return func(row schema.Row) (types.Value, error) {
-			lv, err := l(row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			lv, err := l.row(row)
 			if err != nil {
 				return types.Null, err
 			}
-			rv, err := r(row)
+			rv, err := r.row(row)
 			if err != nil {
 				return types.Null, err
 			}
 			if lv.IsNull() || rv.IsNull() {
 				return types.Null, nil
 			}
-			c, err := types.Compare(lv, rv)
+			cc, err := types.Compare(lv, rv)
 			if err != nil {
 				return types.Null, err
 			}
-			return types.NewBool(cmpHolds(op, c)), nil
-		}, nil
+			return types.NewBool(cmpHolds(op, cc)), nil
+		}
+		if vectorizable {
+			c.bbatch = triCompare(op, l, r)
+			c.batch = batchFromTri(c.bbatch)
+		}
 	case op.IsArith():
 		var aop types.ArithOp
 		switch op {
@@ -201,19 +235,24 @@ func compileBin(e *sqlast.Bin, env *Env) (Func, error) {
 		case sqlast.OpDiv:
 			aop = types.OpDiv
 		}
-		return func(row schema.Row) (types.Value, error) {
-			lv, err := l(row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			lv, err := l.row(row)
 			if err != nil {
 				return types.Null, err
 			}
-			rv, err := r(row)
+			rv, err := r.row(row)
 			if err != nil {
 				return types.Null, err
 			}
 			return types.Arith(aop, lv, rv)
-		}, nil
+		}
+		if vectorizable {
+			c.batch = batchArith(aop, l, r)
+		}
+	default:
+		return nil, fmt.Errorf("eval: unsupported binary operator %v", op)
 	}
-	return nil, fmt.Errorf("eval: unsupported binary operator %v", op)
+	return foldIfConst(c, allConst(l, r)), nil
 }
 
 func cmpHolds(op sqlast.BinOp, c int) bool {
@@ -234,31 +273,38 @@ func cmpHolds(op sqlast.BinOp, c int) bool {
 	return false
 }
 
-func compileCase(e *sqlast.Case, env *Env) (Func, error) {
-	type arm struct{ cond, then Func }
-	arms := make([]arm, len(e.Whens))
+// caseArm is one compiled WHEN/THEN pair.
+type caseArm struct{ cond, then *Compiled }
+
+func compileCase(e *sqlast.Case, env *Env) (*Compiled, error) {
+	arms := make([]caseArm, len(e.Whens))
+	armsConst, armsVector := true, true
 	for i, w := range e.Whens {
-		c, err := Compile(w.Cond, env)
+		cond, err := Compile(w.Cond, env)
 		if err != nil {
 			return nil, err
 		}
-		t, err := Compile(w.Then, env)
+		then, err := Compile(w.Then, env)
 		if err != nil {
 			return nil, err
 		}
-		arms[i] = arm{c, t}
+		arms[i] = caseArm{cond, then}
+		armsConst = armsConst && allConst(cond, then)
+		armsVector = armsVector && allVectorized(cond, then)
 	}
-	var elseF Func
+	var elseC *Compiled
 	if e.Else != nil {
 		f, err := Compile(e.Else, env)
 		if err != nil {
 			return nil, err
 		}
-		elseF = f
+		elseC = f
+		armsConst = armsConst && f.isConst
+		armsVector = armsVector && f.batch != nil
 	}
-	return func(row schema.Row) (types.Value, error) {
+	c := &Compiled{row: func(row schema.Row) (types.Value, error) {
 		for _, a := range arms {
-			cv, err := a.cond(row)
+			cv, err := a.cond.row(row)
 			if err != nil {
 				return types.Null, err
 			}
@@ -267,22 +313,26 @@ func compileCase(e *sqlast.Case, env *Env) (Func, error) {
 				return types.Null, err
 			}
 			if t == types.True {
-				return a.then(row)
+				return a.then.row(row)
 			}
 		}
-		if elseF != nil {
-			return elseF(row)
+		if elseC != nil {
+			return elseC.row(row)
 		}
 		return types.Null, nil
-	}, nil
+	}}
+	if armsVector {
+		c.batch = batchCase(arms, elseC)
+	}
+	return foldIfConst(c, armsConst), nil
 }
 
-func compileIn(e *sqlast.In, env *Env) (Func, error) {
+func compileIn(e *sqlast.In, env *Env) (*Compiled, error) {
 	operand, err := Compile(e.E, env)
 	if err != nil {
 		return nil, err
 	}
-	var members []Func
+	var members []*Compiled
 	var setHasNull bool
 	set := map[string]struct{}{}
 	if e.Sub != nil {
@@ -302,11 +352,11 @@ func compileIn(e *sqlast.In, env *Env) (Func, error) {
 		}
 	} else {
 		for _, m := range e.List {
-			if c, ok := m.(*sqlast.Const); ok {
-				if c.V.IsNull() {
+			if cst, ok := m.(*sqlast.Const); ok {
+				if cst.V.IsNull() {
 					setHasNull = true
 				} else {
-					set[c.V.GroupKey()] = struct{}{}
+					set[cst.V.GroupKey()] = struct{}{}
 				}
 				continue
 			}
@@ -318,8 +368,8 @@ func compileIn(e *sqlast.In, env *Env) (Func, error) {
 		}
 	}
 	neg := e.Neg
-	return func(row schema.Row) (types.Value, error) {
-		v, err := operand(row)
+	c := &Compiled{row: func(row schema.Row) (types.Value, error) {
+		v, err := operand.row(row)
 		if err != nil {
 			return types.Null, err
 		}
@@ -333,7 +383,7 @@ func compileIn(e *sqlast.In, env *Env) (Func, error) {
 		sawNull := setHasNull
 		if !found {
 			for _, m := range members {
-				mv, err := m(row)
+				mv, err := m.row(row)
 				if err != nil {
 					return types.Null, err
 				}
@@ -341,11 +391,11 @@ func compileIn(e *sqlast.In, env *Env) (Func, error) {
 					sawNull = true
 					continue
 				}
-				c, err := types.Compare(v, mv)
+				cc, err := types.Compare(v, mv)
 				if err != nil {
 					continue // mixed kinds never match
 				}
-				if c == 0 {
+				if cc == 0 {
 					found = true
 					break
 				}
@@ -359,12 +409,19 @@ func compileIn(e *sqlast.In, env *Env) (Func, error) {
 		default:
 			return types.NewBool(neg), nil
 		}
-	}, nil
+	}}
+	// Only the compile-time member set vectorizes; IN with computed list
+	// members keeps the row path (Vectorized() == false).
+	if len(members) == 0 && operand.batch != nil {
+		c.bbatch = triIn(operand, set, setHasNull, neg)
+		c.batch = batchFromTri(c.bbatch)
+	}
+	return foldIfConst(c, len(members) == 0 && operand.isConst), nil
 }
 
 // compileLike implements SQL LIKE: % matches any run (including empty),
 // _ matches exactly one byte. NULL operands yield NULL.
-func compileLike(e *sqlast.Like, env *Env) (Func, error) {
+func compileLike(e *sqlast.Like, env *Env) (*Compiled, error) {
 	operand, err := Compile(e.E, env)
 	if err != nil {
 		return nil, err
@@ -374,12 +431,12 @@ func compileLike(e *sqlast.Like, env *Env) (Func, error) {
 		return nil, err
 	}
 	neg := e.Neg
-	return func(row schema.Row) (types.Value, error) {
-		v, err := operand(row)
+	c := &Compiled{row: func(row schema.Row) (types.Value, error) {
+		v, err := operand.row(row)
 		if err != nil {
 			return types.Null, err
 		}
-		pv, err := pattern(row)
+		pv, err := pattern.row(row)
 		if err != nil {
 			return types.Null, err
 		}
@@ -390,13 +447,17 @@ func compileLike(e *sqlast.Like, env *Env) (Func, error) {
 			return types.Null, fmt.Errorf("eval: LIKE needs string operands")
 		}
 		return types.NewBool(likeMatch(v.Str(), pv.Str()) != neg), nil
-	}, nil
+	}}
+	if allVectorized(operand, pattern) {
+		c.bbatch = triLike(operand, pattern, neg)
+		c.batch = batchFromTri(c.bbatch)
+	}
+	return foldIfConst(c, allConst(operand, pattern)), nil
 }
 
-// likeMatch matches s against a LIKE pattern with memoized recursion over
-// byte positions.
+// likeMatch matches s against a LIKE pattern with the classic iterative
+// greedy two-pointer wildcard algorithm.
 func likeMatch(s, pat string) bool {
-	// Iterative greedy algorithm (the classic two-pointer wildcard match).
 	si, pi := 0, 0
 	star, starS := -1, 0
 	for si < len(s) {
@@ -420,9 +481,9 @@ func likeMatch(s, pat string) bool {
 	return pi == len(pat)
 }
 
-func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
+func compileScalarFunc(e *sqlast.FuncCall, env *Env) (*Compiled, error) {
 	name := strings.ToLower(e.Name)
-	args := make([]Func, len(e.Args))
+	args := make([]*Compiled, len(e.Args))
 	for i, a := range e.Args {
 		f, err := Compile(a, env)
 		if err != nil {
@@ -430,14 +491,17 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 		}
 		args[i] = f
 	}
+	argsConst := allConst(args...)
+	argsVector := allVectorized(args...)
+	c := &Compiled{}
 	switch name {
 	case "coalesce":
 		if len(args) == 0 {
 			return nil, fmt.Errorf("eval: COALESCE needs at least one argument")
 		}
-		return func(row schema.Row) (types.Value, error) {
+		c.row = func(row schema.Row) (types.Value, error) {
 			for _, f := range args {
-				v, err := f(row)
+				v, err := f.row(row)
 				if err != nil {
 					return types.Null, err
 				}
@@ -446,13 +510,16 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 				}
 			}
 			return types.Null, nil
-		}, nil
+		}
+		if argsVector {
+			c.batch = batchCoalesce(args)
+		}
 	case "abs":
 		if len(args) != 1 {
 			return nil, fmt.Errorf("eval: ABS takes one argument")
 		}
-		return func(row schema.Row) (types.Value, error) {
-			v, err := args[0](row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			v, err := args[0].row(row)
 			if err != nil || v.IsNull() {
 				return v, err
 			}
@@ -474,14 +541,17 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 				return v, nil
 			}
 			return types.Null, fmt.Errorf("eval: ABS on %s", v.Kind())
-		}, nil
+		}
+		if argsVector {
+			c.batch = batchAbs(args[0])
+		}
 	case "lower", "upper":
 		if len(args) != 1 {
 			return nil, fmt.Errorf("eval: %s takes one argument", strings.ToUpper(name))
 		}
 		toUpper := name == "upper"
-		return func(row schema.Row) (types.Value, error) {
-			v, err := args[0](row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			v, err := args[0].row(row)
 			if err != nil || v.IsNull() {
 				return v, err
 			}
@@ -492,20 +562,23 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 				return types.NewString(strings.ToUpper(v.Str())), nil
 			}
 			return types.NewString(strings.ToLower(v.Str())), nil
-		}, nil
+		}
+		if argsVector {
+			c.batch = batchCaseFold(args[0], toUpper)
+		}
 	case "substr", "substring":
 		if len(args) != 2 && len(args) != 3 {
 			return nil, fmt.Errorf("eval: SUBSTR takes two or three arguments")
 		}
-		return func(row schema.Row) (types.Value, error) {
-			v, err := args[0](row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			v, err := args[0].row(row)
 			if err != nil || v.IsNull() {
 				return v, err
 			}
 			if v.Kind() != types.KindString {
 				return types.Null, fmt.Errorf("eval: SUBSTR on %s", v.Kind())
 			}
-			sv, err := args[1](row)
+			sv, err := args[1].row(row)
 			if err != nil || sv.IsNull() {
 				return types.Null, err
 			}
@@ -519,7 +592,7 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 			}
 			end := int64(len(str))
 			if len(args) == 3 {
-				lv, err := args[2](row)
+				lv, err := args[2].row(row)
 				if err != nil || lv.IsNull() {
 					return types.Null, err
 				}
@@ -532,13 +605,16 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 				}
 			}
 			return types.NewString(str[start:end]), nil
-		}, nil
+		}
+		if argsVector {
+			c.batch = batchSubstr(args)
+		}
 	case "length":
 		if len(args) != 1 {
 			return nil, fmt.Errorf("eval: LENGTH takes one argument")
 		}
-		return func(row schema.Row) (types.Value, error) {
-			v, err := args[0](row)
+		c.row = func(row schema.Row) (types.Value, error) {
+			v, err := args[0].row(row)
 			if err != nil || v.IsNull() {
 				return v, err
 			}
@@ -546,12 +622,17 @@ func compileScalarFunc(e *sqlast.FuncCall, env *Env) (Func, error) {
 				return types.Null, fmt.Errorf("eval: LENGTH on %s", v.Kind())
 			}
 			return types.NewInt(int64(len(v.Str()))), nil
-		}, nil
+		}
+		if argsVector {
+			c.batch = batchLength(args[0])
+		}
+	default:
+		if IsAggregateName(name) {
+			return nil, fmt.Errorf("eval: aggregate %s must be planned, not evaluated directly", strings.ToUpper(name))
+		}
+		return nil, fmt.Errorf("eval: unknown function %s", strings.ToUpper(name))
 	}
-	if IsAggregateName(name) {
-		return nil, fmt.Errorf("eval: aggregate %s must be planned, not evaluated directly", strings.ToUpper(name))
-	}
-	return nil, fmt.Errorf("eval: unknown function %s", strings.ToUpper(name))
+	return foldIfConst(c, argsConst), nil
 }
 
 // IsAggregateName reports whether name is a supported aggregate function.
@@ -565,8 +646,8 @@ func IsAggregateName(name string) bool {
 
 // EvalPredicate applies a compiled predicate to a row and reports whether
 // it holds (NULL counts as not holding, per SQL WHERE semantics).
-func EvalPredicate(f Func, row schema.Row) (bool, error) {
-	v, err := f(row)
+func EvalPredicate(c *Compiled, row schema.Row) (bool, error) {
+	v, err := c.row(row)
 	if err != nil {
 		return false, err
 	}

@@ -27,7 +27,7 @@ func evalStr(t *testing.T, src string, row schema.Row) types.Value {
 	if err != nil {
 		t.Fatalf("compile %q: %v", src, err)
 	}
-	v, err := f(row)
+	v, err := f.Eval(row)
 	if err != nil {
 		t.Fatalf("eval %q: %v", src, err)
 	}
@@ -154,7 +154,7 @@ func TestSubqueryHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := f(row(6, 0, "", 0))
+	v, err := f.Eval(row(6, 0, "", 0))
 	if err != nil || !v.Bool() {
 		t.Errorf("in subquery = %v, %v", v, err)
 	}
@@ -174,7 +174,7 @@ func TestExistsHook(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _ := f(row(1, 1, "", 0))
+	v, _ := f.Eval(row(1, 1, "", 0))
 	if v.Bool() {
 		t.Error("exists over empty set should be false")
 	}
@@ -208,7 +208,7 @@ func TestRuntimeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f(r); err == nil {
+	if _, err := f.Eval(r); err == nil {
 		t.Error("division by zero should surface as an error")
 	}
 	// Comparing incompatible kinds errors at runtime.
@@ -217,7 +217,7 @@ func TestRuntimeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f2(r); err == nil {
+	if _, err := f2.Eval(r); err == nil {
 		t.Error("int = string should error")
 	}
 }
@@ -367,7 +367,7 @@ func TestStringFunctionErrorsAndNulls(t *testing.T) {
 		if err != nil {
 			t.Fatalf("compile %q: %v", src, err)
 		}
-		if _, err := f(intRow); err == nil {
+		if _, err := f.Eval(intRow); err == nil {
 			t.Errorf("%q on INT should error", src)
 		}
 	}

@@ -13,8 +13,8 @@ import (
 
 // AggSpec describes one aggregate computed by GroupNode.
 type AggSpec struct {
-	Func     string    // count, sum, avg, min, max (lower case)
-	Arg      eval.Func // nil for COUNT(*)
+	Func     string         // count, sum, avg, min, max (lower case)
+	Arg      *eval.Compiled // nil for COUNT(*)
 	Distinct bool
 	OutName  string
 }
@@ -127,13 +127,13 @@ func (a *accumulator) result() types.Value {
 type GroupNode struct {
 	base
 	Input Node
-	Keys  []eval.Func
+	Keys  []*eval.Compiled
 	Aggs  []AggSpec
 }
 
 // NewGroupNode builds hash aggregation; out must list key columns first,
 // then one column per aggregate.
-func NewGroupNode(child Node, out *schema.Schema, keys []eval.Func, aggs []AggSpec) *GroupNode {
+func NewGroupNode(child Node, out *schema.Schema, keys []*eval.Compiled, aggs []AggSpec) *GroupNode {
 	n := &GroupNode{Input: child, Keys: keys, Aggs: aggs}
 	n.schema = out
 	return n
@@ -169,10 +169,17 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 	nrows := len(in.Rows)
 	workers := ctx.workersFor(nrows)
 	ctx.noteWorkers(n, workers)
+	vec := ctx.useVector(n.Keys...)
+	for ai := range n.Aggs {
+		vec = vec && ctx.useVector(n.Aggs[ai].Arg)
+	}
+	ctx.noteEval(n, vec, nrows)
 
 	// Phase 1: encode group keys into per-morsel arenas and evaluate
 	// aggregate arguments. NULL keys form regular groups — the encoding
-	// distinguishes NULL from every concrete value.
+	// distinguishes NULL from every concrete value. The vector path
+	// batch-evaluates keys into column vectors (feeding the encoder from
+	// those) and aggregate arguments straight into their argVals slices.
 	keyBytes := make([][]byte, nrows)
 	hashes := make([]uint64, nrows)
 	argVals := make([][]types.Value, len(n.Aggs))
@@ -185,31 +192,61 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 	err = ctx.parallelFor(nrows, workers, func(w, _, lo, hi int) error {
 		enc := &encs[w]
 		var arena []byte
-		for i := lo; i < hi; i++ {
-			if err := ctx.Tick(i - lo); err != nil {
-				return err
-			}
-			r := in.Rows[i]
-			key, _, err := enc.funcs(n.Keys, r)
-			if err != nil {
-				return err
-			}
-			start := len(arena)
-			arena = append(arena, key...)
-			kb := arena[start:len(arena):len(arena)]
-			keyBytes[i] = kb
-			hashes[i] = hashKey(kb)
-			for ai := range n.Aggs {
-				if vals := argVals[ai]; vals != nil {
-					v, err := n.Aggs[ai].Arg(r)
-					if err != nil {
-						return err
+		phase1Serial := func(b, e int) error {
+			for i := b; i < e; i++ {
+				if err := ctx.Tick(i - b); err != nil {
+					return err
+				}
+				r := in.Rows[i]
+				key, _, err := enc.funcs(n.Keys, r)
+				if err != nil {
+					return err
+				}
+				start := len(arena)
+				arena = append(arena, key...)
+				kb := arena[start:len(arena):len(arena)]
+				keyBytes[i] = kb
+				hashes[i] = hashKey(kb)
+				for ai := range n.Aggs {
+					if vals := argVals[ai]; vals != nil {
+						v, err := n.Aggs[ai].Arg.Eval(r)
+						if err != nil {
+							return err
+						}
+						vals[i] = v
 					}
-					vals[i] = v
 				}
 			}
+			return nil
 		}
-		return nil
+		if !vec {
+			return phase1Serial(lo, hi)
+		}
+		cols := evalScratch(len(n.Keys), MorselSize)
+		return ctx.forBatches(lo, hi, func(b, e int) error {
+			chunk := in.Rows[b:e]
+			ok := tryBatchAll(n.Keys, chunk, cols)
+			for ai := range n.Aggs {
+				if !ok {
+					break
+				}
+				if vals := argVals[ai]; vals != nil {
+					ok = n.Aggs[ai].Arg.TryBatch(chunk, vals[b:e], nil)
+				}
+			}
+			if !ok {
+				return phase1Serial(b, e)
+			}
+			for i := range chunk {
+				key, _ := enc.cols(cols, i)
+				start := len(arena)
+				arena = append(arena, key...)
+				kb := arena[start:len(arena):len(arena)]
+				keyBytes[b+i] = kb
+				hashes[b+i] = hashKey(kb)
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -238,7 +275,7 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 				r := in.Rows[i]
 				keyVals := make(schema.Row, len(n.Keys))
 				for ki, f := range n.Keys {
-					v, err := f(r)
+					v, err := f.Eval(r)
 					if err != nil {
 						return err
 					}

@@ -10,9 +10,7 @@ import (
 	"repro/internal/types"
 )
 
-func colFn(i int) eval.Func {
-	return func(r schema.Row) (types.Value, error) { return r[i], nil }
-}
+func colFn(i int) *eval.Compiled { return eval.Column(i) }
 
 func intRows(vals ...[]int64) []schema.Row {
 	out := make([]schema.Row, len(vals))
@@ -73,13 +71,13 @@ func TestScanNodeSequentialAndIndex(t *testing.T) {
 
 func TestFilterProjectLimit(t *testing.T) {
 	in := NewValuesNode(intSchema("a", "b"), intRows([]int64{1, 10}, []int64{2, 20}, []int64{3, 30}))
-	pred := func(r schema.Row) (types.Value, error) {
+	pred := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		return types.NewBool(r[0].Int() >= 2), nil
-	}
+	})
 	f := NewFilterNode(in, pred, "a >= 2")
-	proj := NewProjectNode(f, intSchema("b2"), []eval.Func{func(r schema.Row) (types.Value, error) {
+	proj := NewProjectNode(f, intSchema("b2"), []*eval.Compiled{eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		return types.NewInt(r[1].Int() * 2), nil
-	}})
+	})})
 	lim := NewLimitNode(proj, 1)
 	got := mustExec(t, lim)
 	if len(got.Rows) != 1 || got.Rows[0][0].Int() != 40 {
@@ -94,7 +92,7 @@ func TestSortNodeNullsFirstAndStability(t *testing.T) {
 		{types.NewInt(1), types.NewInt(3)},
 		{types.NewInt(2), types.NewInt(4)},
 	})
-	s := NewSortNode(in, []eval.Func{colFn(0)}, []bool{false})
+	s := NewSortNode(in, []*eval.Compiled{colFn(0)}, []bool{false})
 	got := mustExec(t, s)
 	if !got.Rows[0][0].IsNull() {
 		t.Fatal("nulls must sort first")
@@ -102,7 +100,7 @@ func TestSortNodeNullsFirstAndStability(t *testing.T) {
 	if got.Rows[1][0].Int() != 1 || got.Rows[2][1].Int() != 1 || got.Rows[3][1].Int() != 4 {
 		t.Fatalf("sort not stable: %v", got.Rows)
 	}
-	sd := NewSortNode(in, []eval.Func{colFn(0)}, []bool{true})
+	sd := NewSortNode(in, []*eval.Compiled{colFn(0)}, []bool{true})
 	gd := mustExec(t, sd)
 	if gd.Rows[0][0].Int() != 2 {
 		t.Fatalf("desc sort: %v", gd.Rows)
@@ -113,13 +111,13 @@ func TestHashJoinInnerAndLeft(t *testing.T) {
 	l := NewValuesNode(intSchema("id"), intRows([]int64{1}, []int64{2}, []int64{3}))
 	r := NewValuesNode(intSchema("fk", "v"), intRows([]int64{1, 100}, []int64{1, 101}, []int64{3, 300}))
 
-	inner := NewHashJoinNode(l, r, []eval.Func{colFn(0)}, []eval.Func{colFn(0)}, JoinKindInner, nil, "id=fk")
+	inner := NewHashJoinNode(l, r, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(0)}, JoinKindInner, nil, "id=fk")
 	got := mustExec(t, inner)
 	if len(got.Rows) != 3 {
 		t.Fatalf("inner join rows = %d", len(got.Rows))
 	}
 
-	left := NewHashJoinNode(l, r, []eval.Func{colFn(0)}, []eval.Func{colFn(0)}, JoinKindLeft, nil, "id=fk")
+	left := NewHashJoinNode(l, r, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(0)}, JoinKindLeft, nil, "id=fk")
 	got = mustExec(t, left)
 	if len(got.Rows) != 4 {
 		t.Fatalf("left join rows = %d", len(got.Rows))
@@ -138,7 +136,7 @@ func TestHashJoinInnerAndLeft(t *testing.T) {
 func TestHashJoinNullKeysNeverMatch(t *testing.T) {
 	l := NewValuesNode(intSchema("id"), []schema.Row{{types.Null}, {types.NewInt(1)}})
 	r := NewValuesNode(intSchema("fk"), []schema.Row{{types.Null}, {types.NewInt(1)}})
-	j := NewHashJoinNode(l, r, []eval.Func{colFn(0)}, []eval.Func{colFn(0)}, JoinKindInner, nil, "")
+	j := NewHashJoinNode(l, r, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(0)}, JoinKindInner, nil, "")
 	got := mustExec(t, j)
 	if len(got.Rows) != 1 {
 		t.Fatalf("null keys joined: %v", got.Rows)
@@ -148,10 +146,10 @@ func TestHashJoinNullKeysNeverMatch(t *testing.T) {
 func TestHashJoinResidual(t *testing.T) {
 	l := NewValuesNode(intSchema("id", "x"), intRows([]int64{1, 5}, []int64{1, 50}))
 	r := NewValuesNode(intSchema("fk", "y"), intRows([]int64{1, 10}))
-	residual := func(row schema.Row) (types.Value, error) {
+	residual := eval.FromFunc(func(row schema.Row) (types.Value, error) {
 		return types.NewBool(row[1].Int() < row[3].Int()), nil
-	}
-	j := NewHashJoinNode(l, r, []eval.Func{colFn(0)}, []eval.Func{colFn(0)}, JoinKindInner, residual, "x<y")
+	})
+	j := NewHashJoinNode(l, r, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(0)}, JoinKindInner, residual, "x<y")
 	got := mustExec(t, j)
 	if len(got.Rows) != 1 || got.Rows[0][1].Int() != 5 {
 		t.Fatalf("residual join = %v", got.Rows)
@@ -161,9 +159,9 @@ func TestHashJoinResidual(t *testing.T) {
 func TestNestedLoopJoin(t *testing.T) {
 	l := NewValuesNode(intSchema("a"), intRows([]int64{1}, []int64{2}))
 	r := NewValuesNode(intSchema("b"), intRows([]int64{1}, []int64{2}))
-	pred := func(row schema.Row) (types.Value, error) {
+	pred := eval.FromFunc(func(row schema.Row) (types.Value, error) {
 		return types.NewBool(row[0].Int() < row[1].Int()), nil
-	}
+	})
 	j := NewNestedLoopJoinNode(l, r, pred, "a<b")
 	got := mustExec(t, j)
 	if len(got.Rows) != 1 || got.Rows[0][0].Int() != 1 || got.Rows[0][1].Int() != 2 {
@@ -181,7 +179,7 @@ func TestGroupNode(t *testing.T) {
 	))
 	out := intSchema("k", "cnt", "sum", "mx", "cntd")
 	out.Columns[1].Kind = types.KindInt
-	g := NewGroupNode(in, out, []eval.Func{colFn(0)}, []AggSpec{
+	g := NewGroupNode(in, out, []*eval.Compiled{colFn(0)}, []AggSpec{
 		{Func: "count", OutName: "cnt"},              // COUNT(*)
 		{Func: "sum", Arg: colFn(1), OutName: "sum"}, // SUM(v)
 		{Func: "max", Arg: colFn(1), OutName: "mx"},
@@ -277,10 +275,10 @@ func TestDistinctAndUnion(t *testing.T) {
 func TestCtxCachesSharedSubtrees(t *testing.T) {
 	in := NewValuesNode(intSchema("v"), intRows([]int64{1}))
 	counter := 0
-	pred := func(r schema.Row) (types.Value, error) {
+	pred := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		counter++
 		return types.NewBool(true), nil
-	}
+	})
 	shared := NewFilterNode(in, pred, "count calls")
 	u, _ := NewUnionNode(shared, shared, false)
 	got := mustExec(t, u)
@@ -294,7 +292,7 @@ func TestCtxCachesSharedSubtrees(t *testing.T) {
 
 func TestExplainOutput(t *testing.T) {
 	in := NewValuesNode(intSchema("v"), intRows([]int64{1}))
-	f := NewFilterNode(in, func(schema.Row) (types.Value, error) { return types.NewBool(true), nil }, "p")
+	f := NewFilterNode(in, eval.FromFunc(func(schema.Row) (types.Value, error) { return types.NewBool(true), nil }), "p")
 	SetEstimates(f, 42, 100)
 	out := Explain(f)
 	if want := "Filter(p)  [rows=42 cost=100]\n  Values(1)  [rows=0 cost=0]\n"; out != want {
@@ -347,9 +345,9 @@ func TestLimitOffsetNode(t *testing.T) {
 
 func TestExplainAnalyzeRecordsStats(t *testing.T) {
 	in := NewValuesNode(intSchema("v"), intRows([]int64{1}, []int64{2}))
-	f := NewFilterNode(in, func(r schema.Row) (types.Value, error) {
+	f := NewFilterNode(in, eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		return types.NewBool(r[0].Int() > 1), nil
-	}, "v>1")
+	}), "v>1")
 	ctx := NewAnalyzeCtx()
 	if _, err := Run(ctx, f); err != nil {
 		t.Fatal(err)

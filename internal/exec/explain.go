@@ -55,6 +55,12 @@ func explainAnalyzeNode(b *strings.Builder, n Node, ctx *Ctx, depth int) {
 		if st.Workers > 1 {
 			fmt.Fprintf(b, " workers=%d", st.Workers)
 		}
+		if st.EvalMode != "" {
+			fmt.Fprintf(b, " eval=%s", st.EvalMode)
+			if st.EvalMode == "vector" {
+				fmt.Fprintf(b, " batches=%d", st.Batches)
+			}
+		}
 		if st.Hits > 0 {
 			fmt.Fprintf(b, " cached×%d", st.Hits)
 		}

@@ -14,13 +14,13 @@ import (
 type FilterNode struct {
 	base
 	Input Node
-	Pred  eval.Func
+	Pred  *eval.Compiled
 	// Desc describes the predicate for EXPLAIN.
 	Desc string
 }
 
 // NewFilterNode wraps child with a compiled predicate.
-func NewFilterNode(child Node, pred eval.Func, desc string) *FilterNode {
+func NewFilterNode(child Node, pred *eval.Compiled, desc string) *FilterNode {
 	n := &FilterNode{Input: child, Pred: pred, Desc: desc}
 	n.schema = child.Schema()
 	n.ordering = child.Ordering()
@@ -34,7 +34,9 @@ func (n *FilterNode) Label() string { return "Filter(" + n.Desc + ")" }
 func (n *FilterNode) Children() []Node { return []Node{n.Input} }
 
 // Execute implements Node. Morsels filter into per-morsel output slices
-// that concatenate in morsel order, preserving the serial row order.
+// that concatenate in morsel order, preserving the serial row order. On
+// the vector path the predicate evaluates per chunk into a selection
+// vector; only the selected row references are gathered.
 func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
@@ -42,9 +44,30 @@ func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	workers := ctx.workersFor(len(in.Rows))
 	ctx.noteWorkers(n, workers)
+	vec := ctx.useVector(n.Pred)
+	ctx.noteEval(n, vec, len(in.Rows))
 	outs := make([][]schema.Row, morselCount(len(in.Rows), workers))
 	err = ctx.parallelFor(len(in.Rows), workers, func(_, m, lo, hi int) error {
 		out := make([]schema.Row, 0, (hi-lo)/4+1)
+		if vec {
+			sel := make([]int, 0, MorselSize)
+			err := ctx.forBatches(lo, hi, func(b, e int) error {
+				var perr error
+				sel, perr = eval.EvalPredicateBatch(n.Pred, in.Rows[b:e], nil, sel[:0])
+				if perr != nil {
+					return perr
+				}
+				for _, i := range sel {
+					out = append(out, in.Rows[b+i])
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			outs[m] = out
+			return nil
+		}
 		for i := lo; i < hi; i++ {
 			if err := ctx.Tick(i - lo); err != nil {
 				return err
@@ -71,11 +94,11 @@ func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
 type ProjectNode struct {
 	base
 	Input Node
-	Exprs []eval.Func
+	Exprs []*eval.Compiled
 }
 
 // NewProjectNode builds a projection with a prepared output schema.
-func NewProjectNode(child Node, out *schema.Schema, exprs []eval.Func) *ProjectNode {
+func NewProjectNode(child Node, out *schema.Schema, exprs []*eval.Compiled) *ProjectNode {
 	n := &ProjectNode{Input: child, Exprs: exprs}
 	n.schema = out
 	n.estRows = child.EstRows()
@@ -89,7 +112,9 @@ func (n *ProjectNode) Label() string { return fmt.Sprintf("Project(%d cols)", n.
 func (n *ProjectNode) Children() []Node { return []Node{n.Input} }
 
 // Execute implements Node. Workers write disjoint output positions, so
-// projection parallelizes with no ordering concern at all.
+// projection parallelizes with no ordering concern at all. The vector
+// path evaluates each expression over a whole chunk into column vectors,
+// then assembles output rows from one flat backing array per chunk.
 func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
@@ -97,16 +122,19 @@ func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	workers := ctx.workersFor(len(in.Rows))
 	ctx.noteWorkers(n, workers)
+	vec := ctx.useVector(n.Exprs...)
+	ctx.noteEval(n, vec, len(in.Rows))
 	out := make([]schema.Row, len(in.Rows))
-	err = ctx.parallelFor(len(in.Rows), workers, func(_, _, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			if err := ctx.Tick(i - lo); err != nil {
+	ne := len(n.Exprs)
+	projectSerial := func(b, e int) error {
+		for i := b; i < e; i++ {
+			if err := ctx.Tick(i - b); err != nil {
 				return err
 			}
 			r := in.Rows[i]
-			row := make(schema.Row, len(n.Exprs))
+			row := make(schema.Row, ne)
 			for j, f := range n.Exprs {
-				v, err := f(r)
+				v, err := f.Eval(r)
 				if err != nil {
 					return err
 				}
@@ -115,6 +143,27 @@ func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 			out[i] = row
 		}
 		return nil
+	}
+	err = ctx.parallelFor(len(in.Rows), workers, func(_, _, lo, hi int) error {
+		if !vec {
+			return projectSerial(lo, hi)
+		}
+		cols := evalScratch(ne, MorselSize)
+		return ctx.forBatches(lo, hi, func(b, e int) error {
+			chunk := in.Rows[b:e]
+			if !tryBatchAll(n.Exprs, chunk, cols) {
+				return projectSerial(b, e)
+			}
+			flat := make([]types.Value, len(chunk)*ne)
+			for i := range chunk {
+				row := flat[i*ne : (i+1)*ne : (i+1)*ne]
+				for j := 0; j < ne; j++ {
+					row[j] = cols[j][i]
+				}
+				out[b+i] = row
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -126,12 +175,12 @@ func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 type SortNode struct {
 	base
 	Input Node
-	Keys  []eval.Func
+	Keys  []*eval.Compiled
 	Desc  []bool
 }
 
 // NewSortNode builds a sort over child.
-func NewSortNode(child Node, keys []eval.Func, desc []bool) *SortNode {
+func NewSortNode(child Node, keys []*eval.Compiled, desc []bool) *SortNode {
 	n := &SortNode{Input: child, Keys: keys, Desc: desc}
 	n.schema = child.Schema()
 	n.estRows = child.EstRows()
@@ -157,16 +206,19 @@ func (n *SortNode) Execute(ctx *Ctx) (*Result, error) {
 	nrows := len(in.Rows)
 	workers := ctx.workersFor(nrows)
 	ctx.noteWorkers(n, workers)
+	vec := ctx.useVector(n.Keys...)
+	ctx.noteEval(n, vec, nrows)
 
 	keys := make([][]types.Value, nrows)
-	err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			if err := ctx.Tick(i - lo); err != nil {
+	nk := len(n.Keys)
+	keysSerial := func(b, e int) error {
+		for i := b; i < e; i++ {
+			if err := ctx.Tick(i - b); err != nil {
 				return err
 			}
-			ks := make([]types.Value, len(n.Keys))
+			ks := make([]types.Value, nk)
 			for j, f := range n.Keys {
-				v, err := f(in.Rows[i])
+				v, err := f.Eval(in.Rows[i])
 				if err != nil {
 					return err
 				}
@@ -175,6 +227,27 @@ func (n *SortNode) Execute(ctx *Ctx) (*Result, error) {
 			keys[i] = ks
 		}
 		return nil
+	}
+	err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
+		if !vec {
+			return keysSerial(lo, hi)
+		}
+		cols := evalScratch(nk, MorselSize)
+		return ctx.forBatches(lo, hi, func(b, e int) error {
+			chunk := in.Rows[b:e]
+			if !tryBatchAll(n.Keys, chunk, cols) {
+				return keysSerial(b, e)
+			}
+			flat := make([]types.Value, len(chunk)*nk)
+			for i := range chunk {
+				ks := flat[i*nk : (i+1)*nk : (i+1)*nk]
+				for j := 0; j < nk; j++ {
+					ks[j] = cols[j][i]
+				}
+				keys[b+i] = ks
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err

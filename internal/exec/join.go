@@ -22,10 +22,10 @@ import (
 type HashJoinNode struct {
 	base
 	Left, Right Node
-	LeftKeys    []eval.Func
-	RightKeys   []eval.Func
+	LeftKeys    []*eval.Compiled
+	RightKeys   []*eval.Compiled
 	JoinType    JoinKind
-	Residual    eval.Func // over concat(left, right); may be nil
+	Residual    *eval.Compiled // over concat(left, right); may be nil
 	Desc        string
 }
 
@@ -47,7 +47,7 @@ func (k JoinKind) String() string {
 
 // NewHashJoinNode builds a hash join; the output schema is the
 // concatenation left ++ right.
-func NewHashJoinNode(l, r Node, lk, rk []eval.Func, kind JoinKind, residual eval.Func, desc string) *HashJoinNode {
+func NewHashJoinNode(l, r Node, lk, rk []*eval.Compiled, kind JoinKind, residual *eval.Compiled, desc string) *HashJoinNode {
 	n := &HashJoinNode{Left: l, Right: r, LeftKeys: lk, RightKeys: rk, JoinType: kind, Residual: residual, Desc: desc}
 	n.schema = schema.Concat(l.Schema(), r.Schema())
 	return n
@@ -80,7 +80,7 @@ func (jt *joinTable) lookupRows(h uint64, key []byte) []schema.Row {
 // one goroutine per hash partition insert its share of the rows. Each
 // partition is filled by a single worker scanning rows in input order, so
 // the per-key row lists match the serial build exactly.
-func buildJoinTable(ctx *Ctx, rows []schema.Row, keys []eval.Func, workers int) (*joinTable, error) {
+func buildJoinTable(ctx *Ctx, rows []schema.Row, keys []*eval.Compiled, workers int) (*joinTable, error) {
 	n := len(rows)
 	if w := ctx.workersFor(n); workers > w {
 		workers = w
@@ -88,33 +88,60 @@ func buildJoinTable(ctx *Ctx, rows []schema.Row, keys []eval.Func, workers int) 
 	if workers < 1 {
 		workers = 1
 	}
+	vec := ctx.useVector(keys...)
 
 	// Phase 1: encode every row's key into per-morsel arenas (NULL keys
-	// never join; they keep a nil slot).
+	// never join; they keep a nil slot). The vector path batch-evaluates
+	// the key expressions into column vectors and feeds the encoder from
+	// those.
 	keyBytes := make([][]byte, n)
 	hashes := make([]uint64, n)
 	encs := make([]keyEnc, workers)
 	err := ctx.parallelFor(n, workers, func(w, _, lo, hi int) error {
 		enc := &encs[w]
 		var arena []byte
-		for i := lo; i < hi; i++ {
-			if err := ctx.Tick(i - lo); err != nil {
-				return err
+		encodeSerial := func(b, e int) error {
+			for i := b; i < e; i++ {
+				if err := ctx.Tick(i - b); err != nil {
+					return err
+				}
+				key, null, err := enc.funcs(keys, rows[i])
+				if err != nil {
+					return err
+				}
+				if null {
+					continue
+				}
+				start := len(arena)
+				arena = append(arena, key...)
+				kb := arena[start:len(arena):len(arena)]
+				keyBytes[i] = kb
+				hashes[i] = hashKey(kb)
 			}
-			key, null, err := enc.funcs(keys, rows[i])
-			if err != nil {
-				return err
-			}
-			if null {
-				continue
-			}
-			start := len(arena)
-			arena = append(arena, key...)
-			kb := arena[start:len(arena):len(arena)]
-			keyBytes[i] = kb
-			hashes[i] = hashKey(kb)
+			return nil
 		}
-		return nil
+		if !vec {
+			return encodeSerial(lo, hi)
+		}
+		cols := evalScratch(len(keys), MorselSize)
+		return ctx.forBatches(lo, hi, func(b, e int) error {
+			chunk := rows[b:e]
+			if !tryBatchAll(keys, chunk, cols) {
+				return encodeSerial(b, e)
+			}
+			for i := range chunk {
+				key, null := enc.cols(cols, i)
+				if null {
+					continue
+				}
+				start := len(arena)
+				arena = append(arena, key...)
+				kb := arena[start:len(arena):len(arena)]
+				keyBytes[b+i] = kb
+				hashes[b+i] = hashKey(kb)
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +202,8 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	workers := ctx.workersFor(max(len(l.Rows), len(r.Rows)))
 	ctx.noteWorkers(n, workers)
+	vecProbe := ctx.useVector(n.LeftKeys...) && ctx.useVector(n.Residual)
+	ctx.noteEval(n, ctx.useVector(n.RightKeys...) && vecProbe, len(l.Rows)+len(r.Rows))
 
 	build, err := buildJoinTable(ctx, r.Rows, n.RightKeys, workers)
 	if err != nil {
@@ -191,35 +220,101 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	err = ctx.parallelFor(len(l.Rows), probeWorkers, func(w, m, lo, hi int) error {
 		enc := &encs[w]
 		out := make([]schema.Row, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			if err := ctx.Tick(i - lo); err != nil {
-				return err
-			}
-			lrow := l.Rows[i]
-			key, null, err := enc.funcs(n.LeftKeys, lrow)
-			if err != nil {
-				return err
-			}
-			matched := false
-			if !null {
-				for _, rrow := range build.lookupRows(hashKey(key), key) {
-					joined := concatRows(lrow, rrow)
-					if n.Residual != nil {
-						ok, err := eval.EvalPredicate(n.Residual, joined)
-						if err != nil {
-							return err
+		probeSerial := func(b, e int) error {
+			for i := b; i < e; i++ {
+				if err := ctx.Tick(i - b); err != nil {
+					return err
+				}
+				lrow := l.Rows[i]
+				key, null, err := enc.funcs(n.LeftKeys, lrow)
+				if err != nil {
+					return err
+				}
+				matched := false
+				if !null {
+					for _, rrow := range build.lookupRows(hashKey(key), key) {
+						joined := concatRows(lrow, rrow)
+						if n.Residual != nil {
+							ok, err := eval.EvalPredicate(n.Residual, joined)
+							if err != nil {
+								return err
+							}
+							if !ok {
+								continue
+							}
 						}
-						if !ok {
-							continue
-						}
+						matched = true
+						out = append(out, joined)
 					}
-					matched = true
-					out = append(out, joined)
+				}
+				if !matched && n.JoinType == JoinKindLeft {
+					out = append(out, concatRows(lrow, nullRow(rightWidth)))
 				}
 			}
-			if !matched && n.JoinType == JoinKindLeft {
-				out = append(out, concatRows(lrow, nullRow(rightWidth)))
+			return nil
+		}
+		if !vecProbe {
+			if err := probeSerial(lo, hi); err != nil {
+				return err
 			}
+			outs[m] = out
+			return nil
+		}
+		// Vector probe: batch-evaluate the probe keys, gather every
+		// candidate joined row of the chunk with per-left-row ranges, run
+		// the residual once over all candidates, then emit survivors (and
+		// left-join padding) in the serial order.
+		cols := evalScratch(len(n.LeftKeys), MorselSize)
+		var cand []schema.Row
+		candStart := make([]int, 0, MorselSize+1)
+		var sel []int
+		err := ctx.forBatches(lo, hi, func(b, e int) error {
+			chunk := l.Rows[b:e]
+			if !tryBatchAll(n.LeftKeys, chunk, cols) {
+				return probeSerial(b, e)
+			}
+			cand = cand[:0]
+			candStart = candStart[:0]
+			for i := range chunk {
+				candStart = append(candStart, len(cand))
+				key, null := enc.cols(cols, i)
+				if null {
+					continue
+				}
+				for _, rrow := range build.lookupRows(hashKey(key), key) {
+					cand = append(cand, concatRows(chunk[i], rrow))
+				}
+			}
+			candStart = append(candStart, len(cand))
+			if n.Residual != nil {
+				var perr error
+				sel, perr = eval.EvalPredicateBatch(n.Residual, cand, nil, sel[:0])
+				if perr != nil {
+					return perr
+				}
+			}
+			si := 0
+			for i := range chunk {
+				s0, s1 := candStart[i], candStart[i+1]
+				matched := s1 > s0
+				if n.Residual == nil {
+					out = append(out, cand[s0:s1]...)
+				} else {
+					matched = false
+					for si < len(sel) && sel[si] < s1 {
+						out = append(out, cand[sel[si]])
+						matched = true
+						si++
+					}
+				}
+				if !matched && n.JoinType == JoinKindLeft {
+					out = append(out, concatRows(chunk[i], nullRow(rightWidth)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		outs[m] = out
 		return nil
@@ -251,12 +346,12 @@ func nullRow(width int) schema.Row {
 type NestedLoopJoinNode struct {
 	base
 	Left, Right Node
-	Pred        eval.Func // may be nil (cross join)
+	Pred        *eval.Compiled // may be nil (cross join)
 	Desc        string
 }
 
 // NewNestedLoopJoinNode builds a nested-loop inner join.
-func NewNestedLoopJoinNode(l, r Node, pred eval.Func, desc string) *NestedLoopJoinNode {
+func NewNestedLoopJoinNode(l, r Node, pred *eval.Compiled, desc string) *NestedLoopJoinNode {
 	n := &NestedLoopJoinNode{Left: l, Right: r, Pred: pred, Desc: desc}
 	n.schema = schema.Concat(l.Schema(), r.Schema())
 	return n

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/schema"
+	"repro/internal/types"
 )
 
 // Composite grouping keys — the join build/probe key, DISTINCT and set
@@ -44,10 +45,10 @@ func (k *keyEnc) row(r schema.Row) []byte {
 // null reports whether any key evaluated to NULL (join keys never match
 // on NULL; group-by keys treat NULL as a regular value — the caller
 // decides). The returned slice is valid until the next call.
-func (k *keyEnc) funcs(fns []eval.Func, row schema.Row) (key []byte, null bool, err error) {
+func (k *keyEnc) funcs(fns []*eval.Compiled, row schema.Row) (key []byte, null bool, err error) {
 	k.buf = k.buf[:0]
 	for _, f := range fns {
-		v, err := f(row)
+		v, err := f.Eval(row)
 		if err != nil {
 			return nil, false, err
 		}
@@ -58,6 +59,23 @@ func (k *keyEnc) funcs(fns []eval.Func, row schema.Row) (key []byte, null bool, 
 		k.buf = append(k.buf, 0x1f)
 	}
 	return k.buf, null, nil
+}
+
+// cols is the batch-path counterpart of funcs: it encodes row i's key
+// from column vectors the vector kernels already filled (cols[j][i] is
+// key expression j's value for row i). Same encoding, same NULL report,
+// same scratch-buffer aliasing rules.
+func (k *keyEnc) cols(cols [][]types.Value, i int) (key []byte, null bool) {
+	k.buf = k.buf[:0]
+	for _, c := range cols {
+		v := c[i]
+		if v.IsNull() {
+			null = true
+		}
+		k.buf = v.AppendGroupKey(k.buf)
+		k.buf = append(k.buf, 0x1f)
+	}
+	return k.buf, null
 }
 
 // keyTable is a hash table from encoded key bytes to a value of type T.

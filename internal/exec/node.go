@@ -42,6 +42,9 @@ type Ctx struct {
 	// par caps intra-query parallelism (worker-pool width per operator
 	// and concurrent children); defaults to the Parallelism package knob.
 	par int
+	// vec enables batch (vectorized) expression evaluation; defaults to
+	// the Vectorize package knob.
+	vec bool
 
 	mu    sync.Mutex
 	cache map[Node]*inflight
@@ -50,6 +53,15 @@ type Ctx struct {
 	stats map[Node]*NodeStats
 	// workerNotes records each operator's actual fan-out (stats runs only).
 	workerNotes map[Node]int
+	// evalNotes records each operator's expression-evaluation mode and
+	// kernel-batch count (stats runs only).
+	evalNotes map[Node]evalNote
+}
+
+// evalNote is one operator's recorded evaluation mode.
+type evalNote struct {
+	mode    string // "vector" or "row"
+	batches int
 }
 
 // inflight is one node's execution slot: the sync.Once makes a subtree
@@ -72,6 +84,13 @@ type NodeStats struct {
 	// Workers is the operator's parallel fan-out; 0 or 1 means it ran
 	// serially (small input, or Parallelism=1).
 	Workers int
+	// EvalMode is "vector" when the operator evaluated its expressions
+	// through the batch kernels, "row" for the row-at-a-time path, and
+	// empty for operators that evaluate no expressions.
+	EvalMode string
+	// Batches counts vector-kernel chunks the operator processed
+	// (vector mode only).
+	Batches int
 }
 
 // NewCtx returns a fresh execution context that is never canceled.
@@ -81,7 +100,7 @@ func NewCtx() *Ctx { return NewCtxWith(context.Background()) }
 // poll it cooperatively (every cancelCheckInterval rows in their hot
 // loops) and abort with ctx.Err() once it is done.
 func NewCtxWith(ctx context.Context) *Ctx {
-	return &Ctx{ctx: ctx, par: defaultParallelism(), cache: map[Node]*inflight{}}
+	return &Ctx{ctx: ctx, par: defaultParallelism(), vec: Vectorize, cache: map[Node]*inflight{}}
 }
 
 // NewAnalyzeCtx returns a context that records per-operator statistics.
@@ -92,6 +111,7 @@ func NewAnalyzeCtxWith(ctx context.Context) *Ctx {
 	c := NewCtxWith(ctx)
 	c.stats = map[Node]*NodeStats{}
 	c.workerNotes = map[Node]int{}
+	c.evalNotes = map[Node]evalNote{}
 	return c
 }
 
@@ -103,6 +123,14 @@ func (c *Ctx) SetParallelism(n int) *Ctx {
 		n = defaultParallelism()
 	}
 	c.par = n
+	return c
+}
+
+// SetVectorize switches batch expression evaluation on or off for
+// executions under this context. Results are bit-identical either way.
+// It returns c for chaining and must be called before Run.
+func (c *Ctx) SetVectorize(on bool) *Ctx {
+	c.vec = on
 	return c
 }
 
@@ -130,6 +158,21 @@ func (c *Ctx) noteWorkers(n Node, workers int) {
 	if workers > c.workerNotes[n] {
 		c.workerNotes[n] = workers
 	}
+	c.mu.Unlock()
+}
+
+// noteEval records whether an operator evaluated its expressions through
+// the vector kernels and over how many chunks (stats runs only).
+func (c *Ctx) noteEval(n Node, vectorized bool, rows int) {
+	if c.stats == nil {
+		return
+	}
+	note := evalNote{mode: "row"}
+	if vectorized {
+		note = evalNote{mode: "vector", batches: batchCount(rows)}
+	}
+	c.mu.Lock()
+	c.evalNotes[n] = note
 	c.mu.Unlock()
 }
 
@@ -206,6 +249,9 @@ func Run(ctx *Ctx, n Node) (*Result, error) {
 			st := &NodeStats{Rows: len(f.res.Rows), Elapsed: time.Since(start)}
 			ctx.mu.Lock()
 			st.Workers = ctx.workerNotes[n]
+			if note, ok := ctx.evalNotes[n]; ok {
+				st.EvalMode, st.Batches = note.mode, note.batches
+			}
 			ctx.stats[n] = st
 			ctx.mu.Unlock()
 		}

@@ -82,49 +82,49 @@ func execBoth(t *testing.T, n Node) {
 
 func TestParallelFilterMatchesSerial(t *testing.T) {
 	in := NewValuesNode(bigSchema(), bigRows(20000))
-	pred := func(r schema.Row) (types.Value, error) {
+	pred := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		if r[1].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewBool(r[1].Int()%3 == 0), nil
-	}
+	})
 	execBoth(t, NewFilterNode(in, pred, "k%3=0"))
 }
 
 func TestParallelProjectMatchesSerial(t *testing.T) {
 	in := NewValuesNode(bigSchema(), bigRows(20000))
-	double := func(r schema.Row) (types.Value, error) {
+	double := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		return types.NewInt(r[0].Int() * 2), nil
-	}
-	execBoth(t, NewProjectNode(in, intSchema("a", "b"), []eval.Func{colFn(0), double}))
+	})
+	execBoth(t, NewProjectNode(in, intSchema("a", "b"), []*eval.Compiled{colFn(0), double}))
 }
 
 func TestParallelSortMatchesSerial(t *testing.T) {
 	// Heavy duplication in the key makes any stability violation visible.
 	in := NewValuesNode(bigSchema(), bigRows(30000))
-	execBoth(t, NewSortNode(in, []eval.Func{colFn(1), colFn(3)}, []bool{false, true}))
+	execBoth(t, NewSortNode(in, []*eval.Compiled{colFn(1), colFn(3)}, []bool{false, true}))
 }
 
 func TestParallelHashJoinMatchesSerial(t *testing.T) {
 	// id%4096 keeps per-key match lists short (a few rows) while still
 	// exercising duplicate keys and NULL handling.
-	modKey := func(r schema.Row) (types.Value, error) {
+	modKey := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		if r[0].Int()%977 == 0 {
 			return types.Null, nil
 		}
 		return types.NewInt(r[0].Int() % 4096), nil
-	}
-	build := func(kind JoinKind, residual eval.Func) Node {
+	})
+	build := func(kind JoinKind, residual *eval.Compiled) Node {
 		l := NewValuesNode(bigSchema(), bigRows(20000))
 		r := NewValuesNode(bigSchema(), bigRows(9000))
-		return NewHashJoinNode(l, r, []eval.Func{modKey}, []eval.Func{modKey}, kind, residual, "k=k")
+		return NewHashJoinNode(l, r, []*eval.Compiled{modKey}, []*eval.Compiled{modKey}, kind, residual, "k=k")
 	}
 	t.Run("inner", func(t *testing.T) { execBoth(t, build(JoinKindInner, nil)) })
 	t.Run("left", func(t *testing.T) { execBoth(t, build(JoinKindLeft, nil)) })
 	t.Run("residual", func(t *testing.T) {
-		res := func(r schema.Row) (types.Value, error) {
+		res := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 			return types.NewBool(r[0].Int() < r[4].Int()), nil
-		}
+		})
 		execBoth(t, build(JoinKindInner, res))
 	})
 }
@@ -144,7 +144,7 @@ func TestParallelGroupMatchesSerial(t *testing.T) {
 		{Func: "min", Arg: colFn(0), OutName: "mn"},
 		{Func: "max", Arg: colFn(2), OutName: "mx"},
 	}
-	execBoth(t, NewGroupNode(in, out, []eval.Func{colFn(1)}, aggs))
+	execBoth(t, NewGroupNode(in, out, []*eval.Compiled{colFn(1)}, aggs))
 }
 
 func TestParallelGlobalAggMatchesSerial(t *testing.T) {
@@ -156,7 +156,7 @@ func TestParallelGlobalAggMatchesSerial(t *testing.T) {
 func TestParallelDistinctAndSetOpsMatchSerial(t *testing.T) {
 	proj := func(n int) Node {
 		in := NewValuesNode(bigSchema(), bigRows(n))
-		return NewProjectNode(in, intSchema("k", "s"), []eval.Func{colFn(1), colFn(3)})
+		return NewProjectNode(in, intSchema("k", "s"), []*eval.Compiled{colFn(1), colFn(3)})
 	}
 	t.Run("distinct", func(t *testing.T) { execBoth(t, NewDistinctNode(proj(20000))) })
 	t.Run("union", func(t *testing.T) {
@@ -202,11 +202,11 @@ func TestSortEvaluatesKeysOncePerRow(t *testing.T) {
 	for _, par := range []int{1, 8} {
 		in := NewValuesNode(bigSchema(), bigRows(n))
 		var calls atomic.Int64
-		key := func(r schema.Row) (types.Value, error) {
+		key := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 			calls.Add(1)
 			return r[1], nil
-		}
-		if _, err := Run(NewCtx().SetParallelism(par), NewSortNode(in, []eval.Func{key}, []bool{false})); err != nil {
+		})
+		if _, err := Run(NewCtx().SetParallelism(par), NewSortNode(in, []*eval.Compiled{key}, []bool{false})); err != nil {
 			t.Fatal(err)
 		}
 		if got := calls.Load(); got != n {
@@ -292,12 +292,12 @@ func TestCancellationInsideParallelOperator(t *testing.T) {
 	defer cancel()
 	in := NewValuesNode(bigSchema(), bigRows(200000))
 	var n atomic.Int64
-	pred := func(r schema.Row) (types.Value, error) {
+	pred := eval.FromFunc(func(r schema.Row) (types.Value, error) {
 		if n.Add(1) == 10000 {
 			cancel()
 		}
 		return types.NewBool(true), nil
-	}
+	})
 	_, err := Run(NewCtxWith(ctx).SetParallelism(8), NewFilterNode(in, pred, "cancelable"))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
@@ -307,7 +307,7 @@ func TestCancellationInsideParallelOperator(t *testing.T) {
 // EXPLAIN ANALYZE must surface per-operator fan-out.
 func TestExplainAnalyzeReportsWorkers(t *testing.T) {
 	in := NewValuesNode(bigSchema(), bigRows(20000))
-	n := NewFilterNode(in, func(schema.Row) (types.Value, error) { return types.NewBool(true), nil }, "true")
+	n := NewFilterNode(in, eval.FromFunc(func(schema.Row) (types.Value, error) { return types.NewBool(true), nil }), "true")
 	ctx := NewAnalyzeCtx().SetParallelism(4)
 	if _, err := Run(ctx, n); err != nil {
 		t.Fatal(err)

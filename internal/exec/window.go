@@ -40,8 +40,8 @@ type FrameSpec struct {
 
 // WindowAgg is one scalar aggregate computed over a window.
 type WindowAgg struct {
-	Func    string    // max, min, sum, count, avg, row_number (lower case)
-	Arg     eval.Func // nil for COUNT(*) and ROW_NUMBER
+	Func    string         // max, min, sum, count, avg, row_number (lower case)
+	Arg     *eval.Compiled // nil for COUNT(*) and ROW_NUMBER
 	OutName string
 	Kind    types.Kind // declared output kind for the schema
 	Frame   FrameSpec
@@ -57,14 +57,14 @@ type WindowAgg struct {
 type WindowNode struct {
 	base
 	Input     Node
-	PartKeys  []eval.Func
-	OrderKeys []eval.Func
+	PartKeys  []*eval.Compiled
+	OrderKeys []*eval.Compiled
 	OrderDesc []bool
 	Aggs      []WindowAgg
 }
 
 // NewWindowNode builds a window operator; out is input ++ agg columns.
-func NewWindowNode(child Node, out *schema.Schema, part, order []eval.Func, desc []bool, aggs []WindowAgg) *WindowNode {
+func NewWindowNode(child Node, out *schema.Schema, part, order []*eval.Compiled, desc []bool, aggs []WindowAgg) *WindowNode {
 	n := &WindowNode{Input: child, PartKeys: part, OrderKeys: order, OrderDesc: desc, Aggs: aggs}
 	n.schema = out
 	n.estRows = child.EstRows()
@@ -95,64 +95,120 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	workers := ctx.workersFor(nrows)
 	ctx.noteWorkers(n, workers)
 
-	// Partition keys over the (sorted) input, encoded into per-morsel
-	// arenas.
-	partKey := make([][]byte, nrows)
-	encs := make([]keyEnc, workers)
-	err = ctx.parallelFor(nrows, workers, func(w, _, lo, hi int) error {
-		enc := &encs[w]
-		var arena []byte
-		for i := lo; i < hi; i++ {
-			if err := ctx.Tick(i - lo); err != nil {
-				return err
-			}
-			key, _, err := enc.funcs(n.PartKeys, rows[i])
-			if err != nil {
-				return err
-			}
-			start := len(arena)
-			arena = append(arena, key...)
-			partKey[i] = arena[start:len(arena):len(arena)]
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Order keys, needed for RANGE and peer frames.
+	// Order keys are only needed for RANGE and peer frames.
 	needKeys := false
 	for _, a := range n.Aggs {
 		if a.Frame.Mode == FrameRangeMode || a.Frame.Mode == FramePeers {
 			needKeys = true
 		}
 	}
+	vec := ctx.useVector(n.PartKeys...)
+	for ai := range n.Aggs {
+		vec = vec && ctx.useVector(n.Aggs[ai].Arg)
+	}
+	if needKeys {
+		vec = vec && ctx.useVector(n.OrderKeys...)
+	}
+	ctx.noteEval(n, vec, nrows)
+
+	// Partition keys over the (sorted) input, encoded into per-morsel
+	// arenas; the vector path feeds the encoder from batch-evaluated
+	// column vectors.
+	partKey := make([][]byte, nrows)
+	encs := make([]keyEnc, workers)
+	err = ctx.parallelFor(nrows, workers, func(w, _, lo, hi int) error {
+		enc := &encs[w]
+		var arena []byte
+		partSerial := func(b, e int) error {
+			for i := b; i < e; i++ {
+				if err := ctx.Tick(i - b); err != nil {
+					return err
+				}
+				key, _, err := enc.funcs(n.PartKeys, rows[i])
+				if err != nil {
+					return err
+				}
+				start := len(arena)
+				arena = append(arena, key...)
+				partKey[i] = arena[start:len(arena):len(arena)]
+			}
+			return nil
+		}
+		if !ctx.useVector(n.PartKeys...) {
+			return partSerial(lo, hi)
+		}
+		cols := evalScratch(len(n.PartKeys), MorselSize)
+		return ctx.forBatches(lo, hi, func(b, e int) error {
+			chunk := rows[b:e]
+			if !tryBatchAll(n.PartKeys, chunk, cols) {
+				return partSerial(b, e)
+			}
+			for i := range chunk {
+				key, _ := enc.cols(cols, i)
+				start := len(arena)
+				arena = append(arena, key...)
+				partKey[b+i] = arena[start:len(arena):len(arena)]
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var orderRaw []int64
 	if needKeys {
 		if len(n.OrderKeys) != 1 || n.OrderDesc[0] {
 			return nil, fmt.Errorf("exec: RANGE frames require a single ascending ORDER BY key")
 		}
 		orderRaw = make([]int64, nrows)
-		err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				if err := ctx.Tick(i - lo); err != nil {
-					return err
-				}
-				v, err := n.OrderKeys[0](rows[i])
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					return fmt.Errorf("exec: NULL order key in RANGE frame")
-				}
-				switch v.Kind() {
-				case types.KindInt, types.KindTime, types.KindInterval:
-					orderRaw[i] = v.Raw()
-				default:
-					return fmt.Errorf("exec: RANGE frame order key must be numeric or time, got %s", v.Kind())
-				}
+		// validate checks one evaluated key and stores its raw value; both
+		// the serial loop and the vector path apply it in row order, so NULL
+		// and kind errors surface for the same row either way.
+		validate := func(i int, v types.Value) error {
+			if v.IsNull() {
+				return fmt.Errorf("exec: NULL order key in RANGE frame")
+			}
+			switch v.Kind() {
+			case types.KindInt, types.KindTime, types.KindInterval:
+				orderRaw[i] = v.Raw()
+			default:
+				return fmt.Errorf("exec: RANGE frame order key must be numeric or time, got %s", v.Kind())
 			}
 			return nil
+		}
+		err = ctx.parallelFor(nrows, workers, func(_, _, lo, hi int) error {
+			orderSerial := func(b, e int) error {
+				for i := b; i < e; i++ {
+					if err := ctx.Tick(i - b); err != nil {
+						return err
+					}
+					v, err := n.OrderKeys[0].Eval(rows[i])
+					if err != nil {
+						return err
+					}
+					if err := validate(i, v); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if !ctx.useVector(n.OrderKeys...) {
+				return orderSerial(lo, hi)
+			}
+			vp := evalScratch(1, MorselSize)[0]
+			return ctx.forBatches(lo, hi, func(b, e int) error {
+				chunk := rows[b:e]
+				if !n.OrderKeys[0].TryBatch(chunk, vp, nil) {
+					return orderSerial(b, e)
+				}
+				for i := range chunk {
+					if err := validate(b+i, vp[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
 		})
 		if err != nil {
 			return nil, err
@@ -174,11 +230,22 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 				continue
 			}
 			vals := argVals[ai]
+			if ctx.useVector(arg) {
+				// EvalBatch falls back to an in-order row rerun on kernel
+				// errors, so this matches the serial loop exactly — the
+				// serial loop is agg-major too.
+				if err := ctx.forBatches(lo, hi, func(b, e int) error {
+					return arg.EvalBatch(rows[b:e], vals[b:e], nil)
+				}); err != nil {
+					return err
+				}
+				continue
+			}
 			for i := lo; i < hi; i++ {
 				if err := ctx.Tick(i - lo); err != nil {
 					return err
 				}
-				v, err := arg(rows[i])
+				v, err := arg.Eval(rows[i])
 				if err != nil {
 					return err
 				}

@@ -25,7 +25,7 @@ func runWindow(t *testing.T, in Node, agg WindowAgg) []types.Value {
 	t.Helper()
 	out := in.Schema().Clone()
 	out.Columns = append(out.Columns, schema.Col("", agg.OutName, agg.Kind))
-	w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false}, []WindowAgg{agg})
+	w := NewWindowNode(in, out, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(1)}, []bool{false}, []WindowAgg{agg})
 	res := mustExec(t, w)
 	vals := make([]types.Value, len(res.Rows))
 	for i, r := range res.Rows {
@@ -299,7 +299,7 @@ func TestWindowMatchesBruteForceProperty(t *testing.T) {
 		in := windowInput(parts, keys, vals)
 		out := in.Schema().Clone()
 		out.Columns = append(out.Columns, schema.Col("", "w", types.KindInt))
-		w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false},
+		w := NewWindowNode(in, out, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(1)}, []bool{false},
 			[]WindowAgg{{Func: fn, Arg: colFn(2), OutName: "w", Frame: spec}})
 		res, err := Run(NewCtx(), w)
 		if err != nil {
@@ -329,7 +329,7 @@ func TestWindowRangeRequiresSingleAscKey(t *testing.T) {
 	in := windowInput([]int64{1}, []int64{1}, []int64{1})
 	out := in.Schema().Clone()
 	out.Columns = append(out.Columns, schema.Col("", "w", types.KindInt))
-	w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{true},
+	w := NewWindowNode(in, out, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(1)}, []bool{true},
 		[]WindowAgg{{Func: "max", Arg: colFn(2), OutName: "w",
 			Frame: FrameSpec{Mode: FrameRangeMode, StartType: sqlast.BoundPreceding, EndType: sqlast.BoundCurrentRow}}})
 	if _, err := Run(NewCtx(), w); err == nil {
@@ -344,7 +344,7 @@ func TestWindowMultipleAggsOnePass(t *testing.T) {
 		schema.Col("", "prev", types.KindInt),
 		schema.Col("", "total", types.KindInt),
 	)
-	w := NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false}, []WindowAgg{
+	w := NewWindowNode(in, out, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(1)}, []bool{false}, []WindowAgg{
 		{Func: "max", Arg: colFn(2), OutName: "prev",
 			Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundPreceding, StartOff: 1, EndType: sqlast.BoundPreceding, EndOff: 1}},
 		{Func: "sum", Arg: colFn(2), OutName: "total", Frame: FrameSpec{Mode: FramePartition}},
@@ -376,7 +376,7 @@ func TestWindowParallelMatchesSerial(t *testing.T) {
 		in := windowInput(parts, keys, vals)
 		out := in.Schema().Clone()
 		out.Columns = append(out.Columns, schema.Col("", "w", types.KindInt))
-		return NewWindowNode(in, out, []eval.Func{colFn(0)}, []eval.Func{colFn(1)}, []bool{false},
+		return NewWindowNode(in, out, []*eval.Compiled{colFn(0)}, []*eval.Compiled{colFn(1)}, []bool{false},
 			[]WindowAgg{{Func: "sum", Arg: colFn(2), OutName: "w",
 				Frame: FrameSpec{Mode: FrameRowsMode, StartType: sqlast.BoundPreceding, StartOff: 3, EndType: sqlast.BoundFollowing, EndOff: 2}}})
 	}

@@ -105,7 +105,7 @@ func (b *builder) planStmt(stmt sqlast.Stmt, scope *cteScope) (*planned, error) 
 			if err != nil {
 				return nil, err
 			}
-			exec.SetEstimates(n, rows, l.node.EstCost()+r.node.EstCost()+cpu((l.node.EstRows()+r.node.EstRows())*costHashRow))
+			exec.SetEstimates(n, rows, l.node.EstCost()+r.node.EstCost()+evalCPU(l.node.EstRows()+r.node.EstRows(), costHashRow))
 			return &planned{node: n, stats: l.stats}, nil
 		}
 	}
@@ -486,7 +486,7 @@ func (b *builder) filterNode(pl *planned, expr sqlast.Expr, scope *cteScope) (*p
 	}
 	sel := b.selectivity(expr, pl, subplans)
 	rows := pl.node.EstRows() * sel
-	cost := pl.node.EstCost() + cpu(pl.node.EstRows()*costFilterRow) + subCost
+	cost := pl.node.EstCost() + evalCPU(pl.node.EstRows(), costFilterRow) + subCost
 	desc := abbreviate(sqlast.ExprSQL(expr))
 	if len(subplans) > 0 {
 		n := &lazyFilterNode{input: pl.node, expr: expr, subplans: subplans, desc: desc, estRows: rows, estCost: cost}

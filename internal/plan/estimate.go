@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"math"
+
 	"repro/internal/exec"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
@@ -36,6 +38,23 @@ func costDOP() float64 {
 // (index vs sequential scan, join order, rewrite strategy) are exactly
 // what a serial cost model would pick; only the absolute numbers shrink.
 func cpu(work float64) float64 { return work / costDOP() }
+
+// evalCPU costs rows·perRow units of expression-evaluation work under the
+// batch execution model: vectorization discounts the per-row interpreter
+// overhead and adds one dispatch term per MorselSize-row batch. With
+// vectorization disabled process-wide it degenerates to cpu(rows·perRow).
+// The term applies uniformly to every expression-evaluating operator
+// (filter, project, join, group, window), so relative plan choices match
+// the row-at-a-time model; only absolute numbers move. It reads the
+// process-wide exec.Vectorize knob at plan time, like costDOP reads
+// exec.Parallelism; per-query overrides do not replan.
+func evalCPU(rows, perRow float64) float64 {
+	if !exec.Vectorize {
+		return cpu(rows * perRow)
+	}
+	batches := math.Ceil(rows / float64(exec.MorselSize))
+	return cpu(rows*perRow*costVecDiscount + batches*costBatchDispatch)
+}
 
 func concatSchemas(l, r *planned) *schema.Schema {
 	return schema.Concat(l.schema(), r.schema())

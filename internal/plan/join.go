@@ -170,7 +170,7 @@ func (b *builder) buildJoin(l, r *planned, conjs []sqlast.Expr, kind exec.JoinKi
 		if err != nil {
 			return nil, err
 		}
-		var res eval.Func
+		var res *eval.Compiled
 		desc := abbreviate(sqlast.ExprSQL(sqlast.And(conjs...)))
 		if len(residual) > 0 {
 			f, err := eval.Compile(sqlast.And(residual...), &eval.Env{Schema: outSchema})
@@ -180,7 +180,7 @@ func (b *builder) buildJoin(l, r *planned, conjs []sqlast.Expr, kind exec.JoinKi
 			res = f
 		}
 		n := exec.NewHashJoinNode(l.node, r.node, lFns, rFns, kind, res, desc)
-		cost := l.node.EstCost() + r.node.EstCost() + cpu((l.node.EstRows()+r.node.EstRows())*costHashRow)
+		cost := l.node.EstCost() + r.node.EstCost() + evalCPU(l.node.EstRows()+r.node.EstRows(), costHashRow)
 		exec.SetEstimates(n, rows, cost)
 		exec.SetOrdering(n, l.node.Ordering())
 		return &planned{node: n, stats: stats}, nil
@@ -188,7 +188,7 @@ func (b *builder) buildJoin(l, r *planned, conjs []sqlast.Expr, kind exec.JoinKi
 	if kind == exec.JoinKindLeft {
 		return nil, fmt.Errorf("plan: LEFT JOIN requires an equality condition")
 	}
-	var pred eval.Func
+	var pred *eval.Compiled
 	desc := "cross"
 	if len(residual) > 0 {
 		desc = abbreviate(sqlast.ExprSQL(sqlast.And(residual...)))
@@ -288,8 +288,8 @@ func distinctOf(e sqlast.Expr, pl *planned) float64 {
 	return pl.stats[idx].DistinctAfter(pl.node.EstRows())
 }
 
-func compileAll(exprs []sqlast.Expr, s *sschema) ([]eval.Func, error) {
-	out := make([]eval.Func, len(exprs))
+func compileAll(exprs []sqlast.Expr, s *sschema) ([]*eval.Compiled, error) {
+	out := make([]*eval.Compiled, len(exprs))
 	for i, e := range exprs {
 		f, err := eval.Compile(e, &eval.Env{Schema: s})
 		if err != nil {

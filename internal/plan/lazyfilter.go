@@ -77,6 +77,31 @@ func (n *lazyFilterNode) Execute(ctx *exec.Ctx) (*exec.Result, error) {
 		return nil, err
 	}
 	out := make([]schema.Row, 0, len(in.Rows)/4+1)
+	vec := ctx.VectorizeEnabled() && pred.Vectorized()
+	ctx.NoteEval(n, vec, len(in.Rows))
+	if vec {
+		// Batch the predicate over MorselSize chunks; EvalPredicateBatch
+		// reruns the row path in order on kernel errors, so failures match
+		// the serial loop below exactly.
+		var sel []int
+		for b := 0; b < len(in.Rows); b += exec.MorselSize {
+			e := b + exec.MorselSize
+			if e > len(in.Rows) {
+				e = len(in.Rows)
+			}
+			if err := ctx.Canceled(); err != nil {
+				return nil, err
+			}
+			sel, err = eval.EvalPredicateBatch(pred, in.Rows[b:e], nil, sel[:0])
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range sel {
+				out = append(out, in.Rows[b+i])
+			}
+		}
+		return &exec.Result{Schema: n.input.Schema(), Rows: out}, nil
+	}
 	for _, r := range in.Rows {
 		ok, err := eval.EvalPredicate(pred, r)
 		if err != nil {

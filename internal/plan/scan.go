@@ -22,6 +22,13 @@ const (
 	costProjectRow = 0.15 // per output row per column (approx)
 	costGroupRow   = 1.5  // hash aggregation, per input row
 	costUnionRow   = 0.2
+
+	// Vectorized evaluation: each MorselSize-row batch pays one kernel
+	// dispatch, and the per-row expression work shrinks because the
+	// interpreter overhead (closure calls, per-row dispatch) amortizes
+	// over the batch.
+	costBatchDispatch = 4.0 // per vector-kernel batch
+	costVecDiscount   = 0.6 // fraction of row-at-a-time eval work left
 )
 
 // planScan plans a base-table access: an index range scan when a sargable

@@ -104,7 +104,7 @@ func (b *builder) finishSelect(sel *sqlast.SelectStmt, pl *planned, scope *cteSc
 	if sel.Distinct {
 		n := exec.NewDistinctNode(pl.node)
 		rows := b.distinctEstimate(pl)
-		exec.SetEstimates(n, rows, pl.node.EstCost()+cpu(pl.node.EstRows()*costGroupRow))
+		exec.SetEstimates(n, rows, pl.node.EstCost()+evalCPU(pl.node.EstRows(), costGroupRow))
 		pl = &planned{node: n, stats: pl.stats}
 	}
 	if sel.Limit != nil || sel.Offset != nil {
@@ -259,7 +259,7 @@ func (b *builder) planGrouping(sel *sqlast.SelectStmt, pl *planned, items []outI
 
 	outSchema := &schema.Schema{}
 	outStats := []*storage.ColStats{}
-	keyFns := make([]eval.Func, len(keyExprs))
+	keyFns := make([]*eval.Compiled, len(keyExprs))
 	repl := map[string]sqlast.Expr{}
 	rowsEst := 1.0
 	for i, k := range keyExprs {
@@ -319,7 +319,7 @@ func (b *builder) planGrouping(sel *sqlast.SelectStmt, pl *planned, items []outI
 	}
 
 	n := exec.NewGroupNode(pl.node, outSchema, keyFns, aggs)
-	exec.SetEstimates(n, rowsEst, pl.node.EstCost()+cpu(pl.node.EstRows()*costGroupRow))
+	exec.SetEstimates(n, rowsEst, pl.node.EstCost()+evalCPU(pl.node.EstRows(), costGroupRow))
 	out := &planned{node: n, stats: outStats}
 
 	// Rewrite consumers to reference the aggregation output.
@@ -390,7 +390,7 @@ func (b *builder) planWindows(pl *planned, items []outItem, orderBy []sqlast.Ord
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		orderFns := make([]eval.Func, len(g.wins[0].Order))
+		orderFns := make([]*eval.Compiled, len(g.wins[0].Order))
 		orderDesc := make([]bool, len(g.wins[0].Order))
 		for i, o := range g.wins[0].Order {
 			f, err := eval.Compile(o.Expr, &eval.Env{Schema: inSchema})
@@ -416,7 +416,7 @@ func (b *builder) planWindows(pl *planned, items []outItem, orderBy []sqlast.Ord
 			winIdx++
 		}
 		n := exec.NewWindowNode(pl.node, outSchema, partFns, orderFns, orderDesc, aggs)
-		cost := pl.node.EstCost() + cpu(pl.node.EstRows()*float64(len(aggs))*costWindowAgg)
+		cost := pl.node.EstCost() + evalCPU(pl.node.EstRows(), float64(len(aggs))*costWindowAgg)
 		exec.SetEstimates(n, pl.node.EstRows(), cost)
 		exec.SetOrdering(n, pl.node.Ordering())
 		pl = &planned{node: n, stats: outStats}
@@ -483,7 +483,7 @@ func (b *builder) ensureWindowOrder(pl *planned, w *sqlast.WindowExpr) (*planned
 	if known && orderingSatisfies(pl.node.Ordering(), want) {
 		return pl, nil
 	}
-	keys := make([]eval.Func, 0, len(w.Partition)+len(w.Order))
+	keys := make([]*eval.Compiled, 0, len(w.Partition)+len(w.Order))
 	desc := make([]bool, 0, cap(keys))
 	for _, p := range w.Partition {
 		f, err := eval.Compile(p, &eval.Env{Schema: inSchema})
@@ -618,8 +618,8 @@ func frameOffset(fb sqlast.FrameBound, unit sqlast.FrameUnit) (int64, error) {
 	return 0, fmt.Errorf("plan: unsupported frame offset kind %s", c.V.Kind())
 }
 
-func compileList(exprs []sqlast.Expr, s *schema.Schema) ([]eval.Func, error) {
-	out := make([]eval.Func, len(exprs))
+func compileList(exprs []sqlast.Expr, s *schema.Schema) ([]*eval.Compiled, error) {
+	out := make([]*eval.Compiled, len(exprs))
 	for i, e := range exprs {
 		f, err := eval.Compile(e, &eval.Env{Schema: s})
 		if err != nil {
@@ -635,14 +635,14 @@ func (b *builder) planProject(pl *planned, items []outItem) (*planned, error) {
 	inSchema := pl.schema()
 	outSchema := &schema.Schema{}
 	outStats := make([]*storage.ColStats, 0, len(items))
-	exprs := make([]eval.Func, len(items))
+	exprs := make([]*eval.Compiled, len(items))
 	inToOut := map[int]int{}
 	for i, it := range items {
 		var kind types.Kind
 		var st *storage.ColStats
 		if it.idx >= 0 {
 			idx := it.idx
-			exprs[i] = func(r schema.Row) (types.Value, error) { return r[idx], nil }
+			exprs[i] = eval.Column(idx)
 			kind = inSchema.Columns[idx].Kind
 			if idx < len(pl.stats) {
 				st = pl.stats[idx]
@@ -672,7 +672,7 @@ func (b *builder) planProject(pl *planned, items []outItem) (*planned, error) {
 		outStats = append(outStats, st)
 	}
 	n := exec.NewProjectNode(pl.node, outSchema, exprs)
-	exec.SetEstimates(n, pl.node.EstRows(), pl.node.EstCost()+cpu(pl.node.EstRows()*float64(len(items))*costProjectRow))
+	exec.SetEstimates(n, pl.node.EstRows(), pl.node.EstCost()+evalCPU(pl.node.EstRows(), float64(len(items))*costProjectRow))
 	// Ordering survives projection for the prefix of keys that pass through.
 	var ord []exec.OrderCol
 	for _, oc := range pl.node.Ordering() {
@@ -695,7 +695,7 @@ func (b *builder) distinctEstimate(pl *planned) float64 {
 
 func (b *builder) planOrderBy(pl *planned, orderBy []sqlast.OrderItem) (*planned, error) {
 	inSchema := pl.schema()
-	keys := make([]eval.Func, len(orderBy))
+	keys := make([]*eval.Compiled, len(orderBy))
 	desc := make([]bool, len(orderBy))
 	var ord []exec.OrderCol
 	known := true

@@ -347,6 +347,7 @@ type queryOpts struct {
 	rules       []string
 	timeout     time.Duration
 	parallelism int
+	rowEval     bool
 }
 
 // WithStrategy forces a rewrite strategy (default Auto).
@@ -381,10 +382,21 @@ func WithParallelism(n int) QueryOption {
 	return func(o *queryOpts) { o.parallelism = n }
 }
 
+// WithRowEval forces row-at-a-time expression evaluation for this query,
+// disabling the vectorized (batch) kernels the executor uses by default.
+// Results are bit-identical either way — the batch path falls back to the
+// row path on any kernel error, so even failures match — which makes this
+// a debugging and benchmarking knob: it isolates whether a discrepancy or
+// a speedup comes from batch evaluation, and it is the row baseline the
+// vectorization benchmarks measure against.
+func WithRowEval() QueryOption {
+	return func(o *queryOpts) { o.rowEval = true }
+}
+
 // execCtx builds the execution context for one query run, applying the
-// WithParallelism option.
+// WithParallelism and WithRowEval options.
 func (o *queryOpts) execCtx(ctx context.Context) *exec.Ctx {
-	return exec.NewCtxWith(ctx).SetParallelism(o.parallelism)
+	return exec.NewCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval)
 }
 
 // deadline applies the WithTimeout option, if any, to ctx.
@@ -492,9 +504,10 @@ func (db *DB) ExplainContext(ctx context.Context, sql string, opts ...QueryOptio
 // loaded after Prepare.
 type Prepared struct {
 	db   *DB
-	plan exec.Node
-	info RewriteInfo
-	par  int // WithParallelism at Prepare time; applied to every Run
+	plan    exec.Node
+	info    RewriteInfo
+	par     int  // WithParallelism at Prepare time; applied to every Run
+	rowEval bool // WithRowEval at Prepare time; applied to every Run
 }
 
 // Prepare rewrites and plans a query once.
@@ -515,7 +528,7 @@ func (db *DB) PrepareContext(ctx context.Context, sql string, opts ...QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, plan: res.Plan, info: inf, par: o.parallelism}, nil
+	return &Prepared{db: db, plan: res.Plan, info: inf, par: o.parallelism, rowEval: o.rowEval}, nil
 }
 
 // Rewrite reports how the prepared query will execute.
@@ -531,7 +544,7 @@ func (p *Prepared) Run() (*Rows, error) {
 func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
-	out, err := exec.Run(exec.NewCtxWith(ctx).SetParallelism(p.par), p.plan)
+	out, err := exec.Run(exec.NewCtxWith(ctx).SetParallelism(p.par).SetVectorize(!p.rowEval), p.plan)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
@@ -556,7 +569,7 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 	if err != nil {
 		return "", err
 	}
-	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism)
+	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval)
 	if _, err := exec.Run(ectx, res.Plan); err != nil {
 		return "", wrapCanceled(err)
 	}
