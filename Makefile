@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all bench-serving clean
+.PHONY: all build vet test race verify soak bench bench-all bench-serving clean
 
 all: verify
 
@@ -24,6 +24,16 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
+# Fault-injection soak: the REPRO_SOAK-gated matrix (worker panics,
+# allocation failures, spill-I/O errors, concurrent chaos) under the race
+# detector, every query running against a deliberately low memory budget
+# so the spill machinery is on the hot path throughout. CI runs this
+# after verify; locally it's the fastest way to shake the degradation
+# paths.
+soak:
+	REPRO_SOAK=1 $(GO) test -race -count=1 -run 'TestSoak' -v .
+	$(GO) test -race -count=1 ./internal/govern/
+
 # Core benchmarks with allocation stats, recorded to BENCH_PR2.json in
 # the standard `go test -bench` text format that benchstat consumes
 # directly (`benchstat BENCH_PR2.json`). REPRO_BENCH_SCALE enlarges the
@@ -33,6 +43,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelPipeline|BenchmarkAblationWindowParallelism|BenchmarkPlanCache|BenchmarkConcurrentClients' -benchmem . | tee BENCH_PR2.json
 	$(GO) test -run '^$$' -bench 'BenchmarkRowKeying' -benchmem ./internal/exec/ | tee -a BENCH_PR2.json
 	$(GO) test -run '^$$' -bench 'BenchmarkVectorized' -benchmem ./internal/exec/ | tee BENCH_PR3.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSpillOverhead' -benchmem . | tee BENCH_PR4.json
 
 # Every benchmark, including the full paper-figure grid (slow).
 bench-all:

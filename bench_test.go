@@ -299,3 +299,69 @@ func BenchmarkAblationWindowParallelism(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSpillOverhead prices the graceful-degradation paths: the same
+// sort / aggregation / join queries run fully in memory and again under a
+// budget low enough that every materializing operator goes through the
+// external-merge / grace-hash spill machinery. The inmem/spill ratio is
+// the cost of completing a query that would otherwise fail with
+// ErrResourceExhausted; results are asserted bit-identical first.
+func BenchmarkSpillOverhead(b *testing.B) {
+	db := repro.Open(repro.WithSpillDir(b.TempDir()))
+	if err := db.CreateTable("reads",
+		repro.ColumnDef{Name: "epc", Kind: repro.KindString},
+		repro.ColumnDef{Name: "rtime", Kind: repro.KindTime},
+		repro.ColumnDef{Name: "biz_loc", Kind: repro.KindString},
+	); err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	rows := make([][]repro.Value, n)
+	for i := range rows {
+		rows[i] = []repro.Value{
+			repro.NewString(fmt.Sprintf("e%05d", i%2003)),
+			timeValue(int64(i)),
+			repro.NewString(fmt.Sprintf("loc%03d", i%97)),
+		}
+	}
+	if err := db.Insert("reads", rows...); err != nil {
+		b.Fatal(err)
+	}
+	queries := []struct{ name, sql string }{
+		{"sort", `SELECT epc, rtime, biz_loc FROM reads ORDER BY rtime, epc, biz_loc`},
+		{"group", `SELECT epc, COUNT(*) AS c, MIN(rtime) AS first_seen FROM reads GROUP BY epc ORDER BY c DESC, epc`},
+		{"join", `SELECT a.epc, a.rtime, b.biz_loc FROM reads a JOIN reads b ON a.epc = b.epc AND a.rtime = b.rtime`},
+	}
+	modes := []struct {
+		name string
+		opts []repro.QueryOption
+	}{
+		{"inmem", nil},
+		{"spill", []repro.QueryOption{repro.WithMemoryLimit(256 << 10)}},
+	}
+	for _, q := range queries {
+		want, err := db.Query(q.sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := db.Query(q.sql, repro.WithMemoryLimit(256<<10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got.Mem.Spilled() {
+			b.Fatalf("%s: budget did not force a spill", q.name)
+		}
+		if len(got.Data) != len(want.Data) {
+			b.Fatalf("%s: spilled result differs", q.name)
+		}
+		for _, m := range modes {
+			b.Run(q.name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q.sql, m.opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

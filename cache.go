@@ -78,6 +78,25 @@ func (c *planCache) put(k cacheKey, res *core.Result) {
 	c.order = append(c.order, k)
 }
 
+// evict drops one entry, if present. The serving layer calls it when a
+// query fails with ErrResourceExhausted: the cached plan is fine, but
+// dropping it guarantees a retry under a raised limit re-resolves fresh
+// instead of requiring a manual cache reset.
+func (c *planCache) evict(k cacheKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; !ok {
+		return
+	}
+	delete(c.entries, k)
+	for i, o := range c.order {
+		if o == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
 func (c *planCache) counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

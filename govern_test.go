@@ -1,0 +1,289 @@
+// Tests for the resource-governance layer as the public API exposes it:
+// memory budgets that degrade to spilling with bit-identical answers,
+// clean ErrResourceExhausted failures when spilling is off, plan-cache
+// eviction after budget failures, panic isolation between concurrent
+// queries, spill-file cleanup under cancellation, and admission control.
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newGovernDB loads the paper's RFID workload at scale 1 (~1500 caseR
+// rows) — the corpus the acceptance criteria run against.
+func newGovernDB(t testing.TB, opts ...repro.Option) *repro.DB {
+	t.Helper()
+	db := repro.Open(opts...)
+	if err := db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: 1, AnomalyPct: 10, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// Corpus queries whose working sets dwarf a tens-of-KiB budget: a full
+// per-row sort and a grouped aggregation over caseR.
+const (
+	spillSortQuery  = `SELECT epc, rtime, biz_loc FROM caser ORDER BY rtime, epc, biz_loc`
+	spillGroupQuery = `SELECT biz_loc, COUNT(*) AS c, MIN(rtime) AS first_seen FROM caser GROUP BY biz_loc ORDER BY c DESC, biz_loc`
+)
+
+func TestCorpusQueriesSpillBitIdentically(t *testing.T) {
+	db := newGovernDB(t)
+	for _, q := range []string{spillSortQuery, spillGroupQuery} {
+		want, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
+		}
+		got, err := db.Query(q, repro.WithMemoryLimit(32<<10))
+		if err != nil {
+			t.Fatalf("budgeted run failed instead of spilling: %v", err)
+		}
+		if !got.Mem.Spilled() {
+			t.Fatalf("query under 32KiB budget did not spill (peak %d)", got.Mem.Peak)
+		}
+		if got.Mem.Limit != 32<<10 {
+			t.Errorf("Mem.Limit = %d, want %d", got.Mem.Limit, 32<<10)
+		}
+		if got.Mem.Peak <= 0 || got.Mem.SpillBytes <= 0 {
+			t.Errorf("empty accounting: %+v", got.Mem)
+		}
+		if !reflect.DeepEqual(got.Data, want.Data) {
+			t.Fatalf("spilled result differs from in-memory result for %q", q)
+		}
+	}
+}
+
+func TestExplainAnalyzeAnnotatesSpill(t *testing.T) {
+	db := newGovernDB(t)
+	out, err := db.ExplainAnalyze(spillSortQuery, repro.WithMemoryLimit(32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "spilled=") {
+		t.Errorf("EXPLAIN ANALYZE missing per-operator spilled= annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "-- mem: peak=") || !strings.Contains(out, "limit=32.0 KiB") {
+		t.Errorf("EXPLAIN ANALYZE missing mem trailer:\n%s", out)
+	}
+}
+
+func TestSpillDisabledFailsWithResourceExhausted(t *testing.T) {
+	db := newGovernDB(t)
+	_, err := db.Query(spillSortQuery, repro.WithMemoryLimit(32<<10), repro.WithoutSpill())
+	if !errors.Is(err, repro.ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+	// The engine must keep serving: the same query, unbudgeted, succeeds.
+	if _, err := db.Query(spillSortQuery); err != nil {
+		t.Fatalf("engine broken after budget failure: %v", err)
+	}
+}
+
+func TestExhaustedQueryEvictsCacheEntry(t *testing.T) {
+	db := newGovernDB(t)
+	db.ResetPlanCache()
+	_, err := db.Query(spillGroupQuery, repro.WithMemoryLimit(16<<10), repro.WithoutSpill())
+	if !errors.Is(err, repro.ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+	if st := db.PlanCacheStats(); st.Entries != 0 {
+		t.Fatalf("failed query's plan still cached (%d entries); raising the limit would be pinned to it", st.Entries)
+	}
+	// A retry under a raised limit replans (cache miss) and succeeds.
+	rows, err := db.Query(spillGroupQuery, repro.WithMemoryLimit(64<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rewrite.CacheHit {
+		t.Error("retry after eviction reported a cache hit")
+	}
+}
+
+func TestExhaustedPreparedRunEvictsCacheEntry(t *testing.T) {
+	db := newGovernDB(t)
+	db.ResetPlanCache()
+	p, err := db.Prepare(spillGroupQuery, repro.WithMemoryLimit(16<<10), repro.WithoutSpill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); !errors.Is(err, repro.ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+	if st := db.PlanCacheStats(); st.Entries != 0 {
+		t.Fatalf("exhausted prepared run left its plan cached (%d entries)", st.Entries)
+	}
+	// Re-preparing under a workable budget succeeds.
+	p2, err := db.Prepare(spillGroupQuery, repro.WithMemoryLimit(64<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedPanicFailsOnlyItsQuery(t *testing.T) {
+	db := newServingDB(t, 20000)
+	const q = `SELECT epc, biz_loc, COUNT(*) AS c FROM reads GROUP BY epc, biz_loc ORDER BY c`
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := []repro.QueryOption{repro.WithParallelism(4)}
+			if i == 0 {
+				opts = append(opts, repro.WithFaults(repro.FaultInjection{WorkerPanic: true}))
+			}
+			_, errs[i] = db.Query(q, opts...)
+		}(i)
+	}
+	wg.Wait()
+	if !errors.Is(errs[0], repro.ErrInternal) {
+		t.Fatalf("faulted query: err = %v, want ErrInternal", errs[0])
+	}
+	for i, err := range errs[1:] {
+		if err != nil {
+			t.Errorf("concurrent query %d failed alongside the panicking one: %v", i+1, err)
+		}
+	}
+	// And the engine answers the next query normally.
+	if _, err := db.Query(q); err != nil {
+		t.Fatalf("engine broken after injected panic: %v", err)
+	}
+}
+
+func TestCancelDuringSpillRemovesTempFiles(t *testing.T) {
+	spillDir := t.TempDir()
+	db := repro.Open(repro.WithSpillDir(spillDir))
+	if err := db.CreateTable("reads",
+		repro.ColumnDef{Name: "epc", Kind: repro.KindString},
+		repro.ColumnDef{Name: "rtime", Kind: repro.KindTime},
+		repro.ColumnDef{Name: "biz_loc", Kind: repro.KindString},
+	); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]repro.Value, 50000)
+	for i := range rows {
+		rows[i] = []repro.Value{
+			stringValue(fmt.Sprintf("e%05d", i%997)),
+			timeValue(int64(i)),
+			stringValue(fmt.Sprintf("loc%03d", i%53)),
+		}
+	}
+	if err := db.Insert("reads", rows...); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT epc, rtime, biz_loc FROM reads ORDER BY rtime, epc, biz_loc`
+
+	canceled := 0
+	for _, delay := range []time.Duration{
+		500 * time.Microsecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 25 * time.Millisecond,
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(delay, cancel)
+		_, err := db.QueryContext(ctx, q, repro.WithMemoryLimit(32<<10))
+		cancel()
+		if err != nil {
+			if !errors.Is(err, repro.ErrCanceled) || !errors.Is(err, context.Canceled) {
+				t.Fatalf("delay %v: err = %v, want ErrCanceled wrapping context.Canceled", delay, err)
+			}
+			canceled++
+		}
+		// Whether the query finished or died mid-merge, no spill files may
+		// survive it.
+		entries, rdErr := os.ReadDir(spillDir)
+		if rdErr != nil {
+			t.Fatal(rdErr)
+		}
+		if len(entries) != 0 {
+			names := make([]string, len(entries))
+			for i, e := range entries {
+				names[i] = e.Name()
+			}
+			t.Fatalf("delay %v: spill files leaked: %v", delay, names)
+		}
+	}
+	if canceled == 0 {
+		t.Error("no run was actually canceled; delays too generous for this machine")
+	}
+}
+
+func TestAdmissionControlRejectsAndQueues(t *testing.T) {
+	db := repro.Open(repro.WithMaxConcurrent(1), repro.WithAdmissionQueue(0))
+	if err := db.CreateTable("kv", repro.ColumnDef{Name: "k", Kind: repro.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("kv", []repro.Value{repro.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT COUNT(*) FROM kv`
+
+	hold := repro.WithFaults(repro.FaultInjection{SlowOp: 400 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Query(q, hold)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow query take the only slot
+	if _, err := db.Query(q); !errors.Is(err, repro.ErrOverloaded) {
+		t.Fatalf("second query: err = %v, want ErrOverloaded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("admitted query failed: %v", err)
+	}
+	st := db.ResourceStats()
+	if st.Admission.Rejected == 0 {
+		t.Errorf("ResourceStats.Admission.Rejected = 0 after a rejection")
+	}
+
+	// With a queue, a waiter honors its deadline while blocked.
+	db2 := repro.Open(repro.WithMaxConcurrent(1), repro.WithAdmissionQueue(4))
+	if err := db2.CreateTable("kv", repro.ColumnDef{Name: "k", Kind: repro.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Insert("kv", []repro.Value{repro.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := db2.Query(q, hold)
+		done2 <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if _, err := db2.Query(q, repro.WithTimeout(50*time.Millisecond)); !errors.Is(err, repro.ErrCanceled) {
+		t.Fatalf("queued query past deadline: err = %v, want ErrCanceled", err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("admitted query failed: %v", err)
+	}
+}
+
+func TestResourceStatsAccumulate(t *testing.T) {
+	db := newGovernDB(t)
+	if _, err := db.Query(spillSortQuery, repro.WithMemoryLimit(32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = db.Query(spillSortQuery, repro.WithMemoryLimit(32<<10), repro.WithoutSpill())
+	st := db.ResourceStats()
+	if st.Queries < 2 || st.SpilledQueries < 1 || st.SpillRuns < 1 || st.SpillBytes <= 0 {
+		t.Errorf("spill totals not accumulated: %+v", st)
+	}
+	if st.Exhausted < 1 {
+		t.Errorf("Exhausted = %d, want >= 1", st.Exhausted)
+	}
+	if st.MaxPeak <= 0 {
+		t.Errorf("MaxPeak = %d, want > 0", st.MaxPeak)
+	}
+}

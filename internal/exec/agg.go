@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/eval"
+	"repro/internal/govern"
 	"repro/internal/schema"
 	"repro/internal/types"
 )
@@ -167,6 +168,17 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 		return nil, err
 	}
 	nrows := len(in.Rows)
+	// Reserve the hash-aggregation working set (encoded keys, hashes,
+	// evaluated aggregate arguments). A refused reservation degrades to
+	// the grace-hash path when spilling is enabled.
+	work := groupWorkBytes(nrows, len(n.Aggs))
+	if err := ctx.res.Reserve(work); err != nil {
+		if !ctx.res.CanSpill() {
+			return nil, err
+		}
+		return n.graceExecute(ctx, in)
+	}
+	defer ctx.res.Release(work)
 	workers := ctx.workersFor(nrows)
 	ctx.noteWorkers(n, workers)
 	vec := ctx.useVector(n.Keys...)
@@ -310,6 +322,11 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
+				defer func() {
+					if rec := recover(); rec != nil {
+						errs[p] = govern.Internalize(rec)
+					}
+				}()
 				errs[p] = foldPartition(p)
 			}(p)
 		}
@@ -329,7 +346,12 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 		}
 	}
 	sort.Slice(sequence, func(i, j int) bool { return sequence[i].first < sequence[j].first })
+	return n.emitGroups(ctx, sequence)
+}
 
+// emitGroups materializes the output rows from groups already sequenced
+// in first-appearance order; the in-memory and grace-hash paths share it.
+func (n *GroupNode) emitGroups(ctx *Ctx, sequence []*groupState) (*Result, error) {
 	if len(n.Keys) == 0 && len(sequence) == 0 {
 		// Global aggregate over empty input: one row of empty-group results.
 		g := &groupState{accs: make([]*accumulator, len(n.Aggs))}
@@ -338,6 +360,7 @@ func (n *GroupNode) Execute(ctx *Ctx) (*Result, error) {
 		}
 		sequence = append(sequence, g)
 	}
+	ctx.res.Charge(int64(len(sequence)) * (rowHdrBytes + int64(n.schema.Len())*valueBytes))
 	out := make([]schema.Row, len(sequence))
 	for i, g := range sequence {
 		row := make(schema.Row, 0, len(n.Keys)+len(n.Aggs))

@@ -15,7 +15,11 @@ func Explain(n Node) string {
 }
 
 func explainNode(b *strings.Builder, n Node, depth int) {
-	fmt.Fprintf(b, "%s%s  [rows=%.0f cost=%.0f]", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
+	fmt.Fprintf(b, "%s%s  [rows=%.0f cost=%.0f", strings.Repeat("  ", depth), n.Label(), n.EstRows(), n.EstCost())
+	if m := EstMem(n); m > 0 {
+		fmt.Fprintf(b, " mem=%s", fmtBytes(m))
+	}
+	b.WriteString("]")
 	if Parallelism > 1 && parallelCapable(n) && n.EstRows() >= float64(ParallelThreshold) {
 		b.WriteString("  [parallel]")
 	}
@@ -61,6 +65,9 @@ func explainAnalyzeNode(b *strings.Builder, n Node, ctx *Ctx, depth int) {
 				fmt.Fprintf(b, " batches=%d", st.Batches)
 			}
 		}
+		if st.SpillRuns > 0 {
+			fmt.Fprintf(b, " spilled=%d runs (%s)", st.SpillRuns, fmtBytes(float64(st.SpillBytes)))
+		}
 		if st.Hits > 0 {
 			fmt.Fprintf(b, " cached×%d", st.Hits)
 		}
@@ -72,6 +79,19 @@ func explainAnalyzeNode(b *strings.Builder, n Node, ctx *Ctx, depth int) {
 	for _, c := range n.Children() {
 		explainAnalyzeNode(b, c, ctx, depth+1)
 	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix for plan output.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", v)
 }
 
 // CountNodes returns the number of operators in the plan with the given

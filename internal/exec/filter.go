@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/eval"
+	"repro/internal/govern"
 	"repro/internal/schema"
 	"repro/internal/types"
 )
@@ -40,6 +41,10 @@ func (n *FilterNode) Children() []Node { return []Node{n.Input} }
 func (n *FilterNode) Execute(ctx *Ctx) (*Result, error) {
 	in, err := Run(ctx, n.Input)
 	if err != nil {
+		return nil, err
+	}
+	// Worst case every row passes; the output holds row references only.
+	if err := ctx.reserveOrCharge(int64(len(in.Rows)) * rowHdrBytes); err != nil {
 		return nil, err
 	}
 	workers := ctx.workersFor(len(in.Rows))
@@ -120,12 +125,15 @@ func (n *ProjectNode) Execute(ctx *Ctx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ne := len(n.Exprs)
+	if err := ctx.reserveOrCharge(int64(len(in.Rows)) * (rowHdrBytes + int64(ne)*valueBytes)); err != nil {
+		return nil, err
+	}
 	workers := ctx.workersFor(len(in.Rows))
 	ctx.noteWorkers(n, workers)
 	vec := ctx.useVector(n.Exprs...)
 	ctx.noteEval(n, vec, len(in.Rows))
 	out := make([]schema.Row, len(in.Rows))
-	ne := len(n.Exprs)
 	projectSerial := func(b, e int) error {
 		for i := b; i < e; i++ {
 			if err := ctx.Tick(i - b); err != nil {
@@ -204,13 +212,26 @@ func (n *SortNode) Execute(ctx *Ctx) (*Result, error) {
 		return nil, err
 	}
 	nrows := len(in.Rows)
+	nk := len(n.Keys)
+	// Reserve the full working set (key tuples, permutation, output row
+	// references). If the budget refuses it and the query may spill, fall
+	// back to the external merge sort; otherwise the reservation error is
+	// the query's clean failure.
+	work := sortWorkBytes(nrows, nk)
+	if err := ctx.res.Reserve(work + int64(nrows)*rowHdrBytes); err != nil {
+		if !ctx.res.CanSpill() {
+			return nil, err
+		}
+		return n.externalSort(ctx, in)
+	}
+	// The output row references stay charged; the key tuples are scratch.
+	defer ctx.res.Release(work)
 	workers := ctx.workersFor(nrows)
 	ctx.noteWorkers(n, workers)
 	vec := ctx.useVector(n.Keys...)
 	ctx.noteEval(n, vec, nrows)
 
 	keys := make([][]types.Value, nrows)
-	nk := len(n.Keys)
 	keysSerial := func(b, e int) error {
 		for i := b; i < e; i++ {
 			if err := ctx.Tick(i - b); err != nil {
@@ -307,16 +328,26 @@ func (n *SortNode) parallelSort(ctx *Ctx, idx []int, keys [][]types.Value, worke
 		spans = append(spans, span{lo, hi})
 	}
 	var wg sync.WaitGroup
-	for _, sp := range spans {
+	errs := make([]error, len(spans))
+	for si, sp := range spans {
 		wg.Add(1)
-		go func(sub []int) {
+		go func(si int, sub []int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[si] = govern.Internalize(rec)
+				}
+			}()
+			ctx.res.MaybePanic()
 			sort.SliceStable(sub, func(a, b int) bool {
 				return n.cmpKeys(keys[sub[a]], keys[sub[b]]) < 0
 			})
-		}(idx[sp.lo:sp.hi])
+		}(si, idx[sp.lo:sp.hi])
 	}
 	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return err
+	}
 	if err := ctx.Canceled(); err != nil {
 		return err
 	}
@@ -445,6 +476,9 @@ func (n *DistinctNode) Execute(ctx *Ctx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.reserveOrCharge(int64(len(in.Rows)) * (rowHdrBytes + keyRefBytes)); err != nil {
+		return nil, err
+	}
 	seen := newRowSet(len(in.Rows))
 	var enc keyEnc
 	out := make([]schema.Row, 0, len(in.Rows))
@@ -501,6 +535,9 @@ func (n *SetOpNode) Children() []Node { return []Node{n.Left, n.Right} }
 func (n *SetOpNode) Execute(ctx *Ctx) (*Result, error) {
 	l, r, err := runPair(ctx, n.Left, n.Right)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.reserveOrCharge(int64(len(l.Rows)+len(r.Rows)) * (rowHdrBytes + keyRefBytes)); err != nil {
 		return nil, err
 	}
 	var enc keyEnc
@@ -560,6 +597,13 @@ func (n *UnionNode) Children() []Node { return []Node{n.Left, n.Right} }
 func (n *UnionNode) Execute(ctx *Ctx) (*Result, error) {
 	l, r, err := runPair(ctx, n.Left, n.Right)
 	if err != nil {
+		return nil, err
+	}
+	perRow := int64(rowHdrBytes)
+	if n.Distinct {
+		perRow += keyRefBytes
+	}
+	if err := ctx.reserveOrCharge(int64(len(l.Rows)+len(r.Rows)) * perRow); err != nil {
 		return nil, err
 	}
 	rows := make([]schema.Row, 0, len(l.Rows)+len(r.Rows))

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/eval"
+	"repro/internal/govern"
 	"repro/internal/schema"
 	"repro/internal/types"
 )
@@ -184,6 +185,11 @@ func buildJoinTable(ctx *Ctx, rows []schema.Row, keys []*eval.Compiled, workers 
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[p] = govern.Internalize(rec)
+				}
+			}()
 			errs[p] = insertPartition(p)
 		}(p)
 	}
@@ -200,6 +206,17 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reserve the build table and probe-key working set; a refused
+	// reservation degrades to the grace-hash path when spilling is
+	// enabled.
+	work := joinWorkBytes(len(l.Rows), len(r.Rows))
+	if err := ctx.res.Reserve(work); err != nil {
+		if !ctx.res.CanSpill() {
+			return nil, err
+		}
+		return n.graceExecute(ctx, l, r)
+	}
+	defer ctx.res.Release(work)
 	workers := ctx.workersFor(max(len(l.Rows), len(r.Rows)))
 	ctx.noteWorkers(n, workers)
 	vecProbe := ctx.useVector(n.LeftKeys...) && ctx.useVector(n.Residual)
@@ -322,7 +339,9 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: n.schema, Rows: concatMorsels(outs)}, nil
+	rows := concatMorsels(outs)
+	ctx.res.Charge(int64(len(rows)) * (rowHdrBytes + int64(n.schema.Len())*valueBytes))
+	return &Result{Schema: n.schema, Rows: rows}, nil
 }
 
 func concatRows(l, r schema.Row) schema.Row {
@@ -367,6 +386,11 @@ func (n *NestedLoopJoinNode) Children() []Node { return []Node{n.Left, n.Right} 
 func (n *NestedLoopJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	l, r, err := runPair(ctx, n.Left, n.Right)
 	if err != nil {
+		return nil, err
+	}
+	// Nested-loop inputs are small by construction; account the pair
+	// cross-product's worst-case output references.
+	if err := ctx.reserveOrCharge(int64(len(l.Rows)) * int64(len(r.Rows)) * rowHdrBytes); err != nil {
 		return nil, err
 	}
 	var out []schema.Row

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/govern"
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
@@ -45,6 +46,9 @@ type Ctx struct {
 	// vec enables batch (vectorized) expression evaluation; defaults to
 	// the Vectorize package knob.
 	vec bool
+	// res governs this execution's memory budget, spill files, and fault
+	// injection; never nil (defaults to an unbounded handle).
+	res *govern.Resources
 
 	mu    sync.Mutex
 	cache map[Node]*inflight
@@ -56,6 +60,15 @@ type Ctx struct {
 	// evalNotes records each operator's expression-evaluation mode and
 	// kernel-batch count (stats runs only).
 	evalNotes map[Node]evalNote
+	// spillNotes records each operator's spill activity (stats runs only;
+	// the cumulative per-query counters live on res either way).
+	spillNotes map[Node]spillNote
+}
+
+// spillNote is one operator's recorded spill activity.
+type spillNote struct {
+	runs  int
+	bytes int64
 }
 
 // evalNote is one operator's recorded evaluation mode.
@@ -91,6 +104,11 @@ type NodeStats struct {
 	// Batches counts vector-kernel chunks the operator processed
 	// (vector mode only).
 	Batches int
+	// SpillRuns counts external runs / grace partitions this operator
+	// wrote to temp files (0 = stayed in memory); SpillBytes is the data
+	// volume that went through disk.
+	SpillRuns  int
+	SpillBytes int64
 }
 
 // NewCtx returns a fresh execution context that is never canceled.
@@ -100,7 +118,7 @@ func NewCtx() *Ctx { return NewCtxWith(context.Background()) }
 // poll it cooperatively (every cancelCheckInterval rows in their hot
 // loops) and abort with ctx.Err() once it is done.
 func NewCtxWith(ctx context.Context) *Ctx {
-	return &Ctx{ctx: ctx, par: defaultParallelism(), vec: Vectorize, cache: map[Node]*inflight{}}
+	return &Ctx{ctx: ctx, par: defaultParallelism(), vec: Vectorize, res: govern.Unbounded(), cache: map[Node]*inflight{}}
 }
 
 // NewAnalyzeCtx returns a context that records per-operator statistics.
@@ -112,6 +130,7 @@ func NewAnalyzeCtxWith(ctx context.Context) *Ctx {
 	c.stats = map[Node]*NodeStats{}
 	c.workerNotes = map[Node]int{}
 	c.evalNotes = map[Node]evalNote{}
+	c.spillNotes = map[Node]spillNote{}
 	return c
 }
 
@@ -133,6 +152,19 @@ func (c *Ctx) SetVectorize(on bool) *Ctx {
 	c.vec = on
 	return c
 }
+
+// SetResources attaches the query's governance handle — memory budget,
+// spill management, fault injection. nil keeps the default unbounded
+// handle. It returns c for chaining and must be called before Run.
+func (c *Ctx) SetResources(r *govern.Resources) *Ctx {
+	if r != nil {
+		c.res = r
+	}
+	return c
+}
+
+// Resources returns the execution's governance handle (never nil).
+func (c *Ctx) Resources() *govern.Resources { return c.res }
 
 func defaultParallelism() int {
 	if Parallelism < 1 {
@@ -158,6 +190,21 @@ func (c *Ctx) noteWorkers(n Node, workers int) {
 	if workers > c.workerNotes[n] {
 		c.workerNotes[n] = workers
 	}
+	c.mu.Unlock()
+}
+
+// noteSpill records an operator's spill activity: always on the query's
+// cumulative counters, and per-operator when stats are being collected.
+func (c *Ctx) noteSpill(n Node, runs int, bytes int64) {
+	c.res.NoteSpill(runs, bytes)
+	if c.stats == nil {
+		return
+	}
+	c.mu.Lock()
+	note := c.spillNotes[n]
+	note.runs += runs
+	note.bytes += bytes
+	c.spillNotes[n] = note
 	c.mu.Unlock()
 }
 
@@ -236,9 +283,25 @@ func Run(ctx *Ctx, n Node) (*Result, error) {
 	}
 	ctx.mu.Unlock()
 	f.once.Do(func() {
+		// Convert panics escaping any operator (serial paths included; the
+		// worker-pool goroutines carry their own recover) into a per-query
+		// ErrInternal instead of crashing the process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				f.res, f.err = nil, govern.Internalize(rec)
+			}
+		}()
 		if err := ctx.Canceled(); err != nil {
 			f.err = err
 			return
+		}
+		if d := ctx.res.SlowOp(); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.ctx.Done():
+				f.err = ctx.ctx.Err()
+				return
+			}
 		}
 		var start time.Time
 		if ctx.stats != nil {
@@ -251,6 +314,9 @@ func Run(ctx *Ctx, n Node) (*Result, error) {
 			st.Workers = ctx.workerNotes[n]
 			if note, ok := ctx.evalNotes[n]; ok {
 				st.EvalMode, st.Batches = note.mode, note.batches
+			}
+			if note, ok := ctx.spillNotes[n]; ok {
+				st.SpillRuns, st.SpillBytes = note.runs, note.bytes
 			}
 			ctx.stats[n] = st
 			ctx.mu.Unlock()
@@ -275,6 +341,7 @@ type base struct {
 	schema   *schema.Schema
 	estRows  float64
 	estCost  float64
+	estMem   float64
 	ordering []OrderCol
 }
 
@@ -287,10 +354,14 @@ func (b *base) Ordering() []OrderCol   { return b.ordering }
 type estimateSetter interface {
 	setEstimates(rows, cost float64)
 	setOrdering(o []OrderCol)
+	setMemEstimate(bytes float64)
+	memEstimate() float64
 }
 
 func (b *base) setEstimates(rows, cost float64) { b.estRows, b.estCost = rows, cost }
 func (b *base) setOrdering(o []OrderCol)        { b.ordering = o }
+func (b *base) setMemEstimate(bytes float64)    { b.estMem = bytes }
+func (b *base) memEstimate() float64            { return b.estMem }
 
 // SetEstimates assigns cardinality and cost estimates to a node built by
 // the planner.
@@ -305,6 +376,23 @@ func SetOrdering(n Node, o []OrderCol) {
 	if s, ok := n.(estimateSetter); ok {
 		s.setOrdering(o)
 	}
+}
+
+// SetMemEstimate records the planner's estimate of an operator's peak
+// materialized state in bytes (hash tables, sort keys, output buffers).
+// Zero means "not a materializing operator" and is not printed by EXPLAIN.
+func SetMemEstimate(n Node, bytes float64) {
+	if s, ok := n.(estimateSetter); ok {
+		s.setMemEstimate(bytes)
+	}
+}
+
+// EstMem returns the planner's memory estimate for a node (0 if none).
+func EstMem(n Node) float64 {
+	if s, ok := n.(estimateSetter); ok {
+		return s.memEstimate()
+	}
+	return 0
 }
 
 // ---- Scan ----
@@ -344,6 +432,9 @@ func (s *ScanNode) Execute(ctx *Ctx) (*Result, error) {
 			return nil, fmt.Errorf("exec: plan expects index on %s column %d but none exists", s.Table.Name, s.IndexOrd)
 		}
 		ids := ix.Scan(s.Bounds)
+		if err := ctx.reserveOrCharge(int64(len(ids)) * rowHdrBytes); err != nil {
+			return nil, err
+		}
 		rows := make([]schema.Row, len(ids))
 		// The gather loop writes disjoint positions, so morsels of the
 		// matched-id range fan out across workers.

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/govern"
 	"repro/internal/schema"
 )
 
@@ -73,6 +74,7 @@ func (c *Ctx) parallelFor(n, workers int, fn func(worker, morsel, lo, hi int) er
 		return nil
 	}
 	if workers <= 1 {
+		c.res.MaybePanic()
 		return fn(0, 0, 0, n)
 	}
 	morsels := morselCount(n, workers)
@@ -83,6 +85,14 @@ func (c *Ctx) parallelFor(n, workers int, fn func(worker, morsel, lo, hi int) er
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panic in one morsel (a bug, or the WorkerPanic injection)
+			// becomes this query's error instead of crashing the process;
+			// sibling workers drain normally and the pool joins cleanly.
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[w] = govern.Internalize(rec)
+				}
+			}()
 			for {
 				if err := c.Canceled(); err != nil {
 					errs[w] = err
@@ -92,6 +102,7 @@ func (c *Ctx) parallelFor(n, workers int, fn func(worker, morsel, lo, hi int) er
 				if m >= morsels {
 					return
 				}
+				c.res.MaybePanic()
 				lo := m * MorselSize
 				hi := lo + MorselSize
 				if hi > n {
@@ -160,6 +171,11 @@ func runPair(ctx *Ctx, a, b Node) (*Result, *Result, error) {
 	)
 	go func() {
 		defer close(done)
+		defer func() {
+			if rec := recover(); rec != nil {
+				rb, errB = nil, govern.Internalize(rec)
+			}
+		}()
 		rb, errB = Run(ctx, b)
 	}()
 	ra, errA := Run(ctx, a)

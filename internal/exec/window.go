@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/eval"
+	"repro/internal/govern"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/types"
@@ -92,6 +93,15 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 	}
 	rows := in.Rows
 	nrows := len(rows)
+	// The window operator has no disk fallback, so its working set
+	// (partition keys, order keys, argument and output columns, widened
+	// output rows) is enforced when the query cannot spill and accounted
+	// otherwise.
+	perRow := int64(keyRefBytes+8) + int64(len(n.Aggs))*2*valueBytes +
+		rowHdrBytes + int64(n.schema.Len())*valueBytes
+	if err := ctx.reserveOrCharge(int64(nrows) * perRow); err != nil {
+		return nil, err
+	}
 	workers := ctx.workersFor(nrows)
 	ctx.noteWorkers(n, workers)
 
@@ -301,6 +311,11 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				defer func() {
+					if rec := recover(); rec != nil {
+						errs[w] = govern.Internalize(rec)
+					}
+				}()
 				for {
 					if err := ctx.Canceled(); err != nil {
 						errs[w] = err
@@ -310,6 +325,7 @@ func (n *WindowNode) Execute(ctx *Ctx) (*Result, error) {
 					if i >= len(spans) {
 						return
 					}
+					ctx.res.MaybePanic()
 					sp := spans[i]
 					for ai := range n.Aggs {
 						if err := n.computePartition(ctx, ai, rows, argVals[ai], orderRaw, sp.start, sp.end, outCols[ai]); err != nil {

@@ -1,0 +1,192 @@
+package govern
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Resources is the governance handle for one query execution: the memory
+// accountant, the spill-file registry, and the fault-injection state. One
+// Resources is created per query and shared by every operator (and every
+// worker goroutine) of that query; all methods are safe for concurrent
+// use.
+//
+// Accounting is intentionally approximate — operators charge a per-row
+// estimate of their materialized state (hash tables, key arrays, output
+// buffers), not malloc-exact byte counts. The budget's job is to bound a
+// query's footprint to the right order of magnitude and to trigger the
+// spill paths deterministically, not to replace the Go allocator.
+type Resources struct {
+	// limit is the byte budget; 0 means unlimited.
+	limit int64
+	// spill enables disk fallback for operators that support it.
+	spill bool
+	// baseDir is where the query's temp directory is created; "" uses the
+	// system temp dir.
+	baseDir string
+
+	faults *faultState
+
+	used atomic.Int64
+	peak atomic.Int64
+
+	spillRuns  atomic.Int64
+	spillBytes atomic.Int64
+	exhausted  atomic.Bool
+
+	mu     sync.Mutex
+	tmpDir string // lazily created, removed by Close
+	closed bool
+}
+
+// NewResources builds the governance handle for one query. limit is the
+// memory budget in bytes (0 = unlimited), spill enables the disk
+// fallback, dir overrides the temp-file location, and faults injects
+// deterministic failures (zero Inject = none).
+func NewResources(limit int64, spill bool, dir string, faults Inject) *Resources {
+	r := &Resources{limit: limit, spill: spill, baseDir: dir}
+	if faults != (Inject{}) {
+		r.faults = newFaultState(faults)
+	}
+	return r
+}
+
+// Unbounded returns a fresh handle with no budget, spilling disabled, and
+// no fault injection — the default for internal executions (dry runs,
+// materialization) that predate governance.
+func Unbounded() *Resources { return &Resources{} }
+
+// Limit reports the configured byte budget (0 = unlimited).
+func (r *Resources) Limit() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.limit
+}
+
+// CanSpill reports whether operators may fall back to disk.
+func (r *Resources) CanSpill() bool { return r != nil && r.spill }
+
+// Reserve charges n bytes against the query's budget. It fails with
+// ErrResourceExhausted — charging nothing — once the budget would be
+// crossed (or always, under the AllocFail injection). Operators reserve
+// before materializing; a failed reservation is the signal to spill.
+func (r *Resources) Reserve(n int64) error {
+	if r == nil {
+		return nil
+	}
+	if r.allocFail() {
+		r.exhausted.Store(true)
+		return fmt.Errorf("%w: injected allocation failure (%d bytes)", ErrResourceExhausted, n)
+	}
+	if r.limit > 0 && r.used.Load()+n > r.limit {
+		r.exhausted.Store(true)
+		return fmt.Errorf("%w: need %d bytes, %d of %d in use", ErrResourceExhausted, n, r.used.Load(), r.limit)
+	}
+	r.Charge(n)
+	return nil
+}
+
+// Charge adds n bytes unconditionally and tracks the peak. Spilling
+// operators use it for their bounded per-chunk working memory, which is
+// allowed to ride above the budget line briefly — that is what keeps the
+// "spill enabled ⇒ the query completes" contract unconditional.
+func (r *Resources) Charge(n int64) {
+	if r == nil {
+		return
+	}
+	used := r.used.Add(n)
+	for {
+		p := r.peak.Load()
+		if used <= p || r.peak.CompareAndSwap(p, used) {
+			return
+		}
+	}
+}
+
+// Release returns n previously charged bytes to the budget.
+func (r *Resources) Release(n int64) {
+	if r == nil {
+		return
+	}
+	r.used.Add(-n)
+}
+
+// NoteSpill records one operator's spill activity (runs written and bytes
+// that went through disk) for the query's stats.
+func (r *Resources) NoteSpill(runs int, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.spillRuns.Add(int64(runs))
+	r.spillBytes.Add(bytes)
+}
+
+// MemStats is the memory/spill summary of one query (or, aggregated, of a
+// whole server).
+type MemStats struct {
+	// Limit is the configured budget in bytes; 0 means unlimited.
+	Limit int64
+	// Peak is the high-water mark of charged bytes.
+	Peak int64
+	// SpillRuns counts runs/partitions written to temp files.
+	SpillRuns int64
+	// SpillBytes counts bytes written to temp files.
+	SpillBytes int64
+}
+
+// Spilled reports whether any operator went to disk.
+func (m MemStats) Spilled() bool { return m.SpillRuns > 0 }
+
+// Stats snapshots the query's accounting.
+func (r *Resources) Stats() MemStats {
+	if r == nil {
+		return MemStats{}
+	}
+	return MemStats{
+		Limit:      r.limit,
+		Peak:       r.peak.Load(),
+		SpillRuns:  r.spillRuns.Load(),
+		SpillBytes: r.spillBytes.Load(),
+	}
+}
+
+// Exhausted reports whether any reservation failed.
+func (r *Resources) Exhausted() bool { return r != nil && r.exhausted.Load() }
+
+// SpillDir returns the query's temp directory, creating it on first use.
+func (r *Resources) SpillDir() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return "", fmt.Errorf("govern: resources already closed")
+	}
+	if r.tmpDir == "" {
+		dir, err := os.MkdirTemp(r.baseDir, "repro-spill-*")
+		if err != nil {
+			return "", fmt.Errorf("govern: creating spill dir: %w", err)
+		}
+		r.tmpDir = dir
+	}
+	return r.tmpDir, nil
+}
+
+// Close ends the query's governance span: it removes the temp directory
+// and every spill file in it, including files left behind by a query
+// canceled mid-merge. It is safe to call more than once.
+func (r *Resources) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	dir := r.tmpDir
+	r.tmpDir = ""
+	r.closed = true
+	r.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return os.RemoveAll(dir)
+}

@@ -1,0 +1,96 @@
+package govern
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Admission bounds how many queries execute at once. Up to maxConcurrent
+// queries run; the next maxQueue callers wait (honoring their context's
+// cancellation and deadline); everyone past that is rejected immediately
+// with ErrOverloaded. Burst traffic therefore degrades to queueing, and
+// then to fast rejection — never to an unbounded pile of concurrent
+// working sets.
+//
+// A nil *Admission admits everything; the serving layer uses that for the
+// default "no limit" configuration.
+type Admission struct {
+	sem      chan struct{}
+	maxQueue int64
+
+	waiting  atomic.Int64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewAdmission builds an admission controller allowing maxConcurrent
+// simultaneous queries with a wait queue of maxQueue. maxConcurrent <= 0
+// returns nil (unlimited). maxQueue < 0 is treated as 0 (no queueing —
+// reject as soon as the limit is reached).
+func NewAdmission(maxConcurrent, maxQueue int) *Admission {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{sem: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// Acquire admits one query, blocking in the wait queue when the engine is
+// at its concurrency limit. It returns a release function that must be
+// called exactly once when the query finishes. It fails with
+// ErrOverloaded when the queue is full, or with the context's error if
+// the caller's deadline expires while queued.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	// Fast path: a slot is free.
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	default:
+	}
+	// Queue, bounded.
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d queries running, %d queued", ErrOverloaded, cap(a.sem), a.maxQueue)
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) release() { <-a.sem }
+
+// AdmissionStats is a snapshot of the controller's counters.
+type AdmissionStats struct {
+	// Running is the number of queries currently admitted.
+	Running int
+	// Waiting is the number of callers queued right now.
+	Waiting int
+	// Admitted and Rejected count decisions since construction.
+	Admitted, Rejected uint64
+}
+
+// Stats snapshots the controller. A nil controller reports zeros.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Running:  len(a.sem),
+		Waiting:  int(a.waiting.Load()),
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+	}
+}

@@ -1,0 +1,51 @@
+// Package govern is the resource-governance layer of the deferred-cleansing
+// engine: per-query memory accounting with a byte budget, temp-file
+// management for operators that spill when the budget is crossed, admission
+// control for the serving layer (a semaphore-bounded concurrency limit with
+// a bounded wait queue), and panic containment that converts a crashed
+// worker goroutine into a per-query error instead of a dead process.
+//
+// The package is engine-agnostic: it knows nothing about plans or rows.
+// Operators hold a *Resources for the duration of one query and
+//
+//   - Reserve working memory before materializing (Reserve fails with
+//     ErrResourceExhausted once the budget is crossed),
+//   - fall back to disk through NewSpillFile when a reservation fails and
+//     spilling is enabled, and
+//   - release the whole footprint at once when the query ends (Close, which
+//     also removes every temp file the query created).
+//
+// Deterministic fault injection (Inject) forces each degradation path —
+// allocation failure, worker panic, slow operators, spill I/O errors — so
+// every path is unit-testable without real memory pressure.
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors, matchable with errors.Is through every layer above.
+var (
+	// ErrResourceExhausted reports a query that crossed its memory budget
+	// where no spill fallback exists (or spilling was disabled).
+	ErrResourceExhausted = errors.New("govern: query memory budget exhausted")
+
+	// ErrOverloaded reports a query rejected by admission control: the
+	// concurrent-query limit was reached and the wait queue was full.
+	ErrOverloaded = errors.New("govern: server overloaded")
+
+	// ErrInternal reports a panic recovered inside query execution. The
+	// wrapped error carries the panic value and stack; the query fails but
+	// the engine keeps serving.
+	ErrInternal = errors.New("govern: internal execution error")
+)
+
+// Internalize converts a recovered panic value into an ErrInternal that
+// carries the panic message and the stack of the panicking goroutine.
+// Worker goroutines and operator entry points call it from their recover
+// handlers so one crashed morsel fails one query, not the process.
+func Internalize(recovered any) error {
+	return fmt.Errorf("%w: panic: %v\n%s", ErrInternal, recovered, debug.Stack())
+}

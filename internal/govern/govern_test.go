@@ -1,0 +1,255 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReserveEnforcesBudget(t *testing.T) {
+	r := NewResources(1000, false, "", Inject{})
+	if err := r.Reserve(600); err != nil {
+		t.Fatalf("first reserve: %v", err)
+	}
+	if err := r.Reserve(600); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("over-budget reserve: %v", err)
+	}
+	if !r.Exhausted() {
+		t.Fatal("Exhausted not set after failed reserve")
+	}
+	// The failed reservation charged nothing.
+	if err := r.Reserve(400); err != nil {
+		t.Fatalf("reserve within remaining budget: %v", err)
+	}
+	r.Release(400)
+	if st := r.Stats(); st.Peak != 1000 || st.Limit != 1000 {
+		t.Fatalf("stats = %+v, want peak=1000 limit=1000", st)
+	}
+}
+
+func TestUnlimitedReserveTracksPeak(t *testing.T) {
+	r := Unbounded()
+	if err := r.Reserve(1 << 30); err != nil {
+		t.Fatalf("unlimited reserve: %v", err)
+	}
+	r.Release(1 << 30)
+	if st := r.Stats(); st.Peak != 1<<30 {
+		t.Fatalf("peak = %d", st.Peak)
+	}
+}
+
+func TestReserveConcurrent(t *testing.T) {
+	r := NewResources(0, false, "", Inject{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Charge(64)
+				r.Release(64)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Peak < 64 || st.Peak > 8*64 {
+		t.Fatalf("peak = %d outside [64, 512]", st.Peak)
+	}
+}
+
+func TestAllocFailInjection(t *testing.T) {
+	r := NewResources(0, true, "", Inject{AllocFail: true})
+	if err := r.Reserve(1); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("injected alloc failure: %v", err)
+	}
+}
+
+func TestMaybePanicFiresExactlyOnce(t *testing.T) {
+	r := NewResources(0, false, "", Inject{WorkerPanic: true})
+	fired := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}()
+			for i := 0; i < 100; i++ {
+				r.MaybePanic()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("injected panic fired %d times, want 1", fired)
+	}
+}
+
+func TestInternalizeCarriesStack(t *testing.T) {
+	err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = Internalize(rec)
+			}
+		}()
+		panic("boom")
+	}()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if msg := err.Error(); !contains(msg, "boom") || !contains(msg, "govern_test.go") {
+		t.Fatalf("internalized error missing panic value or stack: %q", msg)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSpillFileRoundTripAndCleanup(t *testing.T) {
+	dir := t.TempDir()
+	r := NewResources(0, true, dir, Inject{})
+	sf, err := r.NewSpillFile("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello spill world")
+	if _, err := sf.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Bytes() != int64(len(payload)) {
+		t.Fatalf("Bytes() = %d", sf.Bytes())
+	}
+	rd, err := sf.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rd)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned: %v", ents)
+	}
+}
+
+func TestSpillErrInjection(t *testing.T) {
+	r := NewResources(0, true, t.TempDir(), Inject{SpillErr: true})
+	if _, err := r.NewSpillFile("sort"); err == nil {
+		t.Fatal("expected injected spill error")
+	}
+}
+
+func TestCloseIsIdempotentAndBlocksNewFiles(t *testing.T) {
+	r := NewResources(0, true, t.TempDir(), Inject{})
+	if _, err := r.NewSpillFile("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewSpillFile("x"); err == nil {
+		t.Fatal("NewSpillFile after Close should fail")
+	}
+}
+
+func TestAdmissionConcurrencyLimit(t *testing.T) {
+	a := NewAdmission(2, 10)
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Running != 2 {
+		t.Fatalf("running = %d", st.Running)
+	}
+	// Third caller queues until a slot frees.
+	done := make(chan struct{})
+	go func() {
+		rel3, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		rel3()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("third query admitted past the limit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel1()
+	<-done
+	rel2()
+}
+
+func TestAdmissionQueueOverflow(t *testing.T) {
+	a := NewAdmission(1, 0)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if st := a.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d", st.Rejected)
+	}
+	rel()
+}
+
+func TestAdmissionHonorsDeadlineWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 5)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued deadline err = %v", err)
+	}
+	if st := a.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiting = %d after deadline", st.Waiting)
+	}
+}
+
+func TestNilAdmissionAdmitsEverything(t *testing.T) {
+	var a *Admission
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}

@@ -1,0 +1,76 @@
+package govern
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Inject describes deterministic faults to force during one query's
+// execution. A zero Inject injects nothing. Tests (and the soak suite)
+// attach one to a query's Resources to drive every degradation path
+// without real memory pressure, real crashes, or real disk failures.
+type Inject struct {
+	// AllocFail makes every memory reservation fail as if the budget were
+	// crossed, regardless of the configured limit — operators with a spill
+	// path degrade to disk, the rest fail with ErrResourceExhausted.
+	AllocFail bool
+
+	// WorkerPanic makes exactly one morsel worker panic mid-query (the
+	// first worker to claim a morsel after the flag is armed). The panic
+	// must surface as ErrInternal on that query only.
+	WorkerPanic bool
+
+	// SlowOp delays every operator entry point by this duration, making
+	// timeout and admission-queue interactions reproducible.
+	SlowOp time.Duration
+
+	// SpillErr makes spill-file creation fail, exercising the I/O-error
+	// path of every spilling operator.
+	SpillErr bool
+}
+
+// faultState is the per-query instantiation of an Inject: the one-shot
+// panic needs an atomic armed flag so exactly one worker fires.
+type faultState struct {
+	spec        Inject
+	panicArmed  atomic.Bool
+	allocDenied atomic.Int64 // reservations denied by AllocFail, for tests
+}
+
+func newFaultState(spec Inject) *faultState {
+	fs := &faultState{spec: spec}
+	fs.panicArmed.Store(spec.WorkerPanic)
+	return fs
+}
+
+// MaybePanic fires the injected worker panic exactly once per query.
+// Morsel workers call it when claiming work; the surrounding recover
+// converts the panic into ErrInternal.
+func (r *Resources) MaybePanic() {
+	if r == nil || r.faults == nil {
+		return
+	}
+	if r.faults.panicArmed.CompareAndSwap(true, false) {
+		panic("govern: injected worker panic")
+	}
+}
+
+// SlowOp reports the injected per-operator delay (zero when none).
+func (r *Resources) SlowOp() time.Duration {
+	if r == nil || r.faults == nil {
+		return 0
+	}
+	return r.faults.spec.SlowOp
+}
+
+func (r *Resources) allocFail() bool {
+	if r == nil || r.faults == nil || !r.faults.spec.AllocFail {
+		return false
+	}
+	r.faults.allocDenied.Add(1)
+	return true
+}
+
+func (r *Resources) spillErr() bool {
+	return r != nil && r.faults != nil && r.faults.spec.SpillErr
+}

@@ -1,0 +1,111 @@
+package govern
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// spillBufSize is the buffered-I/O window for spill writers and readers:
+// big enough that run files are written and merged in large sequential
+// transfers, small enough that a wide merge fan-in stays cheap.
+const spillBufSize = 64 << 10
+
+// spillSeq distinguishes spill files within one process for debuggability.
+var spillSeq atomic.Int64
+
+// SpillFile is one temp file being written by a spilling operator. Writes
+// are buffered; Finish flushes and reopens the file for reading. The file
+// lives in the query's spill directory and is removed by Resources.Close
+// (or earlier, by Discard) — a canceled query never leaks it.
+type SpillFile struct {
+	res  *Resources
+	f    *os.File
+	w    *bufio.Writer
+	n    int64
+	name string
+}
+
+// NewSpillFile creates a temp file for one run or partition. label names
+// the operator for debuggability ("sort", "group", "join"). Under the
+// SpillErr injection it fails deterministically.
+func (r *Resources) NewSpillFile(label string) (*SpillFile, error) {
+	if r.spillErr() {
+		return nil, fmt.Errorf("govern: injected spill I/O error (%s)", label)
+	}
+	dir, err := r.SpillDir()
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s-%d.run", dir, label, spillSeq.Add(1))
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("govern: creating spill file: %w", err)
+	}
+	return &SpillFile{res: r, f: f, w: bufio.NewWriterSize(f, spillBufSize), name: name}, nil
+}
+
+// Write implements io.Writer over the buffered spill file.
+func (s *SpillFile) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	s.n += int64(n)
+	return n, err
+}
+
+// WriteByte writes a single byte (io.ByteWriter, used by varint encoding).
+func (s *SpillFile) WriteByte(b byte) error {
+	if err := s.w.WriteByte(b); err != nil {
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// Bytes reports how many bytes have been written.
+func (s *SpillFile) Bytes() int64 { return s.n }
+
+// Finish flushes the file and returns a reader positioned at the start.
+// The SpillFile must not be written after Finish.
+func (s *SpillFile) Finish() (*SpillReader, error) {
+	if err := s.w.Flush(); err != nil {
+		s.Discard()
+		return nil, fmt.Errorf("govern: flushing spill file: %w", err)
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		s.Discard()
+		return nil, fmt.Errorf("govern: rewinding spill file: %w", err)
+	}
+	return &SpillReader{f: s.f, r: bufio.NewReaderSize(s.f, spillBufSize), name: s.name}, nil
+}
+
+// Discard closes and removes the file early (before Resources.Close).
+func (s *SpillFile) Discard() {
+	if s.f != nil {
+		s.f.Close()
+		os.Remove(s.name)
+		s.f = nil
+	}
+}
+
+// SpillReader reads a finished spill file sequentially.
+type SpillReader struct {
+	f    *os.File
+	r    *bufio.Reader
+	name string
+}
+
+// Read implements io.Reader.
+func (s *SpillReader) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+// ReadByte implements io.ByteReader (used by varint decoding).
+func (s *SpillReader) ReadByte() (byte, error) { return s.r.ReadByte() }
+
+// Discard closes and removes the underlying file.
+func (s *SpillReader) Discard() {
+	if s.f != nil {
+		s.f.Close()
+		os.Remove(s.name)
+		s.f = nil
+	}
+}

@@ -28,6 +28,7 @@ func (p *Planner) Plan(stmt sqlast.Stmt) (exec.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	annotateMemory(pl.node)
 	return pl.node, nil
 }
 

@@ -1,0 +1,38 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func TestPlanCarriesMemoryEstimates(t *testing.T) {
+	p := New(testDB(t))
+	node, err := p.PlanSQL(`SELECT loc, COUNT(*) AS c FROM reads GROUP BY loc ORDER BY c DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	var walk func(n exec.Node)
+	walk = func(n exec.Node) {
+		switch n.(type) {
+		case *exec.SortNode, *exec.GroupNode:
+			if exec.EstMem(n) <= 0 {
+				t.Errorf("%s has no memory estimate", n.Label())
+			}
+			checked++
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(node)
+	if checked < 2 {
+		t.Fatalf("expected a sort and a group in the plan, found %d materializing nodes", checked)
+	}
+	out := exec.Explain(node)
+	if !strings.Contains(out, "mem=") {
+		t.Fatalf("EXPLAIN output missing mem= annotation:\n%s", out)
+	}
+}

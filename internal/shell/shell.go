@@ -28,6 +28,9 @@ type Shell struct {
 	analyze  bool
 	limit    int
 	timeout  time.Duration // 0 = unlimited
+	memLimit int64         // per-query memory budget; 0 = unlimited
+	lastMem  repro.MemStats
+	ranQuery bool // lastMem is valid
 	quit     bool
 }
 
@@ -101,6 +104,7 @@ func (s *Shell) Statement(stmt string) error {
 	if err != nil {
 		return err
 	}
+	s.lastMem, s.ranQuery = rows.Mem, true
 	fmt.Fprintf(s.Out, "-- %s\n", rows.Rewrite.Strategy)
 	fmt.Fprintln(s.Out, strings.Join(rows.Columns, " | "))
 	for i, r := range rows.Data {
@@ -125,6 +129,9 @@ func (s *Shell) opts() []repro.QueryOption {
 	}
 	if s.timeout > 0 {
 		opts = append(opts, repro.WithTimeout(s.timeout))
+	}
+	if s.memLimit > 0 {
+		opts = append(opts, repro.WithMemoryLimit(s.memLimit))
 	}
 	return opts
 }
@@ -237,6 +244,47 @@ func (s *Shell) Meta(cmd string) error {
 		s.timeout = d
 		fmt.Fprintf(s.Out, "timeout: %s\n", s.timeout)
 		return nil
+	case `\mem`:
+		if len(fields) > 1 && fields[1] == "limit" {
+			if len(fields) < 3 {
+				return fmt.Errorf(`usage: \mem limit <size|off> (e.g. 64KiB, 4MiB, 1048576)`)
+			}
+			if fields[2] == "off" {
+				s.memLimit = 0
+				fmt.Fprintln(s.Out, "memory limit: off")
+				return nil
+			}
+			n, err := parseBytes(fields[2])
+			if err != nil {
+				return err
+			}
+			s.memLimit = n
+			fmt.Fprintf(s.Out, "memory limit: %s\n", repro.FormatBytes(n))
+			return nil
+		}
+		if s.memLimit > 0 {
+			fmt.Fprintf(s.Out, "memory limit: %s\n", repro.FormatBytes(s.memLimit))
+		} else {
+			fmt.Fprintln(s.Out, "memory limit: off")
+		}
+		if s.ranQuery {
+			fmt.Fprintf(s.Out, "last query: peak %s", repro.FormatBytes(s.lastMem.Peak))
+			if s.lastMem.Spilled() {
+				fmt.Fprintf(s.Out, ", spilled %d runs (%s)", s.lastMem.SpillRuns, repro.FormatBytes(s.lastMem.SpillBytes))
+			} else {
+				fmt.Fprint(s.Out, ", no spill")
+			}
+			fmt.Fprintln(s.Out)
+		}
+		rs := s.DB.ResourceStats()
+		fmt.Fprintf(s.Out, "engine: %d queries, %d spilled (%d runs, %s), %d exhausted, max peak %s\n",
+			rs.Queries, rs.SpilledQueries, rs.SpillRuns, repro.FormatBytes(rs.SpillBytes),
+			rs.Exhausted, repro.FormatBytes(rs.MaxPeak))
+		if rs.Admission.Admitted > 0 || rs.Admission.Rejected > 0 {
+			fmt.Fprintf(s.Out, "admission: %d running, %d waiting, %d admitted, %d rejected\n",
+				rs.Admission.Running, rs.Admission.Waiting, rs.Admission.Admitted, rs.Admission.Rejected)
+		}
+		return nil
 	case `\cache`:
 		if len(fields) > 1 && fields[1] == "reset" {
 			s.DB.ResetPlanCache()
@@ -311,6 +359,31 @@ func (s *Shell) Meta(cmd string) error {
 	return fmt.Errorf("unknown command %s (try \\h)", fields[0])
 }
 
+// parseBytes reads a human byte size: a plain count or one with a K/M/G
+// suffix (binary, case-insensitive; "64K", "64KiB", "4mb", "1g").
+func parseBytes(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, suf.text) {
+			t, mult = strings.TrimSuffix(t, suf.text), suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 64KiB, 4MiB, 1048576)", s)
+	}
+	return n * mult, nil
+}
+
 const helpText = `commands:
   <sql>;                 run a query under the active strategy and rules
   DEFINE ... ;           register a cleansing rule (extended SQL-TS)
@@ -323,6 +396,7 @@ const helpText = `commands:
   \analyze               toggle EXPLAIN ANALYZE mode (plan only, with actuals)
   \limit <n>             rows printed per result
   \timeout <dur|off>     cancel queries that run longer than dur (e.g. 30s)
+  \mem [limit <sz|off>]  show per-query peak/spill stats; set the memory budget
   \cache [reset]         show (or reset) the rewrite/plan cache counters
   \workload [scale pct]  generate + load the RFIDGen workload and paper rules
   \save <dir> / \open <dir>   persist / restore the database

@@ -137,3 +137,34 @@ from caser;
 		t.Fatalf("multiline statement failed:\n%s", out.String())
 	}
 }
+
+func TestShellMemCommand(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 10
+\mem limit 64KiB
+\mem
+select epc, biz_loc, rtime from caser order by rtime, epc, biz_loc;
+\mem
+\mem limit off
+\mem limit bogus
+`)
+	text := out.String()
+	if !strings.Contains(text, "memory limit: 64.0 KiB") {
+		t.Fatalf("limit not set:\n%s", text)
+	}
+	if !strings.Contains(text, "last query: peak") {
+		t.Fatalf("no per-query stats:\n%s", text)
+	}
+	if !strings.Contains(text, "spilled") {
+		t.Fatalf("expected a spill under a 64KiB budget:\n%s", text)
+	}
+	if !strings.Contains(text, "memory limit: off") {
+		t.Fatalf("limit not cleared:\n%s", text)
+	}
+	if !strings.Contains(text, "error:") {
+		t.Fatalf("bad size not rejected:\n%s", text)
+	}
+	if !strings.Contains(text, "engine:") {
+		t.Fatalf("no engine totals:\n%s", text)
+	}
+}

@@ -40,11 +40,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/govern"
 	"repro/internal/persist"
 	"repro/internal/plan"
 	"repro/internal/rfidgen"
@@ -120,6 +122,32 @@ var (
 	ErrCanceled = errors.New("repro: query canceled")
 )
 
+// Resource-governance sentinels, re-exported from internal/govern so
+// callers can match them with errors.Is without importing internals.
+var (
+	// ErrResourceExhausted reports a query that crossed its memory budget
+	// with spilling disabled (or an operator with no spill path).
+	ErrResourceExhausted = govern.ErrResourceExhausted
+	// ErrOverloaded reports a query rejected by admission control: the
+	// concurrency limit was reached and the wait queue was full.
+	ErrOverloaded = govern.ErrOverloaded
+	// ErrInternal reports an execution worker that panicked; the error
+	// carries the recovered value and stack. Only the panicking query
+	// fails — concurrent queries and later queries are unaffected.
+	ErrInternal = govern.ErrInternal
+)
+
+// MemStats summarizes one query's memory accounting: budget, peak charged
+// bytes, and spill activity.
+type MemStats = govern.MemStats
+
+// AdmissionStats snapshots the admission controller's counters.
+type AdmissionStats = govern.AdmissionStats
+
+// FaultInjection describes deterministic faults to force during one
+// query's execution (see WithFaults). The zero value injects nothing.
+type FaultInjection = govern.Inject
+
 // wrapCanceled tags context-abort errors with ErrCanceled; other errors
 // pass through untouched.
 func wrapCanceled(err error) error {
@@ -154,35 +182,135 @@ type DB struct {
 	mu sync.RWMutex
 	// cache memoizes rewrites+plans per (SQL, strategy, rules, epoch).
 	cache *planCache
+
+	// admit bounds concurrent query execution; nil admits everything.
+	admit *govern.Admission
+	// defMemLimit and spillDir are the engine-wide governance defaults a
+	// query can override with WithMemoryLimit / inherit for spill files.
+	defMemLimit int64
+	spillDir    string
+	// totals accumulates per-query governance outcomes for ResourceStats.
+	totals resourceTotals
 }
 
-// Open creates an empty database.
-func Open() *DB {
+// resourceTotals aggregates governance outcomes across queries.
+type resourceTotals struct {
+	queries    atomic.Int64
+	spilled    atomic.Int64
+	spillRuns  atomic.Int64
+	spillBytes atomic.Int64
+	exhausted  atomic.Int64
+	maxPeak    atomic.Int64
+}
+
+func (t *resourceTotals) note(m MemStats, wasExhausted bool) {
+	t.queries.Add(1)
+	if m.Spilled() {
+		t.spilled.Add(1)
+	}
+	t.spillRuns.Add(m.SpillRuns)
+	t.spillBytes.Add(m.SpillBytes)
+	if wasExhausted {
+		t.exhausted.Add(1)
+	}
+	for {
+		p := t.maxPeak.Load()
+		if m.Peak <= p || t.maxPeak.CompareAndSwap(p, m.Peak) {
+			return
+		}
+	}
+}
+
+// Option configures a DB at Open/OpenDir time.
+type Option func(*dbConfig)
+
+// dbConfig collects Open options before the DB is assembled; queueDepth
+// is -1 until WithAdmissionQueue sets it, so the default can depend on
+// the concurrency limit.
+type dbConfig struct {
+	maxConcurrent int
+	queueDepth    int
+	defMemLimit   int64
+	spillDir      string
+}
+
+// WithMaxConcurrent bounds how many queries execute at once; further
+// queries wait in a bounded queue (see WithAdmissionQueue) and are
+// rejected with ErrOverloaded past that. n <= 0 (the default) means
+// unlimited.
+func WithMaxConcurrent(n int) Option {
+	return func(c *dbConfig) { c.maxConcurrent = n }
+}
+
+// WithAdmissionQueue sets the admission wait-queue depth (default 2× the
+// concurrency limit; 0 rejects as soon as the limit is reached). It only
+// takes effect together with WithMaxConcurrent; order the two options
+// either way.
+func WithAdmissionQueue(depth int) Option {
+	return func(c *dbConfig) { c.queueDepth = depth }
+}
+
+// WithDefaultMemoryLimit sets the engine-wide per-query memory budget in
+// bytes, inherited by every query that doesn't set WithMemoryLimit.
+// 0 (the default) means unlimited.
+func WithDefaultMemoryLimit(bytes int64) Option {
+	return func(c *dbConfig) { c.defMemLimit = bytes }
+}
+
+// WithSpillDir places query spill files under dir instead of the system
+// temp directory. Each query gets its own subdirectory, removed when the
+// query finishes (even on cancellation).
+func WithSpillDir(dir string) Option {
+	return func(c *dbConfig) { c.spillDir = dir }
+}
+
+// Open creates an empty database. Options configure resource governance
+// (admission control, default memory budget, spill location).
+func Open(opts ...Option) *DB {
 	cat := catalog.NewDatabase()
 	reg := core.NewRegistry(cat)
-	return &DB{
+	db := &DB{
 		Catalog:  cat,
 		Registry: reg,
 		Rewriter: core.NewRewriter(cat, reg),
 		Planner:  plan.New(cat),
 		cache:    newPlanCache(),
 	}
+	applyDBOpts(db, opts)
+	return db
 }
 
 // OpenDir restores a database previously written with Save: tables,
 // views, and the rules catalog (indexes rebuilt, statistics refreshed).
-func OpenDir(dir string) (*DB, error) {
+// Options are applied as in Open.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
 	cat, reg, err := persist.Load(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		Catalog:  cat,
 		Registry: reg,
 		Rewriter: core.NewRewriter(cat, reg),
 		Planner:  plan.New(cat),
 		cache:    newPlanCache(),
-	}, nil
+	}
+	applyDBOpts(db, opts)
+	return db, nil
+}
+
+func applyDBOpts(db *DB, opts []Option) {
+	c := &dbConfig{queueDepth: -1}
+	for _, f := range opts {
+		f(c)
+	}
+	queue := c.queueDepth
+	if queue < 0 {
+		queue = 2 * c.maxConcurrent
+	}
+	db.admit = govern.NewAdmission(c.maxConcurrent, queue)
+	db.defMemLimit = c.defMemLimit
+	db.spillDir = c.spillDir
 }
 
 // Save persists the database — tables, views, rules — to a directory that
@@ -348,6 +476,11 @@ type queryOpts struct {
 	timeout     time.Duration
 	parallelism int
 	rowEval     bool
+
+	memLimit int64 // per-query budget; meaningful only when memSet
+	memSet   bool
+	noSpill  bool
+	faults   FaultInjection
 }
 
 // WithStrategy forces a rewrite strategy (default Auto).
@@ -393,10 +526,56 @@ func WithRowEval() QueryOption {
 	return func(o *queryOpts) { o.rowEval = true }
 }
 
+// WithMemoryLimit bounds this query's working memory to n bytes,
+// overriding the engine default set by WithDefaultMemoryLimit. Operators
+// that would cross the budget spill to temp files (sort, aggregation,
+// join build) — answers stay bit-identical to the in-memory paths — and
+// operators with no spill path fail with ErrResourceExhausted. 0 means
+// unlimited.
+func WithMemoryLimit(n int64) QueryOption {
+	return func(o *queryOpts) { o.memLimit, o.memSet = n, true }
+}
+
+// WithoutSpill disables the disk fallback for this query: crossing the
+// memory budget fails fast with ErrResourceExhausted instead of
+// degrading to temp files. Useful when predictable latency matters more
+// than completing oversized queries.
+func WithoutSpill() QueryOption {
+	return func(o *queryOpts) { o.noSpill = true }
+}
+
+// WithFaults injects deterministic failures into this query's execution —
+// allocation failures, a one-shot worker panic, per-operator delays, or
+// spill-file I/O errors. It exists for tests and the soak suite; the zero
+// FaultInjection injects nothing.
+func WithFaults(f FaultInjection) QueryOption {
+	return func(o *queryOpts) { o.faults = f }
+}
+
 // execCtx builds the execution context for one query run, applying the
 // WithParallelism and WithRowEval options.
 func (o *queryOpts) execCtx(ctx context.Context) *exec.Ctx {
 	return exec.NewCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval)
+}
+
+// resources builds the per-query governance handle from the query options
+// layered over the engine defaults.
+func (db *DB) resources(o *queryOpts) *govern.Resources {
+	limit := db.defMemLimit
+	if o.memSet {
+		limit = o.memLimit
+	}
+	return govern.NewResources(limit, !o.noSpill, db.spillDir, o.faults)
+}
+
+// admitQuery passes one query through admission control, tagging
+// queue-wait cancellations with ErrCanceled.
+func (db *DB) admitQuery(ctx context.Context) (func(), error) {
+	release, err := db.admit.Acquire(ctx)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return release, nil
 }
 
 // deadline applies the WithTimeout option, if any, to ctx.
@@ -415,6 +594,9 @@ type Rows struct {
 	Data [][]Value
 	// Rewrite describes how the query was executed.
 	Rewrite RewriteInfo
+	// Mem reports the query's memory accounting: configured budget, peak
+	// charged bytes, and spill runs/bytes if any operator went to disk.
+	Mem MemStats
 }
 
 // RewriteInfo reports the chosen rewrite.
@@ -444,22 +626,39 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 	o := applyOpts(opts)
 	ctx, cancel := o.deadline(ctx)
 	defer cancel()
+	release, err := db.admitQuery(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.queryLocked(ctx, sql, o)
 }
 
-// queryLocked runs one query under an already-held read lock.
+// queryLocked runs one governed query under an already-held read lock.
 func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts) (*Rows, error) {
+	key := newCacheKey(sql, o, db.Catalog.Epoch())
 	res, inf, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return nil, err
 	}
-	out, err := exec.Run(o.execCtx(ctx), res.Plan)
+	grs := db.resources(o)
+	defer grs.Close()
+	out, err := exec.Run(o.execCtx(ctx).SetResources(grs), res.Plan)
+	db.totals.note(grs.Stats(), err != nil && grs.Exhausted())
 	if err != nil {
+		if grs.Exhausted() {
+			// Drop the cached plan so a retry under a raised limit (or with
+			// spilling re-enabled) replans instead of being pinned to the
+			// entry that just failed.
+			db.cache.evict(key)
+		}
 		return nil, wrapCanceled(err)
 	}
-	return newRows(out, inf), nil
+	rows := newRows(out, inf)
+	rows.Mem = grs.Stats()
+	return rows, nil
 }
 
 // Rewrite returns the rewritten SQL without executing it.
@@ -504,10 +703,14 @@ func (db *DB) ExplainContext(ctx context.Context, sql string, opts ...QueryOptio
 // loaded after Prepare.
 type Prepared struct {
 	db   *DB
-	plan    exec.Node
-	info    RewriteInfo
-	par     int  // WithParallelism at Prepare time; applied to every Run
-	rowEval bool // WithRowEval at Prepare time; applied to every Run
+	plan exec.Node
+	info RewriteInfo
+	// opts are the Prepare-time query options (parallelism, row-eval,
+	// memory limit, spill, faults), applied to every Run.
+	opts *queryOpts
+	// key is the plan-cache entry this Prepared was resolved through;
+	// RunContext evicts it when a run exhausts its memory budget.
+	key cacheKey
 }
 
 // Prepare rewrites and plans a query once.
@@ -524,11 +727,12 @@ func (db *DB) PrepareContext(ctx context.Context, sql string, opts ...QueryOptio
 	o := applyOpts(opts)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	key := newCacheKey(sql, o, db.Catalog.Epoch())
 	res, inf, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, plan: res.Plan, info: inf, par: o.parallelism, rowEval: o.rowEval}, nil
+	return &Prepared{db: db, plan: res.Plan, info: inf, opts: o, key: key}, nil
 }
 
 // Rewrite reports how the prepared query will execute.
@@ -540,15 +744,31 @@ func (p *Prepared) Run() (*Rows, error) {
 }
 
 // RunContext executes the prepared plan under a context; cancellation
-// stops execution cooperatively, as in QueryContext.
+// stops execution cooperatively, as in QueryContext. Runs pass through
+// admission control and are governed by the Prepare-time memory options;
+// a run that exhausts its budget also evicts the plan's cache entry, so
+// a later Query or Prepare under a raised limit replans fresh.
 func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
+	release, err := p.db.admitQuery(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
-	out, err := exec.Run(exec.NewCtxWith(ctx).SetParallelism(p.par).SetVectorize(!p.rowEval), p.plan)
+	grs := p.db.resources(p.opts)
+	defer grs.Close()
+	out, err := exec.Run(p.opts.execCtx(ctx).SetResources(grs), p.plan)
+	p.db.totals.note(grs.Stats(), err != nil && grs.Exhausted())
 	if err != nil {
+		if grs.Exhausted() {
+			p.db.cache.evict(p.key)
+		}
 		return nil, wrapCanceled(err)
 	}
-	return newRows(out, p.info), nil
+	rows := newRows(out, p.info)
+	rows.Mem = grs.Stats()
+	return rows, nil
 }
 
 // ExplainAnalyze rewrites and executes the query, returning the plan
@@ -558,24 +778,49 @@ func (db *DB) ExplainAnalyze(sql string, opts ...QueryOption) (string, error) {
 	return db.ExplainAnalyzeContext(context.Background(), sql, opts...)
 }
 
-// ExplainAnalyzeContext is ExplainAnalyze governed by a context.
+// ExplainAnalyzeContext is ExplainAnalyze governed by a context. The
+// run passes through admission control and the query's memory budget;
+// operators that spilled are annotated with their run counts, and a
+// trailer line reports the query's peak memory and spill volume.
 func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...QueryOption) (string, error) {
 	o := applyOpts(opts)
 	ctx, cancel := o.deadline(ctx)
 	defer cancel()
+	release, err := db.admitQuery(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer release()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	key := newCacheKey(sql, o, db.Catalog.Epoch())
 	res, _, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return "", err
 	}
-	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval)
-	if _, err := exec.Run(ectx, res.Plan); err != nil {
-		return "", wrapCanceled(err)
+	grs := db.resources(o)
+	defer grs.Close()
+	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval).SetResources(grs)
+	_, runErr := exec.Run(ectx, res.Plan)
+	db.totals.note(grs.Stats(), runErr != nil && grs.Exhausted())
+	if runErr != nil {
+		if grs.Exhausted() {
+			db.cache.evict(key)
+		}
+		return "", wrapCanceled(runErr)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- strategy: %s (est cost %.0f)\n", res.Strategy, res.EstCost)
 	b.WriteString(exec.ExplainAnalyze(res.Plan, ectx))
+	m := grs.Stats()
+	fmt.Fprintf(&b, "-- mem: peak=%s", FormatBytes(m.Peak))
+	if m.Limit > 0 {
+		fmt.Fprintf(&b, " limit=%s", FormatBytes(m.Limit))
+	}
+	if m.Spilled() {
+		fmt.Fprintf(&b, " spilled=%d runs (%s)", m.SpillRuns, FormatBytes(m.SpillBytes))
+	}
+	b.WriteString("\n")
 	return b.String(), nil
 }
 
@@ -746,6 +991,52 @@ func (db *DB) ExpandedConditions(sql string, opts ...QueryOption) (map[string]st
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.Rewriter.ExpandedConditions(sql, o.rules)
+}
+
+// ResourceStats aggregates the engine's governance activity since Open.
+type ResourceStats struct {
+	// Admission is the admission controller's snapshot (zeros when no
+	// concurrency limit is configured).
+	Admission AdmissionStats
+	// Queries counts governed executions (Query, ExplainAnalyze,
+	// Prepared.Run and their Context variants).
+	Queries int64
+	// SpilledQueries counts executions in which at least one operator went
+	// to disk; SpillRuns and SpillBytes accumulate their volume.
+	SpilledQueries, SpillRuns, SpillBytes int64
+	// Exhausted counts executions that failed with ErrResourceExhausted.
+	Exhausted int64
+	// MaxPeak is the largest single-query peak memory observed, in bytes.
+	MaxPeak int64
+}
+
+// ResourceStats snapshots the DB's cumulative resource-governance
+// counters: admission decisions, spill volume, budget failures, and the
+// per-query memory high-water mark.
+func (db *DB) ResourceStats() ResourceStats {
+	return ResourceStats{
+		Admission:      db.admit.Stats(),
+		Queries:        db.totals.queries.Load(),
+		SpilledQueries: db.totals.spilled.Load(),
+		SpillRuns:      db.totals.spillRuns.Load(),
+		SpillBytes:     db.totals.spillBytes.Load(),
+		Exhausted:      db.totals.exhausted.Load(),
+		MaxPeak:        db.totals.maxPeak.Load(),
+	}
+}
+
+// FormatBytes renders a byte count human-readably (B, KiB, MiB, GiB).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func applyOpts(opts []QueryOption) *queryOpts {

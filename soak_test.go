@@ -1,0 +1,219 @@
+// Soak suite: the fault-injection matrix behind `make soak`. Every cell
+// runs a real query under a deliberately low memory budget with one
+// fault class injected — worker panics, allocation failures, spill-file
+// I/O errors — across serial and parallel execution, and asserts the
+// engine's degradation contract: spill-capable plans finish with
+// bit-identical answers, injected failures surface as the right sentinel
+// on that query alone, and the engine keeps serving afterwards.
+//
+// The matrix multiplies quickly and is meant for the race detector, so
+// it is gated behind REPRO_SOAK=1; `go test ./...` skips it.
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+const soakRows = 30000
+
+// newSoakDB builds a DB with a deliberately low default memory budget —
+// every materializing operator over the soak table must spill — and a
+// reads table large enough to cross the executor's parallel thresholds.
+func newSoakDB(t testing.TB) *repro.DB {
+	t.Helper()
+	db := repro.Open(
+		repro.WithDefaultMemoryLimit(48<<10),
+		repro.WithSpillDir(t.TempDir()),
+	)
+	if err := db.CreateTable("reads",
+		repro.ColumnDef{Name: "epc", Kind: repro.KindString},
+		repro.ColumnDef{Name: "rtime", Kind: repro.KindTime},
+		repro.ColumnDef{Name: "biz_loc", Kind: repro.KindString},
+	); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]repro.Value, soakRows)
+	for i := range rows {
+		rows[i] = []repro.Value{
+			stringValue(fmt.Sprintf("e%04d", i%701)),
+			timeValue(int64(i)),
+			stringValue(fmt.Sprintf("loc%03d", i%97)),
+		}
+	}
+	if err := db.Insert("reads", rows...); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var soakQueries = []struct{ name, sql string }{
+	{"sort", `SELECT epc, rtime, biz_loc FROM reads ORDER BY rtime, epc, biz_loc`},
+	{"group", `SELECT epc, biz_loc, COUNT(*) AS c, MIN(rtime) AS first_seen FROM reads GROUP BY epc, biz_loc ORDER BY c DESC, epc, biz_loc`},
+	{"join", `SELECT a.epc, a.rtime, b.biz_loc FROM reads a JOIN reads b ON a.epc = b.epc AND a.rtime = b.rtime ORDER BY a.rtime, a.epc`},
+}
+
+func soakEnabled(t *testing.T) {
+	t.Helper()
+	if os.Getenv("REPRO_SOAK") == "" {
+		t.Skip("soak suite disabled; set REPRO_SOAK=1 (or run `make soak`)")
+	}
+}
+
+// TestSoakSpillParity: under the low default budget every query spills
+// and must still match the unbudgeted answer exactly.
+func TestSoakSpillParity(t *testing.T) {
+	soakEnabled(t)
+	db := newSoakDB(t)
+	for _, q := range soakQueries {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/par%d", q.name, par), func(t *testing.T) {
+				want, err := db.Query(q.sql, repro.WithMemoryLimit(0), repro.WithParallelism(par))
+				if err != nil {
+					t.Fatalf("baseline: %v", err)
+				}
+				got, err := db.Query(q.sql, repro.WithParallelism(par))
+				if err != nil {
+					t.Fatalf("budgeted: %v", err)
+				}
+				if !got.Mem.Spilled() {
+					t.Fatalf("no spill under %s budget (peak %s)",
+						repro.FormatBytes(got.Mem.Limit), repro.FormatBytes(got.Mem.Peak))
+				}
+				if !reflect.DeepEqual(got.Data, want.Data) {
+					t.Fatal("spilled result differs from in-memory result")
+				}
+			})
+		}
+	}
+}
+
+// TestSoakAllocFail: with every reservation refused, spill-capable plans
+// must still complete — correctly — by degrading to disk.
+func TestSoakAllocFail(t *testing.T) {
+	soakEnabled(t)
+	db := newSoakDB(t)
+	faults := repro.WithFaults(repro.FaultInjection{AllocFail: true})
+	for _, q := range soakQueries {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/par%d", q.name, par), func(t *testing.T) {
+				want, err := db.Query(q.sql, repro.WithMemoryLimit(0), repro.WithParallelism(par))
+				if err != nil {
+					t.Fatalf("baseline: %v", err)
+				}
+				got, err := db.Query(q.sql, repro.WithParallelism(par), faults)
+				if err != nil {
+					t.Fatalf("alloc-fail run did not degrade to spill: %v", err)
+				}
+				if !reflect.DeepEqual(got.Data, want.Data) {
+					t.Fatal("alloc-fail result differs")
+				}
+				// With spilling off the same faults must fail cleanly instead.
+				_, err = db.Query(q.sql, repro.WithParallelism(par), faults, repro.WithoutSpill())
+				if !errors.Is(err, repro.ErrResourceExhausted) {
+					t.Fatalf("without spill: err = %v, want ErrResourceExhausted", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSoakWorkerPanic: an injected panic fails its own query with
+// ErrInternal and nothing else.
+func TestSoakWorkerPanic(t *testing.T) {
+	soakEnabled(t)
+	db := newSoakDB(t)
+	faults := repro.WithFaults(repro.FaultInjection{WorkerPanic: true})
+	for _, q := range soakQueries {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/par%d", q.name, par), func(t *testing.T) {
+				if _, err := db.Query(q.sql, repro.WithParallelism(par), faults); !errors.Is(err, repro.ErrInternal) {
+					t.Fatalf("err = %v, want ErrInternal", err)
+				}
+				if _, err := db.Query(q.sql, repro.WithParallelism(par)); err != nil {
+					t.Fatalf("engine broken after injected panic: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSoakSpillIOError: when spill-file creation itself fails, the query
+// fails with the I/O error — not a panic, not a hang — and later queries
+// are unaffected.
+func TestSoakSpillIOError(t *testing.T) {
+	soakEnabled(t)
+	db := newSoakDB(t)
+	faults := repro.WithFaults(repro.FaultInjection{SpillErr: true})
+	for _, q := range soakQueries {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/par%d", q.name, par), func(t *testing.T) {
+				_, err := db.Query(q.sql, repro.WithParallelism(par), faults)
+				if err == nil {
+					t.Fatal("spill-I/O fault injected but query succeeded")
+				}
+				if errors.Is(err, repro.ErrInternal) {
+					t.Fatalf("spill I/O error escalated to a panic: %v", err)
+				}
+				if _, err := db.Query(q.sql, repro.WithParallelism(par)); err != nil {
+					t.Fatalf("engine broken after spill I/O failure: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSoakConcurrentChaos: a mixed fleet — spilling queries, panicking
+// queries, budget failures, slow operators under admission control — all
+// at once; exactly the injected faults fail, everything else answers.
+func TestSoakConcurrentChaos(t *testing.T) {
+	soakEnabled(t)
+	db := newSoakDB(t)
+	const lanes = 12
+	errs := make([]error, lanes)
+	done := make(chan int, lanes)
+	for i := 0; i < lanes; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			q := soakQueries[i%len(soakQueries)]
+			opts := []repro.QueryOption{repro.WithParallelism(1 + i%4)}
+			switch i % 4 {
+			case 1:
+				opts = append(opts, repro.WithFaults(repro.FaultInjection{WorkerPanic: true}))
+			case 2:
+				opts = append(opts, repro.WithoutSpill())
+			case 3:
+				opts = append(opts, repro.WithFaults(repro.FaultInjection{SlowOp: time.Millisecond}))
+			}
+			_, errs[i] = db.Query(q.sql, opts...)
+		}(i)
+	}
+	for i := 0; i < lanes; i++ {
+		<-done
+	}
+	for i, err := range errs {
+		switch i % 4 {
+		case 1:
+			if !errors.Is(err, repro.ErrInternal) {
+				t.Errorf("lane %d (panic): err = %v, want ErrInternal", i, err)
+			}
+		case 2:
+			if !errors.Is(err, repro.ErrResourceExhausted) {
+				t.Errorf("lane %d (no spill): err = %v, want ErrResourceExhausted", i, err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("lane %d failed: %v", i, err)
+			}
+		}
+	}
+	if st := db.ResourceStats(); st.SpilledQueries == 0 || st.Exhausted == 0 {
+		t.Errorf("chaos run recorded no spills/exhaustions: %+v", st)
+	}
+}
