@@ -365,3 +365,42 @@ func BenchmarkSpillOverhead(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTelemetryOverhead prices the observability layer: the
+// parallel-pipeline query (q1's dirty baseline at Parallelism=NumCPU)
+// runs against two otherwise identical databases, one with telemetry on
+// (the default — every query feeds the metrics registry and the
+// operator-stats collector) and one opened WithoutTelemetry. The
+// acceptance bar for the layer is <5% between the two sub-benchmarks;
+// traces are not requested, matching the steady-state production path.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	scale := benchScale()
+	if scale < 70 {
+		scale = 70 // match BenchmarkParallelPipeline's workload
+	}
+	variants := []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"on", nil},
+		{"off", []repro.Option{repro.WithoutTelemetry()}},
+	}
+	for _, v := range variants {
+		e, err := bench.LoadFresh(scale, 10, v.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := e.Q1(0.95)
+		opts := []repro.QueryOption{repro.WithStrategy(repro.Dirty), repro.WithParallelism(runtime.NumCPU())}
+		if _, err := e.DB.Query(q, opts...); err != nil { // warm the plan cache
+			b.Fatal(err)
+		}
+		b.Run("telemetry="+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.DB.Query(q, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -21,7 +21,7 @@ import (
 
 var (
 	scale = flag.Int("scale", 12, "RFIDGen scale factor s (caseR ≈ s*1500 rows)")
-	exp   = flag.String("exp", "all", "experiment: all,table1,fig7a,fig7d,fig8,fig9a,fig9b,fig9c,fig9d,plans")
+	exp   = flag.String("exp", "all", "experiment: all,table1,fig7a,fig7d,fig8,fig9a,fig9b,fig9c,fig9d,plans,telemetry")
 	reps  = flag.Int("reps", 5, "repetitions per cell (median reported)")
 )
 
@@ -47,6 +47,7 @@ func main() {
 	run("fig9c", func() error { return dirtyFig("q1", q1) })
 	run("fig9d", func() error { return dirtyFig("q2", q2) })
 	run("plans", plans)
+	run("telemetry", telemetry)
 }
 
 func title(name string) string {
@@ -69,6 +70,8 @@ func title(name string) string {
 		return "Figure 9(d) — q2 elapsed vs anomaly percentage (3 rules, sel 10%)"
 	case "plans":
 		return "Figure 7(b,c,e,f,g) — access plans for q1/q1_e/q2/q2_e/q2_j"
+	case "telemetry":
+		return "Telemetry — q1 trace (cold and plan-cache hit) and engine metrics"
 	}
 	return name
 }
@@ -224,6 +227,54 @@ func plans() error {
 		return err
 	}
 	return show("q2_j (Fig 7g)", e.Q2(0.10), repro.JoinBack, reader)
+}
+
+// telemetry shows what the observability layer records for one
+// representative expanded-rewrite query: the span tree of a cold run
+// (parse/rewrite/plan phases plus every operator) and of a plan-cache
+// hit, then the engine's nonzero metric samples.
+func telemetry() error {
+	e, err := bench.Load(*scale, 10)
+	if err != nil {
+		return err
+	}
+	query := e.Q1(0.10)
+	opts := []repro.QueryOption{
+		repro.WithStrategy(repro.Expanded),
+		repro.WithRules(e.RulePrefix(1)...),
+		repro.WithTrace(nil),
+	}
+	show := func(label string) error {
+		rows, err := e.DB.Query(query, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("### %s\n\n```\n%s```\n\n", label, rows.Trace().String())
+		return nil
+	}
+	if err := show("q1_e cold"); err != nil {
+		return err
+	}
+	if err := show("q1_e plan-cache hit"); err != nil {
+		return err
+	}
+	fmt.Printf("### metrics\n\n```\n")
+	for _, fam := range e.DB.Metrics().Snapshot() {
+		for _, m := range fam.Metrics {
+			labels := ""
+			for k, v := range m.Labels {
+				labels = fmt.Sprintf("{%s=%q}", k, v)
+			}
+			switch {
+			case m.Count != nil && *m.Count > 0:
+				fmt.Printf("%s%s count=%d sum=%g\n", fam.Name, labels, *m.Count, *m.Sum)
+			case m.Value != nil && *m.Value != 0:
+				fmt.Printf("%s%s %g\n", fam.Name, labels, *m.Value)
+			}
+		}
+	}
+	fmt.Printf("```\n")
+	return nil
 }
 
 func shorten(s string) string {

@@ -47,7 +47,20 @@ func Load(scale, pct int) (*Env, error) {
 	if e, ok := envCache[key]; ok {
 		return e, nil
 	}
-	db := repro.Open()
+	e, err := LoadFresh(scale, pct)
+	if err != nil {
+		return nil, err
+	}
+	envCache[key] = e
+	return e, nil
+}
+
+// LoadFresh builds a new, uncached environment, passing opts through to
+// repro.Open. The telemetry-overhead benchmark uses it to build otherwise
+// identical DBs with observability on and off; everything else should use
+// Load and share the cached default environment.
+func LoadFresh(scale, pct int, opts ...repro.Option) (*Env, error) {
+	db := repro.Open(opts...)
 	if err := db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: scale, AnomalyPct: pct, Seed: 20060912}); err != nil {
 		return nil, err
 	}
@@ -71,7 +84,6 @@ func Load(scale, pct int) (*Env, error) {
 		return nil, fmt.Errorf("bench: cannot determine a visited DC: %v", err)
 	}
 	e.DC = rows.Data[0][0].Str()
-	envCache[key] = e
 	return e, nil
 }
 

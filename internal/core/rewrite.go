@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -69,6 +70,21 @@ type Result struct {
 	Plan exec.Node
 	// Candidates records every evaluated alternative for diagnostics.
 	Candidates []CandidateInfo
+	// Phases records how long each compilation stage took when this
+	// result was produced; the serving layer turns them into trace spans
+	// and latency metrics. A cached Result keeps its original phase
+	// timings.
+	Phases Phases
+}
+
+// Phases is the compilation-time breakdown of one rewrite: parsing the
+// SQL, generating and costing rewrite candidates, and physical planning
+// (the Planner.Plan calls, which candidate costing interleaves with
+// rewriting).
+type Phases struct {
+	Parse   time.Duration
+	Rewrite time.Duration
+	Plan    time.Duration
 }
 
 // CandidateInfo describes one evaluated rewrite candidate.
@@ -85,15 +101,22 @@ type CandidateInfo struct {
 // ON the relevant table when names is empty), and returns the chosen
 // statement.
 func (rw *Rewriter) RewriteSQL(query string, ruleNames []string, strat Strategy) (*Result, error) {
+	parseStart := time.Now()
 	stmt, err := sqlparser.Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	parse := time.Since(parseStart)
 	rules, err := rw.resolveRules(stmt, ruleNames)
 	if err != nil {
 		return nil, err
 	}
-	return rw.Rewrite(stmt, rules, strat)
+	res, err := rw.Rewrite(stmt, rules, strat)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Parse = parse
+	return res, nil
 }
 
 // resolveRules picks the rule list: explicitly named, or every registered
@@ -128,12 +151,20 @@ func (rw *Rewriter) resolveRules(stmt sqlast.Stmt, ruleNames []string) ([]*Regis
 // Rewrite generates the rewritten statement for stmt under the ordered
 // rule list.
 func (rw *Rewriter) Rewrite(stmt sqlast.Stmt, rules []*RegisteredRule, strat Strategy) (*Result, error) {
+	rewriteStart := time.Now()
+	var planTime time.Duration
 	if strat == StrategyDirty || len(rules) == 0 {
+		planStart := time.Now()
 		node, err := rw.Planner.Plan(stmt)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Stmt: stmt, SQL: sqlast.SQL(stmt), Strategy: StrategyDirty, EstCost: node.EstCost(), Plan: node}, nil
+		planTime = time.Since(planStart)
+		return &Result{
+			Stmt: stmt, SQL: sqlast.SQL(stmt), Strategy: StrategyDirty,
+			EstCost: node.EstCost(), Plan: node,
+			Phases: Phases{Rewrite: time.Since(rewriteStart) - planTime, Plan: planTime},
+		}, nil
 	}
 	if err := validateRuleSet(rules); err != nil {
 		return nil, err
@@ -182,10 +213,12 @@ func (rw *Rewriter) Rewrite(stmt sqlast.Stmt, rules []*RegisteredRule, strat Str
 			continue
 		}
 		seen[text] = true
+		planStart := time.Now()
 		node, err := rw.Planner.Plan(out)
 		if err != nil {
 			return nil, fmt.Errorf("core: planning %s candidate: %w", c.strat, err)
 		}
+		planTime += time.Since(planStart)
 		info := CandidateInfo{Strategy: c.strat, Pushes: c.pushes, EstCost: node.EstCost()}
 		res.Candidates = append(res.Candidates, info)
 		if best == nil || node.EstCost() < best.EstCost ||
@@ -202,6 +235,7 @@ func (rw *Rewriter) Rewrite(stmt sqlast.Stmt, rules []*RegisteredRule, strat Str
 		ci := &best.Candidates[i]
 		ci.Chosen = ci.Strategy == best.Strategy && ci.EstCost == best.EstCost
 	}
+	best.Phases = Phases{Rewrite: time.Since(rewriteStart) - planTime, Plan: planTime}
 	return best, nil
 }
 

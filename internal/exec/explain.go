@@ -94,6 +94,51 @@ func fmtBytes(v float64) string {
 	return fmt.Sprintf("%.0fB", v)
 }
 
+// Kind names an operator's family — its Label stripped of per-instance
+// detail — for use as a metrics label ("rows per operator kind"). The
+// set of kinds is closed over the engine's physical operators.
+func Kind(n Node) string {
+	switch v := n.(type) {
+	case *ScanNode:
+		if v.IndexOrd >= 0 {
+			return "IndexScan"
+		}
+		return "Scan"
+	case *FilterNode:
+		return "Filter"
+	case *ProjectNode:
+		return "Project"
+	case *SortNode:
+		return "Sort"
+	case *LimitNode:
+		return "Limit"
+	case *DistinctNode:
+		return "Distinct"
+	case *SetOpNode:
+		return "SetOp"
+	case *UnionNode:
+		return "Union"
+	case *HashJoinNode:
+		return "HashJoin"
+	case *NestedLoopJoinNode:
+		return "NLJoin"
+	case *GroupNode:
+		return "Group"
+	case *WindowNode:
+		return "Window"
+	case *ValuesNode:
+		return "Values"
+	case *RequalifyNode:
+		return "Requalify"
+	}
+	// Unknown operator: fall back to the label up to its detail.
+	label := n.Label()
+	if i := strings.IndexByte(label, '('); i > 0 {
+		return label[:i]
+	}
+	return label
+}
+
 // CountNodes returns the number of operators in the plan with the given
 // label prefix; tests use it to assert plan shapes (e.g. number of sorts).
 func CountNodes(n Node, labelPrefix string) int {

@@ -52,29 +52,12 @@ type Ctx struct {
 
 	mu    sync.Mutex
 	cache map[Node]*inflight
-	// stats, when non-nil, collects actual rows and elapsed time per
-	// operator (EXPLAIN ANALYZE).
+	// stats, when non-nil, collects per-operator runtime statistics —
+	// rows, elapsed time, worker fan-out, eval mode, spill activity — in
+	// one map. This is the engine's single stats path: EXPLAIN ANALYZE,
+	// query traces, the metrics registry, and the slow-query log all read
+	// the NodeStats recorded here; nothing else counts operator work.
 	stats map[Node]*NodeStats
-	// workerNotes records each operator's actual fan-out (stats runs only).
-	workerNotes map[Node]int
-	// evalNotes records each operator's expression-evaluation mode and
-	// kernel-batch count (stats runs only).
-	evalNotes map[Node]evalNote
-	// spillNotes records each operator's spill activity (stats runs only;
-	// the cumulative per-query counters live on res either way).
-	spillNotes map[Node]spillNote
-}
-
-// spillNote is one operator's recorded spill activity.
-type spillNote struct {
-	runs  int
-	bytes int64
-}
-
-// evalNote is one operator's recorded evaluation mode.
-type evalNote struct {
-	mode    string // "vector" or "row"
-	batches int
 }
 
 // inflight is one node's execution slot: the sync.Once makes a subtree
@@ -90,6 +73,8 @@ type inflight struct {
 type NodeStats struct {
 	// Rows is the actual output cardinality.
 	Rows int
+	// Start is when the operator's Execute began.
+	Start time.Time
 	// Elapsed is cumulative wall time of Execute, including children.
 	Elapsed time.Duration
 	// Hits counts cache hits beyond the first execution (shared CTEs).
@@ -126,12 +111,41 @@ func NewAnalyzeCtx() *Ctx { return NewAnalyzeCtxWith(context.Background()) }
 
 // NewAnalyzeCtxWith is NewAnalyzeCtx governed by a context.Context.
 func NewAnalyzeCtxWith(ctx context.Context) *Ctx {
-	c := NewCtxWith(ctx)
-	c.stats = map[Node]*NodeStats{}
-	c.workerNotes = map[Node]int{}
-	c.evalNotes = map[Node]evalNote{}
-	c.spillNotes = map[Node]spillNote{}
+	return NewCtxWith(ctx).EnableStats()
+}
+
+// EnableStats switches on per-operator statistics collection for this
+// execution. The serving layer enables it for every telemetry-observed
+// query (not just EXPLAIN ANALYZE): the same NodeStats feed the analyze
+// printout, the trace span tree, and the per-operator metric counters.
+// It returns c for chaining and must be called before Run.
+func (c *Ctx) EnableStats() *Ctx {
+	if c.stats == nil {
+		c.stats = map[Node]*NodeStats{}
+	}
 	return c
+}
+
+// CollectingStats reports whether this execution records per-operator
+// statistics.
+func (c *Ctx) CollectingStats() bool { return c.stats != nil }
+
+// StatsSnapshot returns the per-operator statistics recorded so far, one
+// entry per distinct plan node (shared subtrees appear once, however
+// many tree positions reference them — iterating this map never double
+// counts an operator's rows). The returned map is a copy; the NodeStats
+// values are shared and must not be mutated.
+func (c *Ctx) StatsSnapshot() map[Node]*NodeStats {
+	if c.stats == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Node]*NodeStats, len(c.stats))
+	for n, st := range c.stats {
+		out[n] = st
+	}
+	return out
 }
 
 // SetParallelism caps intra-query parallelism for executions under this
@@ -180,15 +194,28 @@ func (c *Ctx) Stats(n Node) *NodeStats {
 	return c.stats[n]
 }
 
-// noteWorkers records an operator's actual fan-out for EXPLAIN ANALYZE;
-// serial execution is not recorded.
+// statLocked returns (creating if needed) the node's stats entry. The
+// caller must hold c.mu and have checked c.stats != nil. Notes recorded
+// mid-Execute land in the same entry Run finalizes with rows and timing,
+// so each operator's numbers exist exactly once.
+func (c *Ctx) statLocked(n Node) *NodeStats {
+	st := c.stats[n]
+	if st == nil {
+		st = &NodeStats{}
+		c.stats[n] = st
+	}
+	return st
+}
+
+// noteWorkers records an operator's actual fan-out; serial execution is
+// not recorded.
 func (c *Ctx) noteWorkers(n Node, workers int) {
 	if c.stats == nil || workers <= 1 {
 		return
 	}
 	c.mu.Lock()
-	if workers > c.workerNotes[n] {
-		c.workerNotes[n] = workers
+	if st := c.statLocked(n); workers > st.Workers {
+		st.Workers = workers
 	}
 	c.mu.Unlock()
 }
@@ -201,25 +228,26 @@ func (c *Ctx) noteSpill(n Node, runs int, bytes int64) {
 		return
 	}
 	c.mu.Lock()
-	note := c.spillNotes[n]
-	note.runs += runs
-	note.bytes += bytes
-	c.spillNotes[n] = note
+	st := c.statLocked(n)
+	st.SpillRuns += runs
+	st.SpillBytes += bytes
 	c.mu.Unlock()
 }
 
 // noteEval records whether an operator evaluated its expressions through
-// the vector kernels and over how many chunks (stats runs only).
+// the vector kernels and over how many chunks. An operator calls it at
+// most once per execution; the recorded mode replaces any earlier one.
 func (c *Ctx) noteEval(n Node, vectorized bool, rows int) {
 	if c.stats == nil {
 		return
 	}
-	note := evalNote{mode: "row"}
+	mode, batches := "row", 0
 	if vectorized {
-		note = evalNote{mode: "vector", batches: batchCount(rows)}
+		mode, batches = "vector", batchCount(rows)
 	}
 	c.mu.Lock()
-	c.evalNotes[n] = note
+	st := c.statLocked(n)
+	st.EvalMode, st.Batches = mode, batches
 	c.mu.Unlock()
 }
 
@@ -309,16 +337,10 @@ func Run(ctx *Ctx, n Node) (*Result, error) {
 		}
 		f.res, f.err = n.Execute(ctx)
 		if ctx.stats != nil && f.err == nil {
-			st := &NodeStats{Rows: len(f.res.Rows), Elapsed: time.Since(start)}
+			elapsed := time.Since(start)
 			ctx.mu.Lock()
-			st.Workers = ctx.workerNotes[n]
-			if note, ok := ctx.evalNotes[n]; ok {
-				st.EvalMode, st.Batches = note.mode, note.batches
-			}
-			if note, ok := ctx.spillNotes[n]; ok {
-				st.SpillRuns, st.SpillBytes = note.runs, note.bytes
-			}
-			ctx.stats[n] = st
+			st := ctx.statLocked(n)
+			st.Rows, st.Start, st.Elapsed = len(f.res.Rows), start, elapsed
 			ctx.mu.Unlock()
 		}
 	})

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, counters and gauges as
+// single samples, histograms as cumulative `_bucket{le=...}` samples plus
+// `_sum` and `_count`. Families print in name order, labeled children in
+// label-value order, so the output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sorted() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	write := func(suffix, labels string, v float64) error {
+		_, err := fmt.Fprintf(w, "%s%s%s %s\n", f.name, suffix, labels, formatFloat(v))
+		return err
+	}
+	switch {
+	case f.fn != nil:
+		return write("", "", f.fn())
+	case f.label == "":
+		return writeMetricProm(w, f, f.single, "")
+	default:
+		for _, val := range f.labelValues() {
+			f.mu.Lock()
+			m := f.children[val]
+			f.mu.Unlock()
+			if err := writeMetricProm(w, f, m, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// writeMetricProm renders one metric (unlabeled when labelVal is "" and
+// the family has no label name).
+func writeMetricProm(w io.Writer, f *family, m any, labelVal string) error {
+	labels := ""
+	if f.label != "" {
+		labels = fmt.Sprintf("{%s=%s}", f.label, strconv.Quote(labelVal))
+	}
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(v.Value()))
+		return err
+	case *Histogram:
+		counts := v.snapshot()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(v.bounds) {
+				le = formatFloat(v.bounds[i])
+			}
+			bl := fmt.Sprintf("{le=%q}", le)
+			if f.label != "" {
+				bl = fmt.Sprintf("{%s=%s,le=%q}", f.label, strconv.Quote(labelVal), le)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, v.Count())
+		return err
+	case nil:
+		return nil
+	}
+	return fmt.Errorf("obs: unknown metric type %T in family %s", m, f.name)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, integers without a trailing ".0".
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	return s
+}
+
+// JSONFamily is one family in the JSON exposition.
+type JSONFamily struct {
+	Name    string       `json:"name"`
+	Type    string       `json:"type"`
+	Help    string       `json:"help"`
+	Metrics []JSONMetric `json:"metrics"`
+}
+
+// JSONMetric is one sample (or histogram) in the JSON exposition.
+type JSONMetric struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Buckets maps upper bound ("+Inf" included) to cumulative count;
+	// Sum and Count complete the histogram. Set for histograms only.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+}
+
+// Snapshot returns the full registry contents as JSON-shaped structs, in
+// family-name order.
+func (r *Registry) Snapshot() []JSONFamily {
+	var out []JSONFamily
+	for _, f := range r.sorted() {
+		jf := JSONFamily{Name: f.name, Type: f.kind, Help: f.help}
+		add := func(m any, labelVal string) {
+			var labels map[string]string
+			if f.label != "" {
+				labels = map[string]string{f.label: labelVal}
+			}
+			switch v := m.(type) {
+			case *Counter:
+				val := float64(v.Value())
+				jf.Metrics = append(jf.Metrics, JSONMetric{Labels: labels, Value: &val})
+			case *Gauge:
+				val := v.Value()
+				jf.Metrics = append(jf.Metrics, JSONMetric{Labels: labels, Value: &val})
+			case *Histogram:
+				counts := v.snapshot()
+				buckets := make(map[string]uint64, len(counts))
+				var cum uint64
+				for i, c := range counts {
+					cum += c
+					le := "+Inf"
+					if i < len(v.bounds) {
+						le = formatFloat(v.bounds[i])
+					}
+					buckets[le] = cum
+				}
+				sum, count := v.Sum(), v.Count()
+				jf.Metrics = append(jf.Metrics, JSONMetric{Labels: labels, Buckets: buckets, Sum: &sum, Count: &count})
+			}
+		}
+		switch {
+		case f.fn != nil:
+			val := f.fn()
+			jf.Metrics = append(jf.Metrics, JSONMetric{Value: &val})
+		case f.label == "":
+			add(f.single, "")
+		default:
+			for _, val := range f.labelValues() {
+				f.mu.Lock()
+				m := f.children[val]
+				f.mu.Unlock()
+				add(m, val)
+			}
+		}
+		out = append(out, jf)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as a JSON document:
+// {"families": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string][]JSONFamily{"families": r.Snapshot()})
+}
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default, the JSON document with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.EqualFold(req.URL.Query().Get("format"), "json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

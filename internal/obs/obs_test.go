@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("t_gauge", "test gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	v, ok := r.CounterValue("t_total", "")
+	if !ok || v != 5 {
+		t.Fatalf("CounterValue = %v,%v", v, ok)
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "test", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Buckets are cumulative at exposition: le=0.01 holds 0.005 and 0.01
+	// (boundary values belong to their bucket), le=0.1 adds 0.05, le=1
+	// adds 0.5, +Inf adds 5.
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`t_seconds_bucket{le="0.01"} 2`,
+		`t_seconds_bucket{le="0.1"} 3`,
+		`t_seconds_bucket{le="1"} 4`,
+		`t_seconds_bucket{le="+Inf"} 5`,
+		`t_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecChildrenAndFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("t_ops_total", "per-op", "op")
+	cv.With("Scan").Add(10)
+	cv.With("Filter").Add(3)
+	cv.With("Scan").Inc()
+	n := 7.0
+	r.GaugeFunc("t_backing", "func-backed", func() float64 { return n })
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`t_ops_total{op="Filter"} 3`,
+		`t_ops_total{op="Scan"} 11`,
+		`t_backing 7`,
+		"# TYPE t_ops_total counter",
+		"# TYPE t_backing gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children render sorted by label value (Filter before Scan).
+	if strings.Index(out, `op="Filter"`) > strings.Index(out, `op="Scan"`) {
+		t.Errorf("labeled children not sorted:\n%s", out)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "help text").Add(3)
+	r.HistogramVec("t_lat_seconds", "latency", "outcome", []float64{0.1, 1}).With("ok").Observe(0.05)
+
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []JSONFamily `json:"families"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(doc.Families))
+	}
+	byName := map[string]JSONFamily{}
+	for _, f := range doc.Families {
+		byName[f.Name] = f
+	}
+	if f := byName["t_total"]; f.Type != "counter" || f.Metrics[0].Value == nil || *f.Metrics[0].Value != 3 {
+		t.Errorf("t_total JSON wrong: %+v", f)
+	}
+	h := byName["t_lat_seconds"]
+	if h.Type != "histogram" || h.Metrics[0].Labels["outcome"] != "ok" {
+		t.Fatalf("t_lat_seconds JSON wrong: %+v", h)
+	}
+	if *h.Metrics[0].Count != 1 || h.Metrics[0].Buckets["0.1"] != 1 || h.Metrics[0].Buckets["+Inf"] != 1 {
+		t.Errorf("histogram buckets wrong: %+v", h.Metrics[0])
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "help").Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "t_total 1") {
+		t.Errorf("prometheus body missing sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Errorf("json body invalid: %v", err)
+	}
+}
+
+func TestRegistryConcurrentPublishAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "h")
+	hv := r.HistogramVec("t_seconds", "h", "outcome", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				hv.With("ok").Observe(0.001)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b bytes.Buffer
+			for j := 0; j < 50; j++ {
+				b.Reset()
+				_ = r.WritePrometheus(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if count, _, _ := r.HistogramStats("t_seconds", "ok"); count != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", count)
+	}
+}
+
+func TestTraceSpansAndSlowest(t *testing.T) {
+	tr := NewTrace(NextQueryID(), "SELECT 1")
+	tr.Root.Start = time.Now()
+	exec := tr.Root.StartChild("execute")
+	op1 := exec.StartChild("Sort(1 keys)")
+	op1.Dur = 30 * time.Millisecond
+	op2 := op1.StartChild("Scan(t)")
+	op2.Dur = 10 * time.Millisecond
+	exec.Dur = 31 * time.Millisecond
+	tr.Root.Dur = 32 * time.Millisecond
+	op1.SetAttr("rows", "100")
+
+	if got := tr.Find("Scan(t)"); got != op2 {
+		t.Fatalf("Find returned %v", got)
+	}
+	if v, ok := op1.Attr("rows"); !ok || v != "100" {
+		t.Fatalf("attr rows = %q,%v", v, ok)
+	}
+	// Exclusive: Sort 20ms, Scan 10ms, execute 1ms.
+	slow := tr.SlowestSpans(2)
+	if len(slow) != 2 || slow[0] != op1 || slow[1] != op2 {
+		t.Fatalf("SlowestSpans ranked wrong: %v", slow)
+	}
+	if op1.Exclusive() != 20*time.Millisecond {
+		t.Fatalf("exclusive = %v", op1.Exclusive())
+	}
+	out := tr.String()
+	if !strings.Contains(out, "Sort(1 keys)") || !strings.Contains(out, "rows=100") {
+		t.Errorf("trace rendering missing span/attr:\n%s", out)
+	}
+}
+
+func TestQueryIDsUnique(t *testing.T) {
+	a, b := NextQueryID(), NextQueryID()
+	if a == b {
+		t.Fatal("NextQueryID repeated")
+	}
+	if !strings.HasPrefix(a.String(), "q-") {
+		t.Fatalf("QueryID format: %s", a)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Attrs are a small ordered
+// list, not a map: spans carry a handful of them and render in insertion
+// order.
+type Attr struct {
+	Key, Val string
+}
+
+// Span is one timed stage of a query: a rewrite phase, the admission
+// wait, or one operator of the executed plan. Durations are cumulative —
+// a parent span covers its children — mirroring how EXPLAIN ANALYZE
+// reports operator times.
+//
+// Spans are built single-threaded by the serving layer and are immutable
+// once the query's trace is handed out; readers need no locking.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Dur      time.Duration
+	Attrs    []Attr
+	Children []*Span
+}
+
+// NewSpan starts a span now.
+func NewSpan(name string) *Span { return &Span{Name: name, Start: time.Now()} }
+
+// StartChild appends and returns a new child span starting now.
+func (s *Span) StartChild(name string) *Span {
+	c := NewSpan(name)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// AddChild appends a pre-built child span (the per-operator subtree).
+func (s *Span) AddChild(c *Span) { s.Children = append(s.Children, c) }
+
+// End stamps the span's duration from its start time.
+func (s *Span) End() { s.Dur = time.Since(s.Start) }
+
+// SetAttr appends or replaces one annotation.
+func (s *Span) SetAttr(key, val string) {
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Val = val
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// Attr returns one annotation's value.
+func (s *Span) Attr(key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Exclusive is the span's self time: its duration minus its children's,
+// clamped at zero. Because durations are cumulative, this is the time
+// the stage itself consumed — the quantity the slow-query log ranks by.
+func (s *Span) Exclusive() time.Duration {
+	d := s.Dur
+	for _, c := range s.Children {
+		d -= c.Dur
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Walk visits the span and every descendant, depth-first, parents before
+// children.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(int, *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Trace is one query's telemetry: its ID, the query text, and the span
+// tree (parse → rewrite → plan → admission wait → per-operator
+// execution under one root).
+type Trace struct {
+	QueryID QueryID
+	SQL     string
+	Root    *Span
+}
+
+// NewTrace starts a trace with a fresh root span.
+func NewTrace(id QueryID, sql string) *Trace {
+	return &Trace{QueryID: id, SQL: sql, Root: NewSpan("query")}
+}
+
+// Find returns the first span with the given name, depth-first, or nil.
+func (t *Trace) Find(name string) *Span {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var found *Span
+	t.Root.Walk(func(_ int, sp *Span) {
+		if found == nil && sp.Name == name {
+			found = sp
+		}
+	})
+	return found
+}
+
+// SlowestSpans returns up to n spans ranked by exclusive (self) time,
+// slowest first. The root span is excluded — it always dominates
+// cumulative time and says nothing about where the time went.
+func (t *Trace) SlowestSpans(n int) []*Span {
+	if t == nil || t.Root == nil || n <= 0 {
+		return nil
+	}
+	var all []*Span
+	t.Root.Walk(func(depth int, sp *Span) {
+		if depth > 0 {
+			all = append(all, sp)
+		}
+	})
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Exclusive() > all[j].Exclusive() })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// String renders the trace as an indented tree, one span per line, for
+// the shell's \trace mode and debugging.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %s\n", t.QueryID, t.SQL)
+	t.Root.Walk(func(depth int, sp *Span) {
+		fmt.Fprintf(&b, "%s%s  %s", strings.Repeat("  ", depth+1), sp.Name, sp.Dur.Round(time.Microsecond))
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+		}
+		b.WriteString("\n")
+	})
+	return b.String()
+}

@@ -26,6 +26,7 @@ type Shell struct {
 	rules    []string // empty = all applicable
 	explain  bool
 	analyze  bool
+	trace    bool // print each query's span tree after its results
 	limit    int
 	timeout  time.Duration // 0 = unlimited
 	memLimit int64         // per-query memory budget; 0 = unlimited
@@ -119,6 +120,13 @@ func (s *Shell) Statement(stmt string) error {
 		fmt.Fprintln(s.Out, strings.Join(parts, " | "))
 	}
 	fmt.Fprintf(s.Out, "(%d rows)\n", len(rows.Data))
+	if s.trace {
+		if tr := rows.Trace(); tr != nil {
+			fmt.Fprint(s.Out, tr.String())
+		} else {
+			fmt.Fprintln(s.Out, "(no trace: telemetry disabled)")
+		}
+	}
 	return nil
 }
 
@@ -132,6 +140,9 @@ func (s *Shell) opts() []repro.QueryOption {
 	}
 	if s.memLimit > 0 {
 		opts = append(opts, repro.WithMemoryLimit(s.memLimit))
+	}
+	if s.trace {
+		opts = append(opts, repro.WithTrace(nil))
 	}
 	return opts
 }
@@ -285,6 +296,49 @@ func (s *Shell) Meta(cmd string) error {
 				rs.Admission.Running, rs.Admission.Waiting, rs.Admission.Admitted, rs.Admission.Rejected)
 		}
 		return nil
+	case `\trace`:
+		switch {
+		case len(fields) < 2:
+			// fall through to report
+		case fields[1] == "on":
+			s.trace = true
+		case fields[1] == "off":
+			s.trace = false
+		default:
+			return fmt.Errorf(`usage: \trace [on|off]`)
+		}
+		fmt.Fprintf(s.Out, "trace: %v\n", s.trace)
+		return nil
+	case `\stats`:
+		reg := s.DB.Metrics()
+		if reg == nil {
+			fmt.Fprintln(s.Out, "telemetry disabled")
+			return nil
+		}
+		// One line per nonzero sample, Prometheus-style names so the
+		// shell view matches what a scrape returns.
+		for _, fam := range reg.Snapshot() {
+			for _, m := range fam.Metrics {
+				labels := ""
+				for k, v := range m.Labels {
+					labels = fmt.Sprintf("{%s=%q}", k, v)
+				}
+				switch {
+				case m.Count != nil && *m.Count > 0:
+					avg := *m.Sum / float64(*m.Count)
+					rendered := strconv.FormatFloat(avg, 'g', 4, 64)
+					if strings.HasSuffix(fam.Name, "_seconds") {
+						rendered = time.Duration(float64(time.Second) * avg).Round(time.Microsecond).String()
+					} else if strings.HasSuffix(fam.Name, "_bytes") {
+						rendered = repro.FormatBytes(int64(avg))
+					}
+					fmt.Fprintf(s.Out, "%-44s count=%d avg=%s\n", fam.Name+labels, *m.Count, rendered)
+				case m.Value != nil && *m.Value != 0:
+					fmt.Fprintf(s.Out, "%-44s %s\n", fam.Name+labels, strconv.FormatFloat(*m.Value, 'g', -1, 64))
+				}
+			}
+		}
+		return nil
 	case `\cache`:
 		if len(fields) > 1 && fields[1] == "reset" {
 			s.DB.ResetPlanCache()
@@ -397,6 +451,8 @@ const helpText = `commands:
   \limit <n>             rows printed per result
   \timeout <dur|off>     cancel queries that run longer than dur (e.g. 30s)
   \mem [limit <sz|off>]  show per-query peak/spill stats; set the memory budget
+  \trace [on|off]        print each query's span tree (timings per stage/operator)
+  \stats                 dump the engine's nonzero metrics (latency, cache, spill)
   \cache [reset]         show (or reset) the rewrite/plan cache counters
   \workload [scale pct]  generate + load the RFIDGen workload and paper rules
   \save <dir> / \open <dir>   persist / restore the database

@@ -138,6 +138,58 @@ from caser;
 	}
 }
 
+func TestShellTraceCommand(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 10
+\trace on
+select count(*) from caser;
+\trace off
+\trace bogus
+`)
+	text := out.String()
+	if !strings.Contains(text, "trace: true") || !strings.Contains(text, "trace: false") {
+		t.Fatalf("trace toggle not reported:\n%s", text)
+	}
+	// The span tree prints the query id, the compile phases, and the
+	// executed operators under an execute span.
+	for _, want := range []string{"q-", "rewrite", "execute", "Scan(caser)", "rows="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `usage: \trace`) {
+		t.Errorf("bad argument not rejected:\n%s", text)
+	}
+}
+
+func TestShellStatsCommand(t *testing.T) {
+	sh, out := newShell(t)
+	feed(t, sh, `\workload 1 10
+select count(*) from caser;
+select count(*) from caser;
+\stats
+`)
+	text := out.String()
+	for _, want := range []string{
+		`repro_queries_total{outcome="ok"}`,
+		"repro_query_seconds", "repro_plan_cache_hits_total",
+		"repro_operator_rows_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestShellStatsWithoutTelemetry(t *testing.T) {
+	var out strings.Builder
+	sh := New(repro.Open(repro.WithoutTelemetry()), &out)
+	feed(t, sh, "\\stats\n")
+	if !strings.Contains(out.String(), "telemetry disabled") {
+		t.Fatalf("expected disabled notice:\n%s", out.String())
+	}
+}
+
 func TestShellMemCommand(t *testing.T) {
 	sh, out := newShell(t)
 	feed(t, sh, `\workload 1 10

@@ -38,9 +38,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -191,33 +191,56 @@ type DB struct {
 	spillDir    string
 	// totals accumulates per-query governance outcomes for ResourceStats.
 	totals resourceTotals
+
+	// tel is the DB's observability state — metric registry, slow-query
+	// log, metrics listener (see telemetry.go); nil with WithoutTelemetry.
+	tel *dbTelemetry
 }
 
-// resourceTotals aggregates governance outcomes across queries.
+// resourceTotals aggregates governance outcomes across queries. One mutex
+// guards the whole struct so ResourceStats reads a consistent snapshot:
+// a reader never sees a query's spill runs without its byte volume, or a
+// bumped query count with a stale peak. note is two compare-free integer
+// adds under an uncontended lock — not a per-row path.
 type resourceTotals struct {
-	queries    atomic.Int64
-	spilled    atomic.Int64
-	spillRuns  atomic.Int64
-	spillBytes atomic.Int64
-	exhausted  atomic.Int64
-	maxPeak    atomic.Int64
+	mu         sync.Mutex
+	queries    int64
+	spilled    int64
+	spillRuns  int64
+	spillBytes int64
+	exhausted  int64
+	maxPeak    int64
 }
 
 func (t *resourceTotals) note(m MemStats, wasExhausted bool) {
-	t.queries.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queries++
 	if m.Spilled() {
-		t.spilled.Add(1)
+		t.spilled++
 	}
-	t.spillRuns.Add(m.SpillRuns)
-	t.spillBytes.Add(m.SpillBytes)
+	t.spillRuns += m.SpillRuns
+	t.spillBytes += m.SpillBytes
 	if wasExhausted {
-		t.exhausted.Add(1)
+		t.exhausted++
 	}
-	for {
-		p := t.maxPeak.Load()
-		if m.Peak <= p || t.maxPeak.CompareAndSwap(p, m.Peak) {
-			return
-		}
+	if m.Peak > t.maxPeak {
+		t.maxPeak = m.Peak
+	}
+}
+
+// snapshot returns the totals as one consistent ResourceStats (without
+// the admission section, which the caller fills in).
+func (t *resourceTotals) snapshot() ResourceStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ResourceStats{
+		Queries:        t.queries,
+		SpilledQueries: t.spilled,
+		SpillRuns:      t.spillRuns,
+		SpillBytes:     t.spillBytes,
+		Exhausted:      t.exhausted,
+		MaxPeak:        t.maxPeak,
 	}
 }
 
@@ -232,6 +255,12 @@ type dbConfig struct {
 	queueDepth    int
 	defMemLimit   int64
 	spillDir      string
+
+	// Observability options (see telemetry.go).
+	noTelemetry   bool
+	metricsAddr   string
+	slowThreshold time.Duration
+	slowLogger    *slog.Logger
 }
 
 // WithMaxConcurrent bounds how many queries execute at once; further
@@ -311,6 +340,7 @@ func applyDBOpts(db *DB, opts []Option) {
 	db.admit = govern.NewAdmission(c.maxConcurrent, queue)
 	db.defMemLimit = c.defMemLimit
 	db.spillDir = c.spillDir
+	applyTelemetry(db, c)
 }
 
 // Save persists the database — tables, views, rules — to a directory that
@@ -481,6 +511,11 @@ type queryOpts struct {
 	memSet   bool
 	noSpill  bool
 	faults   FaultInjection
+
+	// traceSet asks for a span tree (WithTrace); traceHook, when non-nil,
+	// receives the finished trace even on query failure.
+	traceSet  bool
+	traceHook func(*Trace)
 }
 
 // WithStrategy forces a rewrite strategy (default Auto).
@@ -597,6 +632,9 @@ type Rows struct {
 	// Mem reports the query's memory accounting: configured budget, peak
 	// charged bytes, and spill runs/bytes if any operator went to disk.
 	Mem MemStats
+
+	// trace is the query's span tree when one was collected; Trace reads it.
+	trace *Trace
 }
 
 // RewriteInfo reports the chosen rewrite.
@@ -626,27 +664,50 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 	o := applyOpts(opts)
 	ctx, cancel := o.deadline(ctx)
 	defer cancel()
+	tel := db.startQuery(sql, o)
+	admitStart := time.Now()
 	release, err := db.admitQuery(ctx)
 	if err != nil {
+		tel.finish(nil, err)
 		return nil, err
 	}
+	tel.noteAdmit(admitStart, time.Since(admitStart))
 	defer release()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.queryLocked(ctx, sql, o)
+	rows, err := db.queryLocked(ctx, sql, o, tel)
+	tel.finish(rows, err)
+	return rows, err
 }
 
 // queryLocked runs one governed query under an already-held read lock.
-func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts) (*Rows, error) {
+// tel, when non-nil, observes the run (phase spans, per-operator stats,
+// memory accounting); the caller finishes it.
+func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts, tel *qtel) (*Rows, error) {
 	key := newCacheKey(sql, o, db.Catalog.Epoch())
+	var compileStart time.Time
+	if tel != nil {
+		compileStart = time.Now()
+	}
 	res, inf, err := db.rewriteCached(sql, o)
 	if err != nil {
 		return nil, err
 	}
+	tel.notePhases(res.Phases, inf.CacheHit, compileStart)
 	grs := db.resources(o)
 	defer grs.Close()
-	out, err := exec.Run(o.execCtx(ctx).SetResources(grs), res.Plan)
+	ectx := o.execCtx(ctx).SetResources(grs)
+	var execStart time.Time
+	if tel != nil {
+		ectx.EnableStats()
+		execStart = time.Now()
+	}
+	out, err := exec.Run(ectx, res.Plan)
 	db.totals.note(grs.Stats(), err != nil && grs.Exhausted())
+	if tel != nil {
+		tel.noteMem(grs.Stats())
+		tel.noteExec(res.Plan, ectx, execStart, time.Since(execStart))
+	}
 	if err != nil {
 		if grs.Exhausted() {
 			// Drop the cached plan so a retry under a raised limit (or with
@@ -703,6 +764,7 @@ func (db *DB) ExplainContext(ctx context.Context, sql string, opts ...QueryOptio
 // loaded after Prepare.
 type Prepared struct {
 	db   *DB
+	sql  string
 	plan exec.Node
 	info RewriteInfo
 	// opts are the Prepare-time query options (parallelism, row-eval,
@@ -732,7 +794,7 @@ func (db *DB) PrepareContext(ctx context.Context, sql string, opts ...QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, plan: res.Plan, info: inf, opts: o, key: key}, nil
+	return &Prepared{db: db, sql: sql, plan: res.Plan, info: inf, opts: o, key: key}, nil
 }
 
 // Rewrite reports how the prepared query will execute.
@@ -749,25 +811,43 @@ func (p *Prepared) Run() (*Rows, error) {
 // a run that exhausts its budget also evicts the plan's cache entry, so
 // a later Query or Prepare under a raised limit replans fresh.
 func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
+	tel := p.db.startQuery(p.sql, p.opts)
+	admitStart := time.Now()
 	release, err := p.db.admitQuery(ctx)
 	if err != nil {
+		tel.finish(nil, err)
 		return nil, err
 	}
+	tel.noteAdmit(admitStart, time.Since(admitStart))
 	defer release()
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
+	tel.notePrepared(p.info.CacheHit)
 	grs := p.db.resources(p.opts)
 	defer grs.Close()
-	out, err := exec.Run(p.opts.execCtx(ctx).SetResources(grs), p.plan)
+	ectx := p.opts.execCtx(ctx).SetResources(grs)
+	var execStart time.Time
+	if tel != nil {
+		ectx.EnableStats()
+		execStart = time.Now()
+	}
+	out, err := exec.Run(ectx, p.plan)
 	p.db.totals.note(grs.Stats(), err != nil && grs.Exhausted())
+	if tel != nil {
+		tel.noteMem(grs.Stats())
+		tel.noteExec(p.plan, ectx, execStart, time.Since(execStart))
+	}
 	if err != nil {
 		if grs.Exhausted() {
 			p.db.cache.evict(p.key)
 		}
-		return nil, wrapCanceled(err)
+		err = wrapCanceled(err)
+		tel.finish(nil, err)
+		return nil, err
 	}
 	rows := newRows(out, p.info)
 	rows.Mem = grs.Stats()
+	tel.finish(rows, nil)
 	return rows, nil
 }
 
@@ -786,29 +866,47 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 	o := applyOpts(opts)
 	ctx, cancel := o.deadline(ctx)
 	defer cancel()
+	tel := db.startQuery(sql, o)
+	admitStart := time.Now()
 	release, err := db.admitQuery(ctx)
 	if err != nil {
+		tel.finish(nil, err)
 		return "", err
 	}
+	tel.noteAdmit(admitStart, time.Since(admitStart))
 	defer release()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	key := newCacheKey(sql, o, db.Catalog.Epoch())
-	res, _, err := db.rewriteCached(sql, o)
+	var compileStart time.Time
+	if tel != nil {
+		compileStart = time.Now()
+	}
+	res, inf, err := db.rewriteCached(sql, o)
 	if err != nil {
+		tel.finish(nil, err)
 		return "", err
 	}
+	tel.notePhases(res.Phases, inf.CacheHit, compileStart)
 	grs := db.resources(o)
 	defer grs.Close()
 	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval).SetResources(grs)
+	execStart := time.Now()
 	_, runErr := exec.Run(ectx, res.Plan)
 	db.totals.note(grs.Stats(), runErr != nil && grs.Exhausted())
+	if tel != nil {
+		tel.noteMem(grs.Stats())
+		tel.noteExec(res.Plan, ectx, execStart, time.Since(execStart))
+	}
 	if runErr != nil {
 		if grs.Exhausted() {
 			db.cache.evict(key)
 		}
-		return "", wrapCanceled(runErr)
+		runErr = wrapCanceled(runErr)
+		tel.finish(nil, runErr)
+		return "", runErr
 	}
+	tel.finish(nil, nil)
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- strategy: %s (est cost %.0f)\n", res.Strategy, res.EstCost)
 	b.WriteString(exec.ExplainAnalyze(res.Plan, ectx))
@@ -920,11 +1018,11 @@ func (db *DB) DryRunRule(ruleName string, limit int) (*RuleEffect, error) {
 		return nil, err
 	}
 	colList := strings.Join(inCols, ", ")
-	rawRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.From, applyOpts([]QueryOption{WithStrategy(Dirty)}))
+	rawRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.From, applyOpts([]QueryOption{WithStrategy(Dirty)}), nil)
 	if err != nil {
 		return nil, err
 	}
-	cleanRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.On, applyOpts([]QueryOption{WithStrategy(Naive), WithRules(ruleName)}))
+	cleanRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.On, applyOpts([]QueryOption{WithStrategy(Naive), WithRules(ruleName)}), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -1014,15 +1112,9 @@ type ResourceStats struct {
 // counters: admission decisions, spill volume, budget failures, and the
 // per-query memory high-water mark.
 func (db *DB) ResourceStats() ResourceStats {
-	return ResourceStats{
-		Admission:      db.admit.Stats(),
-		Queries:        db.totals.queries.Load(),
-		SpilledQueries: db.totals.spilled.Load(),
-		SpillRuns:      db.totals.spillRuns.Load(),
-		SpillBytes:     db.totals.spillBytes.Load(),
-		Exhausted:      db.totals.exhausted.Load(),
-		MaxPeak:        db.totals.maxPeak.Load(),
-	}
+	s := db.totals.snapshot()
+	s.Admission = db.admit.Stats()
+	return s
 }
 
 // FormatBytes renders a byte count human-readably (B, KiB, MiB, GiB).

@@ -1,0 +1,484 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// Telemetry types, re-exported from internal/obs so callers can consume
+// traces and the metrics registry without importing internals.
+type (
+	// Trace is one query's telemetry: its QueryID, the query text, and a
+	// span tree covering parse → rewrite → plan → admission wait →
+	// per-operator execution. Obtain one with WithTrace or Rows.Trace.
+	Trace = obs.Trace
+	// Span is one timed stage of a query inside a Trace.
+	Span = obs.Span
+	// SpanAttr is one key/value annotation on a Span.
+	SpanAttr = obs.Attr
+	// QueryID identifies one query execution, unique within the process.
+	QueryID = obs.QueryID
+	// MetricsRegistry is the DB's metric registry; see DB.Metrics.
+	MetricsRegistry = obs.Registry
+)
+
+// dbMetrics is the DB's metric families, registered once at Open. Hot-path
+// families are pre-resolved into fields (publishing is atomic ops only);
+// components that already keep their own counters — the plan cache, the
+// admission controller, the governance totals — are exposed through
+// func-backed collectors that read those counters at scrape time, so every
+// number has exactly one home and nothing is double counted.
+type dbMetrics struct {
+	reg *obs.Registry
+
+	queries    *obs.CounterVec   // repro_queries_total{outcome}
+	queryDur   *obs.HistogramVec // repro_query_seconds{outcome}
+	parseDur   *obs.Histogram    // repro_parse_seconds
+	rewriteDur *obs.Histogram    // repro_rewrite_seconds
+	planDur    *obs.Histogram    // repro_plan_seconds
+	admitWait  *obs.Histogram    // repro_admission_wait_seconds
+	peakBytes  *obs.Histogram    // repro_query_peak_bytes
+
+	opRows    *obs.CounterVec // repro_operator_rows_total{op}
+	opBatches *obs.CounterVec // repro_operator_batches_total{op}
+	evalOps   *obs.CounterVec // repro_eval_operators_total{mode}
+
+	spillRuns  *obs.Counter // repro_spill_runs_total
+	spillBytes *obs.Counter // repro_spill_bytes_total
+	spilledQ   *obs.Counter // repro_spilled_queries_total
+	slowQ      *obs.Counter // repro_slow_queries_total
+}
+
+// newDBMetrics builds the registry for one DB and wires the func-backed
+// collectors to the DB's existing counters.
+func newDBMetrics(db *DB) *dbMetrics {
+	r := obs.NewRegistry()
+	m := &dbMetrics{
+		reg:     r,
+		queries: r.CounterVec("repro_queries_total", "Governed query executions by outcome (ok, canceled, exhausted, overloaded, error).", "outcome"),
+		queryDur: r.HistogramVec("repro_query_seconds", "End-to-end query latency by outcome, admission wait included.",
+			"outcome", obs.DefLatencyBuckets),
+		parseDur:   r.Histogram("repro_parse_seconds", "SQL parse time per plan-cache miss.", obs.DefLatencyBuckets),
+		rewriteDur: r.Histogram("repro_rewrite_seconds", "Cleansing-rewrite time (candidate generation and costing) per plan-cache miss.", obs.DefLatencyBuckets),
+		planDur:    r.Histogram("repro_plan_seconds", "Physical planning time per plan-cache miss.", obs.DefLatencyBuckets),
+		admitWait:  r.Histogram("repro_admission_wait_seconds", "Time spent queued in admission control before execution.", obs.DefLatencyBuckets),
+		peakBytes:  r.Histogram("repro_query_peak_bytes", "Per-query peak charged memory in bytes.", obs.DefBytesBuckets),
+		opRows:     r.CounterVec("repro_operator_rows_total", "Rows produced per operator kind.", "op"),
+		opBatches:  r.CounterVec("repro_operator_batches_total", "Vector-kernel batches processed per operator kind.", "op"),
+		evalOps:    r.CounterVec("repro_eval_operators_total", "Expression-evaluating operator executions by eval mode (vector, row).", "mode"),
+		spillRuns:  r.Counter("repro_spill_runs_total", "External runs / grace partitions written to spill files."),
+		spillBytes: r.Counter("repro_spill_bytes_total", "Bytes written through spill files."),
+		spilledQ:   r.Counter("repro_spilled_queries_total", "Queries in which at least one operator spilled to disk."),
+		slowQ:      r.Counter("repro_slow_queries_total", "Queries at or over the slow-query threshold."),
+	}
+	// Pre-create the outcome children so scrapes show the full label set
+	// from the first query, and the hot path never takes the family mutex.
+	for _, oc := range []string{"ok", "canceled", "exhausted", "overloaded", "error"} {
+		m.queries.With(oc)
+		m.queryDur.With(oc)
+	}
+	r.CounterFunc("repro_plan_cache_hits_total", "Rewrite+plan cache hits.", func() float64 {
+		h, _ := db.cache.counters()
+		return float64(h)
+	})
+	r.CounterFunc("repro_plan_cache_misses_total", "Rewrite+plan cache misses.", func() float64 {
+		_, miss := db.cache.counters()
+		return float64(miss)
+	})
+	r.GaugeFunc("repro_plan_cache_entries", "Plans currently cached.", func() float64 {
+		return float64(db.cache.stats().Entries)
+	})
+	r.GaugeFunc("repro_admission_running", "Queries currently admitted.", func() float64 {
+		return float64(db.admit.Stats().Running)
+	})
+	r.GaugeFunc("repro_admission_waiting", "Queries queued in admission control right now.", func() float64 {
+		return float64(db.admit.Stats().Waiting)
+	})
+	r.CounterFunc("repro_admission_admitted_total", "Admission decisions that admitted a query.", func() float64 {
+		return float64(db.admit.Stats().Admitted)
+	})
+	r.CounterFunc("repro_admission_rejected_total", "Queries rejected with ErrOverloaded.", func() float64 {
+		return float64(db.admit.Stats().Rejected)
+	})
+	r.GaugeFunc("repro_query_max_peak_bytes", "Largest single-query peak memory observed.", func() float64 {
+		return float64(db.totals.snapshot().MaxPeak)
+	})
+	return m
+}
+
+// outcomeOf classifies a finished query for the outcome-labeled metrics.
+// Classification order matters: an exhausted query under a deadline should
+// still count as exhausted, so governance sentinels are checked first.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrResourceExhausted):
+		return "exhausted"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// qtel carries one query's telemetry through the serving path: the metric
+// families to publish into, and the trace under construction when the
+// caller asked for one (WithTrace) or the slow-query log needs spans.
+//
+// A nil *qtel disables telemetry for the query — every method is nil-safe
+// — which is how WithoutTelemetry and internal executions (DryRunRule's
+// sub-queries) opt out without branching at every call site.
+type qtel struct {
+	db    *dbTelemetry
+	m     *dbMetrics
+	start time.Time
+	trace *obs.Trace
+	hook  func(*Trace)
+
+	cacheHit bool
+	mem      MemStats
+}
+
+// dbTelemetry is the DB's observability state: the registry-backed metric
+// families, the optional slow-query log, and the optional metrics
+// listener. It is nil on a DB opened with WithoutTelemetry.
+type dbTelemetry struct {
+	metrics *dbMetrics
+
+	slowThreshold time.Duration
+	slowLogger    *slog.Logger
+
+	srv      *http.Server
+	lis      net.Listener
+	addrErr  error
+	wantAddr string
+}
+
+// startQuery opens one query's telemetry. It returns nil when telemetry
+// is off. A trace (span tree) is built only when the query asked for one
+// or the slow-query log will want spans; metrics publish either way.
+func (db *DB) startQuery(sql string, o *queryOpts) *qtel {
+	t := db.tel
+	if t == nil {
+		return nil
+	}
+	q := &qtel{db: t, m: t.metrics, start: time.Now(), hook: o.traceHook}
+	if o.traceSet || t.slowLogger != nil {
+		q.trace = obs.NewTrace(obs.NextQueryID(), sql)
+		q.trace.Root.Start = q.start
+	}
+	return q
+}
+
+// noteAdmit records the admission wait, as a histogram sample and (in a
+// trace) an "admission-wait" span.
+func (q *qtel) noteAdmit(start time.Time, d time.Duration) {
+	if q == nil {
+		return
+	}
+	q.m.admitWait.Observe(d.Seconds())
+	if q.trace != nil {
+		q.trace.Root.AddChild(&obs.Span{Name: "admission-wait", Start: start, Dur: d})
+	}
+}
+
+// notePhases records compilation-stage timings. On a plan-cache miss the
+// rewriter's measured parse/rewrite/plan phases become histogram samples
+// and trace spans; on a hit compilation was skipped entirely, so the trace
+// gets a single "plan-cache" span instead and no phase histograms move.
+func (q *qtel) notePhases(ph core.Phases, cacheHit bool, at time.Time) {
+	if q == nil {
+		return
+	}
+	q.cacheHit = cacheHit
+	if cacheHit {
+		if q.trace != nil {
+			sp := &obs.Span{Name: "plan-cache", Start: at}
+			sp.SetAttr("hit", "true")
+			q.trace.Root.AddChild(sp)
+		}
+		return
+	}
+	q.m.parseDur.Observe(ph.Parse.Seconds())
+	q.m.rewriteDur.Observe(ph.Rewrite.Seconds())
+	q.m.planDur.Observe(ph.Plan.Seconds())
+	if q.trace != nil {
+		// The three phases ran back to back inside the rewriter; their
+		// spans are laid out sequentially from the rewrite start.
+		start := at
+		for _, p := range []struct {
+			name string
+			d    time.Duration
+		}{{"parse", ph.Parse}, {"rewrite", ph.Rewrite}, {"plan", ph.Plan}} {
+			q.trace.Root.AddChild(&obs.Span{Name: p.name, Start: start, Dur: p.d})
+			start = start.Add(p.d)
+		}
+	}
+}
+
+// notePrepared marks a Prepared.Run execution: compilation happened at
+// Prepare time, so the trace gets a zero-duration "prepared" span in the
+// compile position and no phase histograms move. hit is the plan-cache
+// status the statement was prepared with.
+func (q *qtel) notePrepared(hit bool) {
+	if q == nil {
+		return
+	}
+	q.cacheHit = hit
+	if q.trace != nil {
+		q.trace.Root.AddChild(&obs.Span{Name: "prepared", Start: time.Now()})
+	}
+}
+
+// noteExec publishes per-operator metrics from an execution's recorded
+// NodeStats and, in a trace, builds the operator span subtree under an
+// "execute" span mirroring the plan tree.
+//
+// Metrics iterate the stats snapshot — one entry per distinct plan node —
+// so a shared subtree (a CTE referenced from several tree positions)
+// counts its rows once. The span tree instead mirrors the plan shape, so
+// a shared node appears at every position it is referenced from, with a
+// cached=N attribute past the first execution.
+func (q *qtel) noteExec(plan exec.Node, ectx *exec.Ctx, start time.Time, d time.Duration) {
+	if q == nil {
+		return
+	}
+	snap := ectx.StatsSnapshot()
+	for n, st := range snap {
+		kind := exec.Kind(n)
+		q.m.opRows.With(kind).Add(int64(st.Rows))
+		if st.Batches > 0 {
+			q.m.opBatches.With(kind).Add(int64(st.Batches))
+		}
+		if st.EvalMode != "" {
+			q.m.evalOps.With(st.EvalMode).Inc()
+		}
+	}
+	if q.trace != nil {
+		ex := &obs.Span{Name: "execute", Start: start, Dur: d}
+		ex.AddChild(operatorSpan(plan, snap))
+		q.trace.Root.AddChild(ex)
+	}
+}
+
+// operatorSpan converts one plan subtree plus its recorded stats into a
+// span subtree. Span names are the operators' EXPLAIN labels, so a trace
+// lines up 1:1 with the EXPLAIN / EXPLAIN ANALYZE printout of the same
+// plan.
+func operatorSpan(n exec.Node, stats map[exec.Node]*exec.NodeStats) *obs.Span {
+	sp := &obs.Span{Name: n.Label()}
+	if st := stats[n]; st != nil {
+		sp.Start, sp.Dur = st.Start, st.Elapsed
+		sp.SetAttr("op", exec.Kind(n))
+		sp.SetAttr("rows", strconv.Itoa(st.Rows))
+		if st.Workers > 1 {
+			sp.SetAttr("workers", strconv.Itoa(st.Workers))
+		}
+		if st.EvalMode != "" {
+			sp.SetAttr("eval", st.EvalMode)
+			if st.EvalMode == "vector" {
+				sp.SetAttr("batches", strconv.Itoa(st.Batches))
+			}
+		}
+		if st.SpillRuns > 0 {
+			sp.SetAttr("spilled", strconv.Itoa(st.SpillRuns))
+			sp.SetAttr("spill_bytes", strconv.FormatInt(st.SpillBytes, 10))
+		}
+		if st.Hits > 0 {
+			sp.SetAttr("cached", strconv.Itoa(st.Hits))
+		}
+	}
+	for _, c := range n.Children() {
+		sp.AddChild(operatorSpan(c, stats))
+	}
+	return sp
+}
+
+// noteMem records the query's final memory accounting for finish.
+func (q *qtel) noteMem(m MemStats) {
+	if q == nil {
+		return
+	}
+	q.mem = m
+}
+
+// finish closes the query's telemetry: outcome and latency metrics, spill
+// and memory accounting, the slow-query log, and trace delivery (to the
+// WithTrace hook and, on success, the Rows). It is called exactly once
+// per observed query, on every exit path.
+func (q *qtel) finish(rows *Rows, err error) {
+	if q == nil {
+		return
+	}
+	dur := time.Since(q.start)
+	oc := outcomeOf(err)
+	q.m.queries.With(oc).Inc()
+	q.m.queryDur.With(oc).Observe(dur.Seconds())
+	if q.mem.Peak > 0 || oc == "ok" {
+		q.m.peakBytes.Observe(float64(q.mem.Peak))
+	}
+	if q.mem.Spilled() {
+		q.m.spilledQ.Inc()
+		q.m.spillRuns.Add(q.mem.SpillRuns)
+		q.m.spillBytes.Add(q.mem.SpillBytes)
+	}
+	if q.trace != nil {
+		q.trace.Root.Dur = dur
+		q.trace.Root.SetAttr("outcome", oc)
+		if rows != nil {
+			rows.trace = q.trace
+		}
+	}
+	if lg := q.db.slowLogger; lg != nil && dur >= q.db.slowThreshold {
+		q.m.slowQ.Inc()
+		attrs := []slog.Attr{
+			slog.String("query_id", q.trace.QueryID.String()),
+			slog.String("sql", q.trace.SQL),
+			slog.Duration("duration", dur),
+			slog.String("outcome", oc),
+			slog.Bool("plan_cache_hit", q.cacheHit),
+			slog.Int64("peak_bytes", q.mem.Peak),
+			slog.Int64("spill_runs", q.mem.SpillRuns),
+		}
+		for i, sp := range q.trace.SlowestSpans(3) {
+			attrs = append(attrs, slog.String(
+				fmt.Sprintf("span_%d", i+1),
+				fmt.Sprintf("%s=%s", sp.Name, sp.Exclusive().Round(time.Microsecond)),
+			))
+		}
+		lg.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+	}
+	if q.hook != nil {
+		q.hook(q.trace)
+	}
+}
+
+// WithTrace collects a structured trace for this query: a span tree
+// covering parse, rewrite, plan (or the plan-cache hit), the admission
+// wait, and every operator of the executed plan with its rows, workers,
+// eval mode, and spill activity. If hook is non-nil it receives the trace
+// when the query finishes — on failure too, which a Rows-based reader
+// never sees. A nil hook just collects; read the trace from Rows.Trace.
+// The option is ignored on a DB opened with WithoutTelemetry.
+func WithTrace(hook func(*Trace)) QueryOption {
+	return func(o *queryOpts) { o.traceHook, o.traceSet = hook, true }
+}
+
+// Trace returns the query's structured trace, or nil when none was
+// collected (no WithTrace option and no slow-query log configured).
+func (r *Rows) Trace() *Trace { return r.trace }
+
+// WithoutTelemetry opens the DB with observability disabled: no metric
+// families are registered, queries collect no per-operator statistics,
+// and WithTrace is ignored. The telemetry-overhead benchmark uses it as
+// its baseline; servers should leave telemetry on.
+func WithoutTelemetry() Option {
+	return func(c *dbConfig) { c.noTelemetry = true }
+}
+
+// WithMetricsAddr serves the DB's metrics on addr (e.g. ":9090" or
+// "127.0.0.1:0") from a background listener, Prometheus text format at
+// every path, JSON with ?format=json. The listener starts at Open and
+// stops at Close; MetricsAddr reports the bound address. A listen failure
+// does not fail Open — it is reported by MetricsAddr instead, so a DB is
+// usable even when its metrics port is taken.
+func WithMetricsAddr(addr string) Option {
+	return func(c *dbConfig) { c.metricsAddr = addr }
+}
+
+// WithSlowQueryLog logs every query at or over threshold to logger: the
+// query text and ID, outcome, plan-cache status, peak memory, spill runs,
+// and the three slowest spans by self time. A zero threshold logs every
+// query. The log rides on tracing, so slow queries carry full span trees
+// even without WithTrace.
+func WithSlowQueryLog(threshold time.Duration, logger *slog.Logger) Option {
+	return func(c *dbConfig) { c.slowThreshold, c.slowLogger = threshold, logger }
+}
+
+// applyTelemetry assembles the DB's observability state from its Open
+// options: the metric registry (unless disabled) and, when requested, the
+// slow-query log and the background metrics listener.
+func applyTelemetry(db *DB, c *dbConfig) {
+	if c.noTelemetry {
+		return
+	}
+	t := &dbTelemetry{
+		metrics:       newDBMetrics(db),
+		slowThreshold: c.slowThreshold,
+		slowLogger:    c.slowLogger,
+		wantAddr:      c.metricsAddr,
+	}
+	db.tel = t
+	if c.metricsAddr == "" {
+		return
+	}
+	lis, err := net.Listen("tcp", c.metricsAddr)
+	if err != nil {
+		t.addrErr = err
+		return
+	}
+	t.lis = lis
+	t.srv = &http.Server{Handler: t.metrics.reg.Handler()}
+	go func() { _ = t.srv.Serve(lis) }()
+}
+
+// Metrics returns the DB's metric registry, or nil when the DB was opened
+// with WithoutTelemetry. Callers may register their own families on it;
+// they appear in every exposition alongside the engine's.
+func (db *DB) Metrics() *MetricsRegistry {
+	if db.tel == nil {
+		return nil
+	}
+	return db.tel.metrics.reg
+}
+
+// MetricsHandler returns an http.Handler exposing the DB's metrics —
+// Prometheus text format by default, JSON with ?format=json — for mounting
+// on a caller-owned mux. It works with or without WithMetricsAddr. On a
+// DB opened WithoutTelemetry the handler serves 404.
+func (db *DB) MetricsHandler() http.Handler {
+	if db.tel == nil {
+		return http.NotFoundHandler()
+	}
+	return db.tel.metrics.reg.Handler()
+}
+
+// MetricsAddr reports the address the background metrics listener bound
+// (useful with "127.0.0.1:0"), or the error that kept it from starting.
+// Without WithMetricsAddr both returns are zero.
+func (db *DB) MetricsAddr() (string, error) {
+	t := db.tel
+	if t == nil || (t.lis == nil && t.addrErr == nil) {
+		return "", nil
+	}
+	if t.addrErr != nil {
+		return "", fmt.Errorf("repro: metrics listener on %q: %w", t.wantAddr, t.addrErr)
+	}
+	return t.lis.Addr().String(), nil
+}
+
+// Close releases the DB's background resources — today, the metrics
+// listener started by WithMetricsAddr. A DB without one closes as a
+// no-op; Close is safe to call on every DB.
+func (db *DB) Close() error {
+	t := db.tel
+	if t == nil || t.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return t.srv.Shutdown(ctx)
+}
