@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak bench bench-all bench-serving clean
+.PHONY: all build vet test race verify soak bench bench-all bench-serving serve-smoke clean
 
 all: verify
 
@@ -49,6 +49,13 @@ bench:
 # Every benchmark, including the full paper-figure grid (slow).
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serving smoke: boots rfidserve on a random port, drives it with the
+# rfidbench load generator (open-loop arrivals), asserts zero 5xx and a
+# live /metrics scrape, then SIGTERM-drains it cleanly. The service-level
+# result (served QPS, p50/p95/p99 latency) lands in BENCH_PR6.json.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Just the serving-layer benchmarks: cache amortization + parallel clients.
 bench-serving:

@@ -1,0 +1,140 @@
+// Command rfidserve runs the deferred-cleansing engine as an HTTP query
+// service: JSON queries in, NDJSON row streams out, with per-session
+// prepared statements, admission-control backpressure (429 +
+// Retry-After), health/readiness endpoints, Prometheus metrics, and
+// graceful drain on SIGTERM/SIGINT. docs/WIRE.md documents the protocol.
+//
+//	rfidserve -addr :8080 -scale 10 -max-concurrent 8
+//	curl -s localhost:8080/v1/query -d '{"sql":"SELECT count(*) FROM caser"}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts that use port 0)")
+	dir      = flag.String("dir", "", "restore a database saved with Save from this directory instead of generating a workload")
+	scale    = flag.Int("scale", 4, "RFIDGen scale factor to load when -dir is unset (caseR ≈ scale*1500 rows)")
+	pct      = flag.Int("anomaly-pct", 10, "RFIDGen anomaly percentage")
+	rules    = flag.Bool("paper-rules", true, "register the paper's five cleansing rules after loading the workload")
+
+	maxConc  = flag.Int("max-concurrent", 0, "admission control: max queries executing at once (0 = unlimited)")
+	queue    = flag.Int("admission-queue", -1, "admission wait-queue depth (-1 = 2x max-concurrent)")
+	memLimit = flag.Int64("mem-limit", 0, "default per-query memory budget in bytes (0 = unlimited)")
+	spillDir = flag.String("spill-dir", "", "spill-file directory (default: system temp)")
+
+	sessionIdle  = flag.Duration("session-idle", 5*time.Minute, "evict prepared-statement sessions idle this long")
+	drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on SIGTERM")
+	slowQuery    = flag.Duration("slow-query", 0, "log queries at or over this duration (0 = off)")
+	queryTimeout = flag.Duration("query-timeout", 0, "server-side per-query timeout applied to every request (0 = none)")
+	queryPar     = flag.Int("query-parallelism", 0, "intra-query worker-pool width per request (0 = engine default, the CPU count; set low when -max-concurrent is high — inter-query concurrency is the better use of the cores)")
+)
+
+func main() {
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(log); err != nil {
+		log.Error("rfidserve: fatal", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(log *slog.Logger) error {
+	dbOpts := []repro.Option{
+		repro.WithMaxConcurrent(*maxConc),
+		repro.WithAdmissionQueue(*queue),
+		repro.WithDefaultMemoryLimit(*memLimit),
+		repro.WithSpillDir(*spillDir),
+	}
+	if *slowQuery > 0 {
+		dbOpts = append(dbOpts, repro.WithSlowQueryLog(*slowQuery, log))
+	}
+
+	var db *repro.DB
+	var err error
+	if *dir != "" {
+		if db, err = repro.OpenDir(*dir, dbOpts...); err != nil {
+			return fmt.Errorf("open %s: %w", *dir, err)
+		}
+		log.Info("restored database", "dir", *dir)
+	} else {
+		db = repro.Open(dbOpts...)
+		start := time.Now()
+		if err := db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: *scale, AnomalyPct: *pct}); err != nil {
+			return fmt.Errorf("load workload: %w", err)
+		}
+		if *rules {
+			names, err := db.DefinePaperRules()
+			if err != nil {
+				return fmt.Errorf("define rules: %w", err)
+			}
+			log.Info("rules registered", "rules", names)
+		}
+		log.Info("workload loaded", "scale", *scale, "anomaly_pct", *pct, "elapsed", time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := serve.New(serve.Config{
+		DB:                 db,
+		Logger:             log,
+		SessionIdleTimeout: *sessionIdle,
+		DrainTimeout:       *drainWait,
+		QueryOptions:       serverQueryOptions(),
+	})
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()), 0o644); err != nil {
+			return fmt.Errorf("write addr-file: %w", err)
+		}
+	}
+	fmt.Printf("rfidserve: listening on %s\n", bound)
+	log.Info("listening", "addr", bound.String())
+
+	// SIGTERM/SIGINT → graceful drain: /readyz flips to 503, new queries
+	// get 503 draining, in-flight queries finish (up to -drain-timeout).
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	drained := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		log.Info("draining", "signal", sig.String(), "timeout", drainWait.String())
+		drained <- srv.Drain(context.Background())
+	}()
+
+	if err := srv.Serve(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-drained; err != nil {
+		return fmt.Errorf("drain abandoned in-flight queries: %w", err)
+	}
+	log.Info("exit: drained cleanly")
+	return nil
+}
+
+func serverQueryOptions() []repro.QueryOption {
+	var opts []repro.QueryOption
+	if *queryTimeout > 0 {
+		opts = append(opts, repro.WithTimeout(*queryTimeout))
+	}
+	if *queryPar > 0 {
+		opts = append(opts, repro.WithParallelism(*queryPar))
+	}
+	return opts
+}

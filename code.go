@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"context"
+	"errors"
+)
+
+// Stable error codes returned by Code. They are part of the wire protocol
+// (docs/WIRE.md): the HTTP front end maps them onto status codes and puts
+// them in every JSON error body, so clients branch on the code and never
+// parse error strings.
+const (
+	// CodeNoTable: the query references a table the catalog doesn't hold.
+	CodeNoTable = "no_table"
+	// CodeUnknownRule: a WithRules name (or DryRunRule argument) is not a
+	// registered cleansing rule.
+	CodeUnknownRule = "unknown_rule"
+	// CodeCanceled: the query was stopped by its context — canceled by the
+	// caller (a dropped client connection, in the server) or past its
+	// deadline (WithTimeout or a context deadline).
+	CodeCanceled = "canceled"
+	// CodeOverloaded: admission control rejected the query — the
+	// concurrency limit was reached and the wait queue was full. The
+	// condition is transient; retrying after a backoff is correct.
+	CodeOverloaded = "overloaded"
+	// CodeResourceExhausted: the query crossed its memory budget with
+	// spilling disabled (or in an operator with no spill path).
+	CodeResourceExhausted = "resource_exhausted"
+	// CodeInternal: an execution worker panicked. Only this query failed;
+	// the engine remains healthy.
+	CodeInternal = "internal"
+	// CodeInvalid: every other failure — parse errors, semantic errors
+	// (unknown columns, malformed rules), infeasible rewrites. The request
+	// itself is wrong; retrying unchanged cannot succeed.
+	CodeInvalid = "invalid"
+)
+
+// Code classifies err into a stable, machine-readable code string derived
+// from the package's sentinel errors. It returns "" for nil.
+//
+// Classification order mirrors outcomeOf in telemetry.go: governance
+// sentinels win over cancellation, so a query that exhausted its budget
+// while its deadline expired still reports resource_exhausted.
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrNoTable):
+		return CodeNoTable
+	case errors.Is(err, ErrUnknownRule):
+		return CodeUnknownRule
+	case errors.Is(err, ErrResourceExhausted):
+		return CodeResourceExhausted
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrInternal):
+		return CodeInternal
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	default:
+		return CodeInvalid
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/enginerr"
 	"repro/internal/plan"
 	"repro/internal/sqlast"
 	"repro/internal/sqlts"
@@ -317,7 +318,7 @@ func (rw *Rewriter) columnsOf(name string) ([]string, error) {
 		}
 		return names, nil
 	}
-	return nil, fmt.Errorf("core: unknown table %q", name)
+	return nil, fmt.Errorf("core: %w: %q", enginerr.ErrNoTable, name)
 }
 
 // skeyInterval extracts the closed interval (in microseconds) implied by

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/enginerr"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlast"
@@ -127,7 +128,7 @@ func (rw *Rewriter) resolveRules(stmt sqlast.Stmt, ruleNames []string) ([]*Regis
 		for _, n := range ruleNames {
 			reg, ok := rw.Registry.Rule(n)
 			if !ok {
-				return nil, fmt.Errorf("core: unknown rule %q", n)
+				return nil, fmt.Errorf("core: %w: %q", enginerr.ErrUnknownRule, n)
 			}
 			table = reg.Rule.On
 		}

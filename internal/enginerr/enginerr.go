@@ -1,0 +1,18 @@
+// Package enginerr holds sentinel errors shared between the engine's
+// internal layers (plan, core) and the public facade. The facade
+// re-exports them (repro.ErrNoTable, repro.ErrUnknownRule) so that
+// errors.Is — and therefore repro.Code and the serving layer's wire
+// statuses — classify failures identically whether they surface from
+// catalog lookups in the facade or from name resolution deep inside the
+// planner and rewriter.
+package enginerr
+
+import "errors"
+
+var (
+	// ErrNoTable reports a reference to a table the catalog doesn't hold.
+	ErrNoTable = errors.New("repro: no such table")
+	// ErrUnknownRule reports a reference to a cleansing rule that was
+	// never defined (or was dropped).
+	ErrUnknownRule = errors.New("repro: unknown rule")
+)

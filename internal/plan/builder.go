@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/enginerr"
 	"repro/internal/eval"
 	"repro/internal/exec"
 	"repro/internal/schema"
@@ -229,7 +230,7 @@ func (b *builder) preResolve(te sqlast.TableExpr, scope *cteScope) (*source, err
 			}
 			return src, nil
 		}
-		return nil, fmt.Errorf("plan: unknown table %q", te.Name)
+		return nil, fmt.Errorf("plan: %w: %q", enginerr.ErrNoTable, te.Name)
 	case *sqlast.SubqueryTable:
 		binding := strings.ToLower(te.Alias)
 		src := &source{bindings: []string{binding}, colNames: map[string]bool{}, ast: te}
@@ -420,7 +421,7 @@ func (b *builder) planSource(src *source, conjs []sqlast.Expr, scope *cteScope) 
 			pl = requalify(pl, binding)
 			return b.applyFilter(pl, rest, scope)
 		}
-		return nil, fmt.Errorf("plan: unknown table %q", te.Name)
+		return nil, fmt.Errorf("plan: %w: %q", enginerr.ErrNoTable, te.Name)
 	case *sqlast.SubqueryTable:
 		binding := strings.ToLower(te.Alias)
 		body := sqlast.CloneStmt(te.Query)

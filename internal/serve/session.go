@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// A session is a named bag of prepared statements with an idle deadline.
+// Sessions exist so a client can pay parse+rewrite+plan once and run the
+// statement many times over the wire without re-sending SQL — the
+// HTTP-shaped equivalent of repro.Prepare. A session that goes unused
+// for the table's idle timeout is evicted by the janitor, statements and
+// all; the client gets 404 session_not_found and re-prepares.
+type session struct {
+	id string
+
+	mu       sync.Mutex
+	stmts    map[string]*repro.Prepared
+	stmtSQL  map[string]string
+	lastUsed time.Time
+	nextStmt int
+}
+
+// touch refreshes the idle deadline.
+func (s *session) touch() {
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+}
+
+// addStmt registers a prepared statement under a fresh id ("st-1", …).
+func (s *session) addStmt(p *repro.Prepared, sql string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextStmt++
+	id := fmt.Sprintf("st-%d", s.nextStmt)
+	s.stmts[id] = p
+	s.stmtSQL[id] = sql
+	s.lastUsed = time.Now()
+	return id
+}
+
+// stmt looks one statement up, refreshing the idle deadline on a hit.
+func (s *session) stmt(id string) (*repro.Prepared, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.stmts[id]
+	if ok {
+		s.lastUsed = time.Now()
+	}
+	return p, ok
+}
+
+// statements lists the session's statement ids and SQL.
+func (s *session) statements() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.stmtSQL))
+	for id, sql := range s.stmtSQL {
+		out[id] = sql
+	}
+	return out
+}
+
+// sessionTable owns every live session and runs the eviction janitor.
+type sessionTable struct {
+	idle time.Duration
+
+	mu     sync.Mutex
+	m      map[string]*session
+	nextID int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// newSessionTable starts a table whose janitor evicts sessions idle
+// longer than idle, checking at idle/4 (floored at 10ms so tests can use
+// tiny timeouts without a busy loop).
+func newSessionTable(idle time.Duration) *sessionTable {
+	t := &sessionTable{
+		idle: idle,
+		m:    map[string]*session{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go t.janitor()
+	return t
+}
+
+// create registers a fresh session ("s-1", …).
+func (t *sessionTable) create() *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &session{
+		id:       fmt.Sprintf("s-%d", t.nextID),
+		stmts:    map[string]*repro.Prepared{},
+		stmtSQL:  map[string]string{},
+		lastUsed: time.Now(),
+	}
+	t.m[s.id] = s
+	return s
+}
+
+// get looks a session up without touching its idle deadline (statement
+// lookups do that, so a miss on the statement still refreshes the
+// session the client clearly believes in).
+func (t *sessionTable) get(id string) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	return s, ok
+}
+
+// drop removes a session; it reports whether one existed.
+func (t *sessionTable) drop(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.m[id]
+	delete(t.m, id)
+	return ok
+}
+
+// count reports live sessions.
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// close stops the janitor. Live sessions stay readable (drain keeps
+// serving in-flight runs) but nothing evicts them anymore; the table is
+// dropped with the server.
+func (t *sessionTable) close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}
+
+func (t *sessionTable) janitor() {
+	defer close(t.done)
+	tick := max(t.idle/4, 10*time.Millisecond)
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.evictIdle(time.Now())
+		}
+	}
+}
+
+// evictIdle removes every session whose last use is older than the idle
+// timeout, returning how many went.
+func (t *sessionTable) evictIdle(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, s := range t.m {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > t.idle {
+			delete(t.m, id)
+			n++
+		}
+	}
+	return n
+}

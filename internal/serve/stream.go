@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// The streaming result format is newline-delimited JSON (NDJSON,
+// Content-Type application/x-ndjson) over chunked transfer encoding:
+//
+//	{"query_id":"q-00000007","columns":["site","c"]}
+//	{"rows":[["dc-3",120],["dc-1",98]]}
+//	{"rows":[["dc-0",41]]}
+//	{"status":"ok","row_count":3,"strategy":"expanded","cache_hit":true,"elapsed_ms":4.21}
+//
+// The writer flushes after the header and after every row chunk, so a
+// client sees the first rows while later chunks are still being encoded
+// and a large result never occupies one contiguous response buffer on
+// the server. The terminal object always carries "status"; a client that
+// never sees one knows the stream was cut. docs/WIRE.md specifies the
+// format in full.
+
+// streamHeader is the first NDJSON object of a result stream.
+type streamHeader struct {
+	QueryID string   `json:"query_id"`
+	Columns []string `json:"columns"`
+}
+
+// streamChunk carries one batch of rows.
+type streamChunk struct {
+	Rows [][]any `json:"rows"`
+}
+
+// streamFooter terminates a successful stream.
+type streamFooter struct {
+	Status    string  `json:"status"` // always "ok"
+	RowCount  int     `json:"row_count"`
+	Strategy  string  `json:"strategy"`
+	CacheHit  bool    `json:"cache_hit"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorBody is the JSON body of every error response — and, when the
+// failure happens after the stream header was written, the terminal
+// NDJSON object of the stream.
+type errorBody struct {
+	Status  string `json:"status"` // always "error"
+	Code    string `json:"code"`
+	Error   string `json:"error"`
+	QueryID string `json:"query_id,omitempty"`
+}
+
+// encodeValue maps one engine value onto its JSON representation:
+// NULL→null, BOOL→bool, INT→number, FLOAT→number, STRING→string,
+// TIME→RFC3339Nano string (UTC), INTERVAL→microseconds as a number.
+func encodeValue(v repro.Value) any {
+	switch v.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return v.Bool()
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	case types.KindString:
+		return v.Str()
+	case types.KindTime:
+		return time.UnixMicro(v.TimeUsec()).UTC().Format(time.RFC3339Nano)
+	case types.KindInterval:
+		return v.IntervalUsec()
+	default:
+		return v.String()
+	}
+}
+
+// writeNDJSON encodes one object followed by a newline and flushes when
+// the writer supports it.
+func writeNDJSON(w http.ResponseWriter, obj any) error {
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+// streamRows writes a materialized result as an NDJSON stream, chunkRows
+// rows per chunk. Write errors (the client hung up mid-stream) abort the
+// stream silently — there is no one left to tell.
+func streamRows(w http.ResponseWriter, qid obs.QueryID, rows *repro.Rows, chunkRows int, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Query-Id", qid.String())
+	if err := writeNDJSON(w, streamHeader{QueryID: qid.String(), Columns: rows.Columns}); err != nil {
+		return
+	}
+	for off := 0; off < len(rows.Data); off += chunkRows {
+		end := min(off+chunkRows, len(rows.Data))
+		chunk := streamChunk{Rows: make([][]any, 0, end-off)}
+		for _, r := range rows.Data[off:end] {
+			enc := make([]any, len(r))
+			for i, v := range r {
+				enc[i] = encodeValue(v)
+			}
+			chunk.Rows = append(chunk.Rows, enc)
+		}
+		if err := writeNDJSON(w, chunk); err != nil {
+			return
+		}
+	}
+	_ = writeNDJSON(w, streamFooter{
+		Status:    "ok",
+		RowCount:  len(rows.Data),
+		Strategy:  rows.Rewrite.Strategy.String(),
+		CacheHit:  rows.Rewrite.CacheHit,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	})
+}

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/enginerr"
 	"repro/internal/exec"
 	"repro/internal/govern"
 	"repro/internal/persist"
@@ -109,12 +110,14 @@ func NewInterval(d time.Duration) Value { return types.NewIntervalFrom(d) }
 var Null = types.Null
 
 // Sentinel errors, matchable with errors.Is. Methods wrap them with the
-// offending name, e.g. `repro: no such table: "caser"`.
+// offending name, e.g. `repro: no such table: "caser"`. ErrNoTable and
+// ErrUnknownRule live in internal/enginerr so the planner and rewriter
+// wrap the same values when name resolution fails mid-query.
 var (
 	// ErrNoTable reports a reference to a table the catalog doesn't hold.
-	ErrNoTable = errors.New("repro: no such table")
+	ErrNoTable = enginerr.ErrNoTable
 	// ErrUnknownRule reports a reference to an unregistered cleansing rule.
-	ErrUnknownRule = errors.New("repro: unknown rule")
+	ErrUnknownRule = enginerr.ErrUnknownRule
 	// ErrCanceled reports a query aborted by its context — canceled or past
 	// its deadline. The context's own error is wrapped too, so both
 	// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) (or
@@ -257,10 +260,11 @@ type dbConfig struct {
 	spillDir      string
 
 	// Observability options (see telemetry.go).
-	noTelemetry   bool
-	metricsAddr   string
-	slowThreshold time.Duration
-	slowLogger    *slog.Logger
+	noTelemetry    bool
+	metricsAddr    string
+	slowThreshold  time.Duration
+	slowLogger     *slog.Logger
+	latencyBuckets []float64
 }
 
 // WithMaxConcurrent bounds how many queries execute at once; further
@@ -724,6 +728,16 @@ func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts, tel *qt
 
 // Rewrite returns the rewritten SQL without executing it.
 func (db *DB) Rewrite(sql string, opts ...QueryOption) (RewriteInfo, error) {
+	return db.RewriteContext(context.Background(), sql, opts...)
+}
+
+// RewriteContext is Rewrite governed by a context. Rewriting is not
+// interruptible, but the context is checked before work starts, so a
+// server can skip compiling for a client that already hung up.
+func (db *DB) RewriteContext(ctx context.Context, sql string, opts ...QueryOption) (RewriteInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return RewriteInfo{}, wrapCanceled(err)
+	}
 	o := applyOpts(opts)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -946,8 +960,19 @@ func newRows(out *exec.Result, inf RewriteInfo) *Rows {
 // statistics. Rules that create columns via MODIFY are rejected (the
 // destination keeps the source schema).
 func (db *DB) MaterializeCleansed(source, dest string, ruleNames ...string) (int, error) {
+	return db.MaterializeCleansedContext(context.Background(), source, dest, ruleNames...)
+}
+
+// MaterializeCleansedContext is MaterializeCleansed governed by a
+// context: the cleansing run cancels cooperatively mid-operator, and
+// nothing is stored on cancellation. The failure matches ErrCanceled and
+// the context's own error.
+func (db *DB) MaterializeCleansedContext(ctx context.Context, source, dest string, ruleNames ...string) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, wrapCanceled(err)
+	}
 	src, ok := db.Catalog.Table(source)
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, source)
@@ -963,9 +988,9 @@ func (db *DB) MaterializeCleansed(source, dest string, ruleNames ...string) (int
 	if err != nil {
 		return 0, err
 	}
-	out, err := exec.Run(exec.NewCtx(), res.Plan)
+	out, err := exec.Run(exec.NewCtxWith(ctx), res.Plan)
 	if err != nil {
-		return 0, err
+		return 0, wrapCanceled(err)
 	}
 	dst := storage.NewTable(dest, src.Schema.WithQualifier(dest))
 	for _, r := range out.Rows {
@@ -1007,6 +1032,15 @@ type RuleEffect struct {
 // reports the effect without touching stored data. The sample slices are
 // capped at limit entries each.
 func (db *DB) DryRunRule(ruleName string, limit int) (*RuleEffect, error) {
+	return db.DryRunRuleContext(context.Background(), ruleName, limit)
+}
+
+// DryRunRuleContext is DryRunRule governed by a context: both internal
+// cleansing executions cancel cooperatively mid-operator.
+func (db *DB) DryRunRuleContext(ctx context.Context, ruleName string, limit int) (*RuleEffect, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(err)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	reg, ok := db.Registry.Rule(ruleName)
@@ -1018,11 +1052,11 @@ func (db *DB) DryRunRule(ruleName string, limit int) (*RuleEffect, error) {
 		return nil, err
 	}
 	colList := strings.Join(inCols, ", ")
-	rawRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.From, applyOpts([]QueryOption{WithStrategy(Dirty)}), nil)
+	rawRows, err := db.queryLocked(ctx, "SELECT "+colList+" FROM "+reg.Rule.From, applyOpts([]QueryOption{WithStrategy(Dirty)}), nil)
 	if err != nil {
 		return nil, err
 	}
-	cleanRows, err := db.queryLocked(context.Background(), "SELECT "+colList+" FROM "+reg.Rule.On, applyOpts([]QueryOption{WithStrategy(Naive), WithRules(ruleName)}), nil)
+	cleanRows, err := db.queryLocked(ctx, "SELECT "+colList+" FROM "+reg.Rule.On, applyOpts([]QueryOption{WithStrategy(Naive), WithRules(ruleName)}), nil)
 	if err != nil {
 		return nil, err
 	}

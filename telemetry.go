@@ -60,18 +60,22 @@ type dbMetrics struct {
 }
 
 // newDBMetrics builds the registry for one DB and wires the func-backed
-// collectors to the DB's existing counters.
-func newDBMetrics(db *DB) *dbMetrics {
+// collectors to the DB's existing counters. latency overrides the bucket
+// bounds of every latency histogram; nil means obs.DefLatencyBuckets.
+func newDBMetrics(db *DB, latency []float64) *dbMetrics {
+	if latency == nil {
+		latency = obs.DefLatencyBuckets
+	}
 	r := obs.NewRegistry()
 	m := &dbMetrics{
 		reg:     r,
 		queries: r.CounterVec("repro_queries_total", "Governed query executions by outcome (ok, canceled, exhausted, overloaded, error).", "outcome"),
 		queryDur: r.HistogramVec("repro_query_seconds", "End-to-end query latency by outcome, admission wait included.",
-			"outcome", obs.DefLatencyBuckets),
-		parseDur:   r.Histogram("repro_parse_seconds", "SQL parse time per plan-cache miss.", obs.DefLatencyBuckets),
-		rewriteDur: r.Histogram("repro_rewrite_seconds", "Cleansing-rewrite time (candidate generation and costing) per plan-cache miss.", obs.DefLatencyBuckets),
-		planDur:    r.Histogram("repro_plan_seconds", "Physical planning time per plan-cache miss.", obs.DefLatencyBuckets),
-		admitWait:  r.Histogram("repro_admission_wait_seconds", "Time spent queued in admission control before execution.", obs.DefLatencyBuckets),
+			"outcome", latency),
+		parseDur:   r.Histogram("repro_parse_seconds", "SQL parse time per plan-cache miss.", latency),
+		rewriteDur: r.Histogram("repro_rewrite_seconds", "Cleansing-rewrite time (candidate generation and costing) per plan-cache miss.", latency),
+		planDur:    r.Histogram("repro_plan_seconds", "Physical planning time per plan-cache miss.", latency),
+		admitWait:  r.Histogram("repro_admission_wait_seconds", "Time spent queued in admission control before execution.", latency),
 		peakBytes:  r.Histogram("repro_query_peak_bytes", "Per-query peak charged memory in bytes.", obs.DefBytesBuckets),
 		opRows:     r.CounterVec("repro_operator_rows_total", "Rows produced per operator kind.", "op"),
 		opBatches:  r.CounterVec("repro_operator_batches_total", "Vector-kernel batches processed per operator kind.", "op"),
@@ -399,6 +403,22 @@ func WithMetricsAddr(addr string) Option {
 	return func(c *dbConfig) { c.metricsAddr = addr }
 }
 
+// WithHistogramBuckets replaces the bucket bounds of every latency
+// histogram (repro_query_seconds, the parse/rewrite/plan phase
+// histograms, and repro_admission_wait_seconds) with the given strictly
+// ascending upper bounds, in seconds. The default, obs.DefLatencyBuckets,
+// spans 100µs–10s; a server whose SLO lives in a narrower band sets
+// bounds that resolve it (e.g. 1–250ms in fine steps). Open panics on
+// non-ascending or empty bounds — bucket layouts are program constants,
+// so a bad one is a bug, not an input error.
+func WithHistogramBuckets(boundsSeconds []float64) Option {
+	if len(boundsSeconds) == 0 {
+		panic("repro: WithHistogramBuckets requires at least one bound")
+	}
+	bounds := append([]float64(nil), boundsSeconds...)
+	return func(c *dbConfig) { c.latencyBuckets = bounds }
+}
+
 // WithSlowQueryLog logs every query at or over threshold to logger: the
 // query text and ID, outcome, plan-cache status, peak memory, spill runs,
 // and the three slowest spans by self time. A zero threshold logs every
@@ -416,7 +436,7 @@ func applyTelemetry(db *DB, c *dbConfig) {
 		return
 	}
 	t := &dbTelemetry{
-		metrics:       newDBMetrics(db),
+		metrics:       newDBMetrics(db, c.latencyBuckets),
 		slowThreshold: c.slowThreshold,
 		slowLogger:    c.slowLogger,
 		wantAddr:      c.metricsAddr,
