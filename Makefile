@@ -45,6 +45,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkVectorized' -benchmem ./internal/exec/ | tee BENCH_PR3.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSpillOverhead' -benchmem . | tee BENCH_PR4.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 20x -benchmem . | tee BENCH_PR5.json
+	$(GO) test -run '^$$' -bench 'BenchmarkColumnarScan' -benchmem ./internal/exec/ | tee BENCH_PR7.json
 
 # Every benchmark, including the full paper-figure grid (slow).
 bench-all:

@@ -131,7 +131,7 @@ func TestCompensationOnlyForMissingReads(t *testing.T) {
 	// Collect raw case visits.
 	caser, _ := db.Table("caser")
 	haveCase := map[string]bool{}
-	for _, r := range caser.Rows {
+	for _, r := range caser.AllRows() {
 		// Visits are minute-aligned with jitter < 5 min; key by epc+loc.
 		haveCase[r[0].Str()+"|"+r[2].Str()] = true
 	}
@@ -141,7 +141,7 @@ func TestCompensationOnlyForMissingReads(t *testing.T) {
 		rowSet[line] = true
 	}
 	// Every original case read must survive.
-	for _, r := range caser.Rows {
+	for _, r := range caser.AllRows() {
 		key := r[0].Str() + "|" + r[1].String() + "|" + r[2].Str()
 		if !rowSet[key] {
 			t.Errorf("case read lost: %s", key)
@@ -153,7 +153,7 @@ func TestCompensationOnlyForMissingReads(t *testing.T) {
 		key := parts[0] + "|" + parts[2]
 		origKey := line
 		found := false
-		for _, r := range caser.Rows {
+		for _, r := range caser.AllRows() {
 			if r[0].Str()+"|"+r[1].String()+"|"+r[2].Str() == origKey {
 				found = true
 				break

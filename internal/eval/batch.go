@@ -1,11 +1,17 @@
 // Vectorized (batch) expression evaluation. Compile produces a Compiled
 // expression carrying two executable forms: the row-at-a-time closure
 // (Func, unchanged from the original engine) and, for every construct
-// with a vector kernel, a BatchFunc that evaluates a whole morsel of rows
-// per call through a selection vector. Kernels amortize closure dispatch
+// with a vector kernel, a BatchFunc that evaluates a whole morsel per
+// call through a selection vector. Kernels amortize closure dispatch
 // into tight loops; lazy constructs (AND/OR, CASE, COALESCE) keep their
 // short-circuit semantics by narrowing the selection vector instead of
 // branching per row.
+//
+// Kernels read from an Input — either materialized rows or a window of
+// columnar segment vectors (see input.go). Over columnar inputs the hot
+// comparison shapes (column vs literal) run directly on the typed
+// arrays: int64 payloads, float64s, or dictionary codes, with the null
+// bitmap consulted instead of boxing each cell.
 //
 // The contract is strict parity: the batch path returns byte-identical
 // values to the row path, and identical errors. Kernels that hit any
@@ -22,26 +28,29 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/colvec"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/types"
 )
 
-// BatchFunc evaluates an expression for every row position listed in sel,
-// writing the result for row i into out[i]. Positions outside sel are
-// left untouched. out must have at least len(rows) slots. Kernels require
-// a non-nil selection; EvalBatch and TryBatch normalize nil to "all
-// rows". A non-nil error means the batch produced no usable output and
-// the caller must fall back to the row path for exact error reporting.
-type BatchFunc func(rows []schema.Row, out []types.Value, sel []int) error
+// BatchFunc evaluates an expression for every position listed in sel,
+// writing the result for position i into out[i]. Positions outside sel
+// are left untouched. out must have at least in.Len() slots. Kernels
+// require a non-nil selection; EvalBatch and TryBatch normalize nil to
+// "all rows". A non-nil error means the batch produced no usable output
+// and the caller must fall back to the row path for exact error
+// reporting.
+type BatchFunc func(in Input, out []types.Value, sel []int) error
 
 // BoolBatchFunc is the predicate-specialized batch form: it writes one
-// three-valued truth value per selected row into a byte vector. Boolean
-// operators (comparisons, AND/OR/NOT, IS NULL, IN, LIKE) compose through
-// it so a predicate tree never materializes intermediate []types.Value
-// vectors — a tristate costs one byte and no GC write barrier, where a
-// Value costs 48 bytes with pointer fields the collector must track.
-type BoolBatchFunc func(rows []schema.Row, dst []types.Tristate, sel []int) error
+// three-valued truth value per selected position into a byte vector.
+// Boolean operators (comparisons, AND/OR/NOT, IS NULL, IN, LIKE) compose
+// through it so a predicate tree never materializes intermediate
+// []types.Value vectors — a tristate costs one byte and no GC write
+// barrier, where a Value costs 48 bytes with pointer fields the collector
+// must track.
+type BoolBatchFunc func(in Input, dst []types.Tristate, sel []int) error
 
 // Compiled is an executable expression produced by Compile. It is
 // immutable and safe for concurrent use from any number of goroutines;
@@ -52,7 +61,7 @@ type Compiled struct {
 	bbatch  BoolBatchFunc // native tristate kernel for boolean-valued operators
 	isConst bool
 	constV  types.Value
-	isCol   bool // bare column reference; kernels read rows[i][colIdx] in place
+	isCol   bool // bare column reference; kernels read the column in place
 	colIdx  int
 }
 
@@ -78,7 +87,7 @@ func (c *Compiled) EvalBatch(rows []schema.Row, out []types.Value, sel []int) er
 	if sel == nil {
 		sel = identitySel(len(rows))
 	}
-	if c.batch != nil && c.batch(rows, out, sel) == nil {
+	if c.batch != nil && c.batch(RowInput(rows), out, sel) == nil {
 		return nil
 	}
 	for _, i := range sel {
@@ -103,7 +112,7 @@ func (c *Compiled) TryBatch(rows []schema.Row, out []types.Value, sel []int) boo
 	if sel == nil {
 		sel = identitySel(len(rows))
 	}
-	return c.batch(rows, out, sel) == nil
+	return c.batch(RowInput(rows), out, sel) == nil
 }
 
 // FromFunc wraps a raw row closure as a Compiled with no vector kernel;
@@ -172,18 +181,10 @@ func EvalPredicateBatch(c *Compiled, rows []schema.Row, sel []int, dst []int) ([
 	}
 	base := len(dst)
 	if bb := triOf(c); bb != nil {
-		tp := getTri(len(rows))
-		if bb(rows, *tp, sel) == nil {
-			tv := *tp
-			for _, i := range sel {
-				if tv[i] == types.True {
-					dst = append(dst, i)
-				}
-			}
-			putTri(tp)
-			return dst, nil
+		out, ok := tryPredicate(bb, RowInput(rows), sel, dst)
+		if ok {
+			return out, nil
 		}
-		putTri(tp)
 	}
 	for _, i := range sel {
 		ok, err := EvalPredicate(c, rows[i])
@@ -195,6 +196,37 @@ func EvalPredicateBatch(c *Compiled, rows []schema.Row, sel []int, dst []int) ([
 		}
 	}
 	return dst, nil
+}
+
+// TryPredicateCols runs the predicate's vector kernels over a window
+// [off, off+n) of columnar segment vectors, appending the
+// window-relative positions where it evaluates TRUE to dst. It reports
+// false — no kernel, or any kernel error — when the caller must
+// materialize rows and use the row path instead; dst is unchanged in
+// that case.
+func TryPredicateCols(c *Compiled, cols []*colvec.Vec, off, n int, dst []int) ([]int, bool) {
+	bb := triOf(c)
+	if bb == nil {
+		return dst, false
+	}
+	return tryPredicate(bb, ColInput(cols, off, n), identitySel(n), dst)
+}
+
+// tryPredicate runs a tristate kernel over in and appends TRUE positions
+// to dst; ok is false (dst unchanged) on kernel error.
+func tryPredicate(bb BoolBatchFunc, in Input, sel []int, dst []int) ([]int, bool) {
+	tp := getTri(in.n)
+	defer putTri(tp)
+	if bb(in, *tp, sel) != nil {
+		return dst, false
+	}
+	tv := *tp
+	for _, i := range sel {
+		if tv[i] == types.True {
+			dst = append(dst, i)
+		}
+	}
+	return dst, true
 }
 
 // ---- scratch pools ----
@@ -263,7 +295,7 @@ func identitySel(n int) []int {
 // vector, no per-row Value copy, no write barrier — while computed
 // children run their own kernel into pooled scratch exactly once. This
 // is where batching beats the row path: the common rule-expression
-// leaves (column vs literal) cost an index into the row, not a closure
+// leaves (column vs literal) cost an index into the input, not a closure
 // call.
 
 const (
@@ -280,31 +312,31 @@ type opSrc struct {
 	pool *[]types.Value
 }
 
-// bindSrc resolves child c over the selected rows. On error nothing is
-// retained; otherwise the caller must release() the source.
-func bindSrc(c *Compiled, rows []schema.Row, sel []int) (opSrc, error) {
+// bindSrc resolves child c over the selected positions. On error nothing
+// is retained; otherwise the caller must release() the source.
+func bindSrc(c *Compiled, in Input, sel []int) (opSrc, error) {
 	if c.isConst {
 		return opSrc{kind: srcConst, v: c.constV}, nil
 	}
 	if c.isCol {
 		return opSrc{kind: srcCol, idx: c.colIdx}, nil
 	}
-	p := getVec(len(rows))
-	if err := c.batch(rows, *p, sel); err != nil {
+	p := getVec(in.n)
+	if err := c.batch(in, *p, sel); err != nil {
 		putVec(p)
 		return opSrc{}, err
 	}
 	return opSrc{kind: srcVec, vec: *p, pool: p}, nil
 }
 
-// at reads the operand's value for row i; i must be in the selection the
-// source was bound with.
-func (s *opSrc) at(rows []schema.Row, i int) types.Value {
+// at reads the operand's value for position i; i must be in the selection
+// the source was bound with.
+func (s *opSrc) at(in Input, i int) types.Value {
 	switch s.kind {
 	case srcConst:
 		return s.v
 	case srcCol:
-		return rows[i][s.idx]
+		return in.value(i, s.idx)
 	}
 	return s.vec[i]
 }
@@ -324,7 +356,7 @@ func triOf(c *Compiled) BoolBatchFunc {
 	}
 	if c.isConst {
 		cv := c.constV
-		return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
+		return func(in Input, dst []types.Tristate, sel []int) error {
 			t, err := types.TruthOf(cv)
 			if err != nil {
 				return err
@@ -338,14 +370,14 @@ func triOf(c *Compiled) BoolBatchFunc {
 	if c.batch == nil {
 		return nil
 	}
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		s, err := bindSrc(c, rows, sel)
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		s, err := bindSrc(c, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		for _, i := range sel {
-			t, err := types.TruthOf(s.at(rows, i))
+			t, err := types.TruthOf(s.at(in, i))
 			if err != nil {
 				return err
 			}
@@ -358,10 +390,10 @@ func triOf(c *Compiled) BoolBatchFunc {
 // batchFromTri adapts a tristate kernel to the value-batch interface for
 // the occasional context that consumes a predicate's result as a value.
 func batchFromTri(bb BoolBatchFunc) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		tp := getTri(len(rows))
+	return func(in Input, out []types.Value, sel []int) error {
+		tp := getTri(in.n)
 		defer putTri(tp)
-		if err := bb(rows, *tp, sel); err != nil {
+		if err := bb(in, *tp, sel); err != nil {
 			return err
 		}
 		tv := *tp
@@ -382,7 +414,7 @@ func batchFromTri(bb BoolBatchFunc) BatchFunc {
 // fallback restores exact serial error semantics.
 
 func batchConst(v types.Value) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
+	return func(in Input, out []types.Value, sel []int) error {
 		for _, i := range sel {
 			out[i] = v
 		}
@@ -391,9 +423,9 @@ func batchConst(v types.Value) BatchFunc {
 }
 
 func batchColumn(idx int) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
+	return func(in Input, out []types.Value, sel []int) error {
 		for _, i := range sel {
-			out[i] = rows[i][idx]
+			out[i] = in.value(i, idx)
 		}
 		return nil
 	}
@@ -404,8 +436,8 @@ func batchColumn(idx int) BatchFunc {
 // row closure does, expressed as selection-vector narrowing.
 func triAnd(l, r *Compiled) BoolBatchFunc {
 	lb, rb := triOf(l), triOf(r)
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		if err := lb(rows, dst, sel); err != nil {
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		if err := lb(in, dst, sel); err != nil {
 			return err
 		}
 		restp := getSel()
@@ -420,9 +452,9 @@ func triAnd(l, r *Compiled) BoolBatchFunc {
 		if len(rest) == 0 {
 			return nil
 		}
-		rp := getTri(len(rows))
+		rp := getTri(in.n)
 		defer putTri(rp)
-		if err := rb(rows, *rp, rest); err != nil {
+		if err := rb(in, *rp, rest); err != nil {
 			return err
 		}
 		rv := *rp
@@ -435,8 +467,8 @@ func triAnd(l, r *Compiled) BoolBatchFunc {
 
 func triOr(l, r *Compiled) BoolBatchFunc {
 	lb, rb := triOf(l), triOf(r)
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		if err := lb(rows, dst, sel); err != nil {
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		if err := lb(in, dst, sel); err != nil {
 			return err
 		}
 		restp := getSel()
@@ -451,9 +483,9 @@ func triOr(l, r *Compiled) BoolBatchFunc {
 		if len(rest) == 0 {
 			return nil
 		}
-		rp := getTri(len(rows))
+		rp := getTri(in.n)
 		defer putTri(rp)
-		if err := rb(rows, *rp, rest); err != nil {
+		if err := rb(in, *rp, rest); err != nil {
 			return err
 		}
 		rv := *rp
@@ -471,19 +503,19 @@ func triCompare(op sqlast.BinOp, l, r *Compiled) BoolBatchFunc {
 	if l.isConst && r.isCol {
 		return triCmpColConst(op, r.colIdx, l.constV, true)
 	}
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		ls, err := bindSrc(l, rows, sel)
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		ls, err := bindSrc(l, in, sel)
 		if err != nil {
 			return err
 		}
 		defer ls.release()
-		rs, err := bindSrc(r, rows, sel)
+		rs, err := bindSrc(r, in, sel)
 		if err != nil {
 			return err
 		}
 		defer rs.release()
 		for _, i := range sel {
-			a, b := ls.at(rows, i), rs.at(rows, i)
+			a, b := ls.at(in, i), rs.at(in, i)
 			if a.IsNull() || b.IsNull() {
 				dst[i] = types.Unknown
 				continue
@@ -500,49 +532,39 @@ func triCompare(op sqlast.BinOp, l, r *Compiled) BoolBatchFunc {
 
 // triCmpColConst is the dominant rule-expression comparison shape —
 // column versus literal — with the types.Compare switch hoisted out of
-// the loop. flipped means the literal was the left operand.
+// the loop. flipped means the literal was the left operand. Over
+// columnar inputs the typed encodings compare raw int64 payloads, raw
+// float64s, or dictionary codes with no boxing at all.
 func triCmpColConst(op sqlast.BinOp, idx int, cv types.Value, flipped bool) BoolBatchFunc {
 	if cv.IsNull() {
-		return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
+		return func(in Input, dst []types.Tristate, sel []int) error {
 			for _, i := range sel {
 				dst[i] = types.Unknown
 			}
 			return nil
 		}
 	}
-	if cv.Kind() == types.KindInt {
-		cn := cv.Int()
-		return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-			for _, i := range sel {
-				v := rows[i][idx]
-				if v.Kind() == types.KindInt {
-					a, b := v.Int(), cn
-					if flipped {
-						a, b = b, a
-					}
-					dst[i] = types.TristateOf(cmpHoldsInt(op, a, b))
-					continue
-				}
-				if v.IsNull() {
-					dst[i] = types.Unknown
-					continue
-				}
-				a, b := v, cv
+	isInt := cv.Kind() == types.KindInt
+	var cn int64
+	if isInt {
+		cn = cv.Int()
+	}
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		if vec, off := in.vec(idx); vec != nil {
+			if cmpVecConst(op, vec, off, cv, flipped, dst, sel) {
+				return nil
+			}
+		}
+		for _, i := range sel {
+			v := in.value(i, idx)
+			if isInt && v.Kind() == types.KindInt {
+				a, b := v.Int(), cn
 				if flipped {
 					a, b = b, a
 				}
-				c, err := types.Compare(a, b)
-				if err != nil {
-					return err
-				}
-				dst[i] = types.TristateOf(cmpHolds(op, c))
+				dst[i] = types.TristateOf(cmpHoldsInt(op, a, b))
+				continue
 			}
-			return nil
-		}
-	}
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		for _, i := range sel {
-			v := rows[i][idx]
 			if v.IsNull() {
 				dst[i] = types.Unknown
 				continue
@@ -558,6 +580,121 @@ func triCmpColConst(op sqlast.BinOp, idx int, cv types.Value, flipped bool) Bool
 			dst[i] = types.TristateOf(cmpHolds(op, c))
 		}
 		return nil
+	}
+}
+
+// cmpVecConst compares a typed column vector window against a constant
+// directly on the raw arrays, reporting whether the encoding/kind pair
+// was handled. Results are identical to the boxed path: the int64 loop
+// is cmpHoldsInt, the float loop reproduces types.Compare's float
+// semantics (NaN compares "equal" to everything, so NaN rows answer
+// exactly as the row path does), and the dictionary path precomputes one
+// verdict per distinct string.
+func cmpVecConst(op sqlast.BinOp, vec *colvec.Vec, off int, cv types.Value, flipped bool, dst []types.Tristate, sel []int) bool {
+	switch vec.Encoding() {
+	case colvec.EncInt64:
+		k := vec.Kind()
+		if k != cv.Kind() {
+			// Int column vs float literal still has a raw path: the boxed
+			// comparison is float64(int) against the literal's float.
+			if k == types.KindInt && cv.Kind() == types.KindFloat {
+				cmpVecFloatConst(op, vec.Int64s(), nil, vec, off, cv.Float(), flipped, dst, sel)
+				return true
+			}
+			return false
+		}
+		switch k {
+		case types.KindInt, types.KindTime, types.KindInterval, types.KindBool:
+		default:
+			return false
+		}
+		cn := cv.Raw()
+		ints := vec.Int64s()
+		if !vec.HasNulls() {
+			for _, i := range sel {
+				a, b := ints[off+i], cn
+				if flipped {
+					a, b = b, a
+				}
+				dst[i] = types.TristateOf(cmpHoldsInt(op, a, b))
+			}
+			return true
+		}
+		for _, i := range sel {
+			if vec.Null(off + i) {
+				dst[i] = types.Unknown
+				continue
+			}
+			a, b := ints[off+i], cn
+			if flipped {
+				a, b = b, a
+			}
+			dst[i] = types.TristateOf(cmpHoldsInt(op, a, b))
+		}
+		return true
+	case colvec.EncFloat:
+		switch cv.Kind() {
+		case types.KindFloat, types.KindInt:
+			cmpVecFloatConst(op, nil, vec.Floats(), vec, off, cv.Float(), flipped, dst, sel)
+			return true
+		}
+		return false
+	case colvec.EncDict:
+		if cv.Kind() != types.KindString {
+			return false
+		}
+		// One comparison per distinct string, then a code-indexed lookup.
+		dict := vec.Dict()
+		verdict := make([]types.Tristate, len(dict))
+		for c, s := range dict {
+			cmp := strings.Compare(s, cv.Str())
+			if flipped {
+				cmp = -cmp
+			}
+			verdict[c] = types.TristateOf(cmpHolds(op, cmp))
+		}
+		codes := vec.Codes()
+		for _, i := range sel {
+			c := codes[off+i]
+			if c < 0 {
+				dst[i] = types.Unknown
+				continue
+			}
+			dst[i] = verdict[c]
+		}
+		return true
+	}
+	return false
+}
+
+// cmpVecFloatConst runs a float comparison over either a raw float array
+// or a raw int64 array widened per element (exactly what the boxed
+// Compare does for mixed int/float operands).
+func cmpVecFloatConst(op sqlast.BinOp, ints []int64, floats []float64, vec *colvec.Vec, off int, cf float64, flipped bool, dst []types.Tristate, sel []int) {
+	for _, i := range sel {
+		if vec.Null(off + i) {
+			dst[i] = types.Unknown
+			continue
+		}
+		var af float64
+		if floats != nil {
+			af = floats[off+i]
+		} else {
+			af = float64(ints[off+i])
+		}
+		// types.Compare float semantics: only < and > decide; NaN falls
+		// through to 0 ("equal") on both sides.
+		cmp := 0
+		switch {
+		case af < cf:
+			cmp = -1
+		case af > cf:
+			cmp = 1
+		}
+		if flipped {
+			cmp = -cmp
+		}
+		dst[i] = types.TristateOf(cmpHolds(op, cmp))
 	}
 }
 
@@ -585,9 +722,9 @@ func batchArith(aop types.ArithOp, l, r *Compiled) BatchFunc {
 	// Column ⊕ literal (either order) skips operand binding entirely.
 	if l.isCol && r.isConst {
 		idx, cv := l.colIdx, r.constV
-		return func(rows []schema.Row, out []types.Value, sel []int) error {
+		return func(in Input, out []types.Value, sel []int) error {
 			for _, i := range sel {
-				v, err := types.Arith(aop, rows[i][idx], cv)
+				v, err := types.Arith(aop, in.value(i, idx), cv)
 				if err != nil {
 					return err
 				}
@@ -598,9 +735,9 @@ func batchArith(aop types.ArithOp, l, r *Compiled) BatchFunc {
 	}
 	if l.isConst && r.isCol {
 		cv, idx := l.constV, r.colIdx
-		return func(rows []schema.Row, out []types.Value, sel []int) error {
+		return func(in Input, out []types.Value, sel []int) error {
 			for _, i := range sel {
-				v, err := types.Arith(aop, cv, rows[i][idx])
+				v, err := types.Arith(aop, cv, in.value(i, idx))
 				if err != nil {
 					return err
 				}
@@ -609,19 +746,19 @@ func batchArith(aop types.ArithOp, l, r *Compiled) BatchFunc {
 			return nil
 		}
 	}
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		ls, err := bindSrc(l, rows, sel)
+	return func(in Input, out []types.Value, sel []int) error {
+		ls, err := bindSrc(l, in, sel)
 		if err != nil {
 			return err
 		}
 		defer ls.release()
-		rs, err := bindSrc(r, rows, sel)
+		rs, err := bindSrc(r, in, sel)
 		if err != nil {
 			return err
 		}
 		defer rs.release()
 		for _, i := range sel {
-			v, err := types.Arith(aop, ls.at(rows, i), rs.at(rows, i))
+			v, err := types.Arith(aop, ls.at(in, i), rs.at(in, i))
 			if err != nil {
 				return err
 			}
@@ -633,8 +770,8 @@ func batchArith(aop types.ArithOp, l, r *Compiled) BatchFunc {
 
 func triNot(inner *Compiled) BoolBatchFunc {
 	ib := triOf(inner)
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		if err := ib(rows, dst, sel); err != nil {
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		if err := ib(in, dst, sel); err != nil {
 			return err
 		}
 		for _, i := range sel {
@@ -645,14 +782,14 @@ func triNot(inner *Compiled) BoolBatchFunc {
 }
 
 func batchNeg(inner *Compiled) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		s, err := bindSrc(inner, rows, sel)
+	return func(in Input, out []types.Value, sel []int) error {
+		s, err := bindSrc(inner, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		for _, i := range sel {
-			v := s.at(rows, i)
+			v := s.at(in, i)
 			if v.Kind() == types.KindInterval {
 				out[i] = types.NewInterval(-v.IntervalUsec())
 				continue
@@ -668,14 +805,14 @@ func batchNeg(inner *Compiled) BatchFunc {
 }
 
 func triIsNull(inner *Compiled, neg bool) BoolBatchFunc {
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		s, err := bindSrc(inner, rows, sel)
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		s, err := bindSrc(inner, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		for _, i := range sel {
-			dst[i] = types.TristateOf(s.at(rows, i).IsNull() != neg)
+			dst[i] = types.TristateOf(s.at(in, i).IsNull() != neg)
 		}
 		return nil
 	}
@@ -689,8 +826,8 @@ func batchCase(arms []caseArm, elseC *Compiled) BatchFunc {
 	for i, a := range arms {
 		conds[i] = triOf(a.cond)
 	}
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		tp := getTri(len(rows))
+	return func(in Input, out []types.Value, sel []int) error {
+		tp := getTri(in.n)
 		defer putTri(tp)
 		bufA, bufB, matchp := getSel(), getSel(), getSel()
 		defer putSel(bufA)
@@ -703,7 +840,7 @@ func batchCase(arms []caseArm, elseC *Compiled) BatchFunc {
 			if len(rem) == 0 {
 				break
 			}
-			if err := conds[ai](rows, *tp, rem); err != nil {
+			if err := conds[ai](in, *tp, rem); err != nil {
 				return err
 			}
 			tv := *tp
@@ -717,7 +854,7 @@ func batchCase(arms []caseArm, elseC *Compiled) BatchFunc {
 				}
 			}
 			if len(match) > 0 {
-				if err := a.then.batch(rows, out, match); err != nil {
+				if err := a.then.batch(in, out, match); err != nil {
 					return err
 				}
 			}
@@ -729,7 +866,7 @@ func batchCase(arms []caseArm, elseC *Compiled) BatchFunc {
 			return nil
 		}
 		if elseC != nil {
-			return elseC.batch(rows, out, rem)
+			return elseC.batch(in, out, rem)
 		}
 		for _, i := range rem {
 			out[i] = types.Null
@@ -742,15 +879,15 @@ func batchCase(arms []caseArm, elseC *Compiled) BatchFunc {
 // uncorrelated subquery). It improves on the row closure by probing the
 // set with a reused scratch key instead of allocating a string per row.
 func triIn(operand *Compiled, set map[string]struct{}, setHasNull, neg bool) BoolBatchFunc {
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		s, err := bindSrc(operand, rows, sel)
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		s, err := bindSrc(operand, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		var key []byte
 		for _, i := range sel {
-			v := s.at(rows, i)
+			v := s.at(in, i)
 			if v.IsNull() {
 				dst[i] = types.Unknown
 				continue
@@ -771,19 +908,19 @@ func triIn(operand *Compiled, set map[string]struct{}, setHasNull, neg bool) Boo
 }
 
 func triLike(operand, pattern *Compiled, neg bool) BoolBatchFunc {
-	return func(rows []schema.Row, dst []types.Tristate, sel []int) error {
-		vs, err := bindSrc(operand, rows, sel)
+	return func(in Input, dst []types.Tristate, sel []int) error {
+		vs, err := bindSrc(operand, in, sel)
 		if err != nil {
 			return err
 		}
 		defer vs.release()
-		ps, err := bindSrc(pattern, rows, sel)
+		ps, err := bindSrc(pattern, in, sel)
 		if err != nil {
 			return err
 		}
 		defer ps.release()
 		for _, i := range sel {
-			v, p := vs.at(rows, i), ps.at(rows, i)
+			v, p := vs.at(in, i), ps.at(in, i)
 			if v.IsNull() || p.IsNull() {
 				dst[i] = types.Unknown
 				continue
@@ -800,7 +937,7 @@ func triLike(operand, pattern *Compiled, neg bool) BoolBatchFunc {
 // batchCoalesce evaluates each argument only over the rows still NULL
 // after the previous ones, mirroring the row closure's lazy scan.
 func batchCoalesce(args []*Compiled) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
+	return func(in Input, out []types.Value, sel []int) error {
 		bufA, bufB := getSel(), getSel()
 		defer putSel(bufA)
 		defer putSel(bufB)
@@ -811,13 +948,13 @@ func batchCoalesce(args []*Compiled) BatchFunc {
 			if len(rem) == 0 {
 				break
 			}
-			s, err := bindSrc(a, rows, rem)
+			s, err := bindSrc(a, in, rem)
 			if err != nil {
 				return err
 			}
 			next := spare[:0]
 			for _, i := range rem {
-				if v := s.at(rows, i); v.IsNull() {
+				if v := s.at(in, i); v.IsNull() {
 					next = append(next, i)
 				} else {
 					out[i] = v
@@ -835,14 +972,14 @@ func batchCoalesce(args []*Compiled) BatchFunc {
 }
 
 func batchAbs(arg *Compiled) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		s, err := bindSrc(arg, rows, sel)
+	return func(in Input, out []types.Value, sel []int) error {
+		s, err := bindSrc(arg, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		for _, i := range sel {
-			v := s.at(rows, i)
+			v := s.at(in, i)
 			if v.IsNull() {
 				out[i] = v
 				continue
@@ -870,14 +1007,14 @@ func batchAbs(arg *Compiled) BatchFunc {
 }
 
 func batchCaseFold(arg *Compiled, toUpper bool) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		s, err := bindSrc(arg, rows, sel)
+	return func(in Input, out []types.Value, sel []int) error {
+		s, err := bindSrc(arg, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		for _, i := range sel {
-			v := s.at(rows, i)
+			v := s.at(in, i)
 			if v.IsNull() {
 				out[i] = v
 				continue
@@ -900,14 +1037,14 @@ func batchCaseFold(arg *Compiled, toUpper bool) BatchFunc {
 }
 
 func batchLength(arg *Compiled) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		s, err := bindSrc(arg, rows, sel)
+	return func(in Input, out []types.Value, sel []int) error {
+		s, err := bindSrc(arg, in, sel)
 		if err != nil {
 			return err
 		}
 		defer s.release()
 		for _, i := range sel {
-			v := s.at(rows, i)
+			v := s.at(in, i)
 			if v.IsNull() {
 				out[i] = v
 				continue
@@ -924,8 +1061,8 @@ func batchLength(arg *Compiled) BatchFunc {
 // batchSubstr keeps the row closure's laziness: the start (and length)
 // arguments are only evaluated where the string operand is non-NULL.
 func batchSubstr(args []*Compiled) BatchFunc {
-	return func(rows []schema.Row, out []types.Value, sel []int) error {
-		s0, err := bindSrc(args[0], rows, sel)
+	return func(in Input, out []types.Value, sel []int) error {
+		s0, err := bindSrc(args[0], in, sel)
 		if err != nil {
 			return err
 		}
@@ -934,7 +1071,7 @@ func batchSubstr(args []*Compiled) BatchFunc {
 		defer putSel(livep)
 		live := *livep
 		for _, i := range sel {
-			v := s0.at(rows, i)
+			v := s0.at(in, i)
 			if v.IsNull() {
 				out[i] = v
 				continue
@@ -948,7 +1085,7 @@ func batchSubstr(args []*Compiled) BatchFunc {
 		if len(live) == 0 {
 			return nil
 		}
-		s1, err := bindSrc(args[1], rows, live)
+		s1, err := bindSrc(args[1], in, live)
 		if err != nil {
 			return err
 		}
@@ -960,7 +1097,7 @@ func batchSubstr(args []*Compiled) BatchFunc {
 			defer putSel(fullp)
 			full := (*fullp)[:0]
 			for _, i := range live {
-				if s1.at(rows, i).IsNull() {
+				if s1.at(in, i).IsNull() {
 					out[i] = types.Null
 				} else {
 					full = append(full, i)
@@ -971,7 +1108,7 @@ func batchSubstr(args []*Compiled) BatchFunc {
 			if len(live) == 0 {
 				return nil
 			}
-			s2, err = bindSrc(args[2], rows, live)
+			s2, err = bindSrc(args[2], in, live)
 			if err != nil {
 				return err
 			}
@@ -979,12 +1116,12 @@ func batchSubstr(args []*Compiled) BatchFunc {
 			hasLen = true
 		}
 		for _, i := range live {
-			v1 := s1.at(rows, i)
+			v1 := s1.at(in, i)
 			if v1.IsNull() {
 				out[i] = types.Null
 				continue
 			}
-			str := s0.at(rows, i).Str()
+			str := s0.at(in, i).Str()
 			start := v1.Int() - 1 // SQL is 1-based
 			if start < 0 {
 				start = 0
@@ -994,7 +1131,7 @@ func batchSubstr(args []*Compiled) BatchFunc {
 			}
 			end := int64(len(str))
 			if hasLen {
-				v2 := s2.at(rows, i)
+				v2 := s2.at(in, i)
 				if v2.IsNull() {
 					out[i] = types.Null
 					continue

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"repro/internal/colvec"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Input is the operand source a batch kernel reads from: either a slice
+// of materialized rows (the classic morsel) or a window of columnar
+// segment vectors read in place — no row materialization. Positions in
+// selection vectors and output vectors are always window-relative
+// [0, Len()); for columnar inputs the window starts at off inside the
+// segment's vectors.
+//
+// Input is a small value type passed by copy; kernels recurse with the
+// same Input, so child evaluation inherits the source automatically.
+type Input struct {
+	rows []schema.Row
+	cols []*colvec.Vec
+	off  int
+	n    int
+}
+
+// RowInput wraps a row slice as a kernel input.
+func RowInput(rows []schema.Row) Input { return Input{rows: rows, n: len(rows)} }
+
+// ColInput wraps a window [off, off+n) of columnar vectors as a kernel
+// input. All vectors must have at least off+n elements.
+func ColInput(cols []*colvec.Vec, off, n int) Input {
+	return Input{cols: cols, off: off, n: n}
+}
+
+// Len returns the number of addressable positions.
+func (in Input) Len() int { return in.n }
+
+// value reads column col at window position i, boxing from the columnar
+// representation when needed.
+func (in Input) value(i, col int) types.Value {
+	if in.rows != nil {
+		return in.rows[i][col]
+	}
+	return in.cols[col].Value(in.off + i)
+}
+
+// vec returns the column vector for col plus the window offset when the
+// input is columnar, else nil — kernels use it to pick typed fast paths.
+func (in Input) vec(col int) (*colvec.Vec, int) {
+	if in.rows != nil {
+		return nil, 0
+	}
+	return in.cols[col], in.off
+}

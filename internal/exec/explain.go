@@ -65,6 +65,9 @@ func explainAnalyzeNode(b *strings.Builder, n Node, ctx *Ctx, depth int) {
 				fmt.Fprintf(b, " batches=%d", st.Batches)
 			}
 		}
+		if st.Segments > 0 {
+			fmt.Fprintf(b, " segments=%d pruned=%d", st.Segments, st.Pruned)
+		}
 		if st.SpillRuns > 0 {
 			fmt.Fprintf(b, " spilled=%d runs (%s)", st.SpillRuns, fmtBytes(float64(st.SpillBytes)))
 		}

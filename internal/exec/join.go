@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/govern"
@@ -28,6 +29,51 @@ type HashJoinNode struct {
 	JoinType    JoinKind
 	Residual    *eval.Compiled // over concat(left, right); may be nil
 	Desc        string
+
+	// CacheBuild marks the build side as reusable across executions of
+	// this plan node: the planner sets it only when Right is a pure
+	// base-table scan (no index bounds, no fused predicate), whose
+	// contents change only through catalog mutations — which bump the
+	// epoch and so invalidate the cache. Reuse additionally requires the
+	// executing context to opt in (Ctx.EnableBuildReuse); one-shot
+	// queries never reuse, prepared statements over static dimension
+	// tables do.
+	CacheBuild bool
+
+	buildMu     sync.Mutex
+	cachedBuild *joinTable
+	cachedRows  int    // build-side row count the cached table was built from
+	cachedEpoch uint64 // catalog epoch the cached table was built under
+	builds      atomic.Int64
+}
+
+// BuildCount reports how many times this node ran its build phase; the
+// build-reuse tests assert on it.
+func (n *HashJoinNode) BuildCount() int64 { return n.builds.Load() }
+
+// cachedTable returns the cached build table when reuse is on and the
+// table was built under the context's epoch; (nil, 0) otherwise.
+func (n *HashJoinNode) cachedTable(ctx *Ctx) (*joinTable, int) {
+	if !n.CacheBuild || !ctx.buildReuse {
+		return nil, 0
+	}
+	n.buildMu.Lock()
+	defer n.buildMu.Unlock()
+	if n.cachedBuild == nil || n.cachedEpoch != ctx.buildEpoch {
+		return nil, 0
+	}
+	return n.cachedBuild, n.cachedRows
+}
+
+// storeTable caches a freshly built in-memory table under the context's
+// epoch. Concurrent runs may race to store equivalent tables; last wins.
+func (n *HashJoinNode) storeTable(ctx *Ctx, jt *joinTable, rows int) {
+	if !n.CacheBuild || !ctx.buildReuse {
+		return
+	}
+	n.buildMu.Lock()
+	n.cachedBuild, n.cachedRows, n.cachedEpoch = jt, rows, ctx.buildEpoch
+	n.buildMu.Unlock()
 }
 
 // JoinKind enumerates join semantics.
@@ -202,32 +248,56 @@ func buildJoinTable(ctx *Ctx, rows []schema.Row, keys []*eval.Compiled, workers 
 
 // Execute implements Node.
 func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
-	l, r, err := runPair(ctx, n.Left, n.Right)
+	build, buildRows := n.cachedTable(ctx)
+	var l, r *Result
+	var err error
+	if build != nil {
+		// Cache hit: the build input isn't run at all — the whole point
+		// for a prepared statement probing a static dimension table.
+		l, err = Run(ctx, n.Left)
+	} else {
+		l, r, err = runPair(ctx, n.Left, n.Right)
+		if err == nil {
+			buildRows = len(r.Rows)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	// Reserve the build table and probe-key working set; a refused
 	// reservation degrades to the grace-hash path when spilling is
-	// enabled.
-	work := joinWorkBytes(len(l.Rows), len(r.Rows))
+	// enabled (running the build input first if the cache had skipped
+	// it, exactly as a cold run would).
+	work := joinWorkBytes(len(l.Rows), buildRows)
 	if err := ctx.res.Reserve(work); err != nil {
 		if !ctx.res.CanSpill() {
 			return nil, err
 		}
+		if r == nil {
+			if r, err = Run(ctx, n.Right); err != nil {
+				return nil, err
+			}
+		}
 		return n.graceExecute(ctx, l, r)
 	}
 	defer ctx.res.Release(work)
-	workers := ctx.workersFor(max(len(l.Rows), len(r.Rows)))
+	workers := ctx.workersFor(max(len(l.Rows), buildRows))
 	ctx.noteWorkers(n, workers)
 	vecProbe := ctx.useVector(n.LeftKeys...) && ctx.useVector(n.Residual)
-	ctx.noteEval(n, ctx.useVector(n.RightKeys...) && vecProbe, len(l.Rows)+len(r.Rows))
+	ctx.noteEval(n, ctx.useVector(n.RightKeys...) && vecProbe, len(l.Rows)+buildRows)
 
-	build, err := buildJoinTable(ctx, r.Rows, n.RightKeys, workers)
-	if err != nil {
-		return nil, err
+	if build == nil {
+		build, err = buildJoinTable(ctx, r.Rows, n.RightKeys, workers)
+		if err != nil {
+			return nil, err
+		}
+		n.builds.Add(1)
+		// Only a complete in-memory build is cached — the grace path
+		// returned above, and errors never reach here.
+		n.storeTable(ctx, build, buildRows)
 	}
 
-	rightWidth := r.Schema.Len()
+	rightWidth := n.Right.Schema().Len()
 	probeWorkers := workers
 	if w := ctx.workersFor(len(l.Rows)); probeWorkers > w {
 		probeWorkers = w

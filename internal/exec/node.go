@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/eval"
 	"repro/internal/govern"
 	"repro/internal/schema"
 	"repro/internal/storage"
@@ -49,6 +50,10 @@ type Ctx struct {
 	// res governs this execution's memory budget, spill files, and fault
 	// injection; never nil (defaults to an unbounded handle).
 	res *govern.Resources
+	// buildReuse allows CacheBuild hash joins to reuse build tables
+	// cached under epoch buildEpoch; see Ctx.EnableBuildReuse.
+	buildReuse bool
+	buildEpoch uint64
 
 	mu    sync.Mutex
 	cache map[Node]*inflight
@@ -94,6 +99,11 @@ type NodeStats struct {
 	// volume that went through disk.
 	SpillRuns  int
 	SpillBytes int64
+	// Segments is the number of storage segments a scan considered;
+	// Pruned is how many of those its zone maps eliminated without
+	// reading. Both zero for non-scan operators and unfused scans.
+	Segments int
+	Pruned   int
 }
 
 // NewCtx returns a fresh execution context that is never canceled.
@@ -177,6 +187,20 @@ func (c *Ctx) SetResources(r *govern.Resources) *Ctx {
 	return c
 }
 
+// EnableBuildReuse lets hash joins the planner marked CacheBuild reuse
+// their build-side table across executions of the same plan node, as
+// long as the catalog epoch still matches the one the table was built
+// under — prepared statements pass the current epoch per run, so any
+// catalog mutation (data load, index build, ANALYZE) invalidates cached
+// builds exactly like it invalidates plan-cache entries. One-shot
+// queries leave it off. It returns c for chaining and must be called
+// before Run.
+func (c *Ctx) EnableBuildReuse(epoch uint64) *Ctx {
+	c.buildReuse = true
+	c.buildEpoch = epoch
+	return c
+}
+
 // Resources returns the execution's governance handle (never nil).
 func (c *Ctx) Resources() *govern.Resources { return c.res }
 
@@ -248,6 +272,18 @@ func (c *Ctx) noteEval(n Node, vectorized bool, rows int) {
 	c.mu.Lock()
 	st := c.statLocked(n)
 	st.EvalMode, st.Batches = mode, batches
+	c.mu.Unlock()
+}
+
+// noteSegments records a fused scan's zone-map outcome: how many storage
+// segments it considered and how many the zone maps skipped outright.
+func (c *Ctx) noteSegments(n Node, segments, pruned int) {
+	if c.stats == nil {
+		return
+	}
+	c.mu.Lock()
+	st := c.statLocked(n)
+	st.Segments, st.Pruned = segments, pruned
 	c.mu.Unlock()
 }
 
@@ -419,13 +455,27 @@ func EstMem(n Node) float64 {
 
 // ---- Scan ----
 
-// ScanNode reads a base table, optionally through a sorted index range.
+// ScanNode reads a base table, optionally through a sorted index range,
+// and optionally with a filter predicate fused into the scan. A fused
+// predicate evaluates directly over the columnar segment vectors in
+// vectorized mode — no row materialization for non-matching rows — with
+// per-segment zone maps (Zone) skipping segments that cannot contain a
+// match.
 type ScanNode struct {
 	base
 	Table *storage.Table
 	// IndexOrd selects an index scan on that column ordinal when >= 0.
 	IndexOrd int
 	Bounds   storage.Bounds
+	// Pred, when non-nil, is a filter fused into a sequential scan: only
+	// rows satisfying it are emitted. PredDesc labels it in EXPLAIN.
+	Pred     *eval.Compiled
+	PredDesc string
+	// Zone holds range summaries implied by Pred's conjuncts. Segments
+	// whose zone maps cannot satisfy all of them are skipped — in
+	// vectorized mode only; the row path (WithRowEval) reads every
+	// segment and is the pruning correctness baseline.
+	Zone []storage.ZonePred
 }
 
 // NewScanNode builds a scan. alias qualifies the output schema.
@@ -439,6 +489,9 @@ func NewScanNode(t *storage.Table, alias string) *ScanNode {
 func (s *ScanNode) Label() string {
 	if s.IndexOrd >= 0 {
 		return fmt.Sprintf("IndexScan(%s.%s)", s.Table.Name, s.Table.Schema.Columns[s.IndexOrd].Name)
+	}
+	if s.Pred != nil {
+		return fmt.Sprintf("Scan(%s | %s)", s.Table.Name, s.PredDesc)
 	}
 	return fmt.Sprintf("Scan(%s)", s.Table.Name)
 }
@@ -467,7 +520,7 @@ func (s *ScanNode) Execute(ctx *Ctx) (*Result, error) {
 				if err := ctx.Tick(i - lo); err != nil {
 					return err
 				}
-				rows[i] = s.Table.Rows[ids[i]]
+				rows[i] = s.Table.RowAt(int(ids[i]))
 			}
 			return nil
 		})
@@ -476,9 +529,120 @@ func (s *ScanNode) Execute(ctx *Ctx) (*Result, error) {
 		}
 		return &Result{Schema: s.schema, Rows: rows}, nil
 	}
-	// Sequential scan shares the table's row slice; downstream operators
-	// never mutate input rows.
-	return &Result{Schema: s.schema, Rows: s.Table.Rows}, nil
+	if s.Pred != nil {
+		return s.executeFiltered(ctx)
+	}
+	// Sequential scan shares the table's (memoized) row materialization;
+	// downstream operators never mutate input rows.
+	return &Result{Schema: s.schema, Rows: s.Table.AllRows()}, nil
+}
+
+// executeFiltered runs a sequential scan with the fused predicate. Work
+// is split into segment-local morsels — a morsel never straddles a
+// segment boundary, so in vectorized mode each claim evaluates the
+// predicate over one window of the segment's column vectors and only
+// matching rows are ever materialized (as references into the segment's
+// shared row cache). Zone maps prune whole segments first. Any kernel
+// failure, and the entire row-eval mode, fall back to materialized rows
+// with the same batch/row machinery FilterNode uses, so results and
+// errors are byte-identical across modes and parallelism levels.
+func (s *ScanNode) executeFiltered(ctx *Ctx) (*Result, error) {
+	segs := s.Table.Segments()
+	vec := ctx.useVector(s.Pred)
+	considered := len(segs)
+	pruned := 0
+	if vec && len(s.Zone) > 0 {
+		kept := make([]*storage.Segment, 0, len(segs))
+		for _, seg := range segs {
+			if seg.CanMatchAll(s.Zone) {
+				kept = append(kept, seg)
+			} else {
+				pruned++
+			}
+		}
+		segs = kept
+	}
+	ctx.noteSegments(s, considered, pruned)
+	total := 0
+	for _, seg := range segs {
+		total += seg.Len()
+	}
+	if err := ctx.reserveOrCharge(int64(total) * rowHdrBytes); err != nil {
+		return nil, err
+	}
+	type morsel struct {
+		seg    *storage.Segment
+		lo, hi int
+	}
+	morsels := make([]morsel, 0, total/MorselSize+len(segs))
+	for _, seg := range segs {
+		for lo := 0; lo < seg.Len(); lo += MorselSize {
+			hi := lo + MorselSize
+			if hi > seg.Len() {
+				hi = seg.Len()
+			}
+			morsels = append(morsels, morsel{seg: seg, lo: lo, hi: hi})
+		}
+	}
+	workers := ctx.workersFor(total)
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	ctx.noteWorkers(s, workers)
+	ctx.noteEval(s, vec, total)
+	outs := make([][]schema.Row, len(morsels))
+	err := ctx.parallelMorsels(len(morsels), workers, func(_, m int) error {
+		mo := morsels[m]
+		var out []schema.Row
+		var sel []int
+		if vec && mo.seg.Sealed() {
+			var ok bool
+			sel, ok = eval.TryPredicateCols(s.Pred, mo.seg.Cols(), mo.lo, mo.hi-mo.lo, sel[:0])
+			if ok {
+				if len(sel) > 0 {
+					rows := mo.seg.Rows()
+					out = make([]schema.Row, 0, len(sel))
+					for _, i := range sel {
+						out = append(out, rows[mo.lo+i])
+					}
+				}
+				outs[m] = out
+				return nil
+			}
+		}
+		rows := mo.seg.Rows()
+		if vec {
+			// Row-form tail, or a kernel error: EvalPredicateBatch's own
+			// row-path fallback restores exact serial error semantics.
+			sel, err := eval.EvalPredicateBatch(s.Pred, rows[mo.lo:mo.hi], nil, sel[:0])
+			if err != nil {
+				return err
+			}
+			for _, i := range sel {
+				out = append(out, rows[mo.lo+i])
+			}
+			outs[m] = out
+			return nil
+		}
+		for i := mo.lo; i < mo.hi; i++ {
+			if err := ctx.Tick(i - mo.lo); err != nil {
+				return err
+			}
+			keep, err := eval.EvalPredicate(s.Pred, rows[i])
+			if err != nil {
+				return err
+			}
+			if keep {
+				out = append(out, rows[i])
+			}
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: s.schema, Rows: concatMorsels(outs)}, nil
 }
 
 // ValuesNode serves literal rows; used for planned constants and tests.

@@ -119,6 +119,61 @@ func (c *Ctx) parallelFor(n, workers int, fn func(worker, morsel, lo, hi int) er
 	return firstError(errs)
 }
 
+// parallelMorsels dispatches nm pre-built work units — segment-local
+// scan morsels that never straddle a segment boundary — to workers
+// claiming indices off a shared counter. fn(worker, m) processes morsel
+// m under the same rules as parallelFor's fn: writes confined to
+// worker- or morsel-owned state, first error (or cancellation) aborts.
+// With workers <= 1 the morsels run in order on the calling goroutine.
+func (c *Ctx) parallelMorsels(nm, workers int, fn func(worker, m int) error) error {
+	if nm == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		c.res.MaybePanic()
+		for m := 0; m < nm; m++ {
+			if err := c.Canceled(); err != nil {
+				return err
+			}
+			if err := fn(0, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[w] = govern.Internalize(rec)
+				}
+			}()
+			for {
+				if err := c.Canceled(); err != nil {
+					errs[w] = err
+					return
+				}
+				m := int(next.Add(1)) - 1
+				if m >= nm {
+					return
+				}
+				c.res.MaybePanic()
+				if err := fn(w, m); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
 func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {

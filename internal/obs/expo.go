@@ -49,13 +49,36 @@ func (f *family) writePrometheus(w io.Writer) error {
 	}
 }
 
+// labelString renders a child's label set ({} form, "" when unlabeled).
+// Two-label families store children under composite keys; split them
+// back into their parts here.
+func (f *family) labelString(labelVal string) string {
+	if f.label == "" {
+		return ""
+	}
+	if f.label2 != "" {
+		v1, v2, _ := strings.Cut(labelVal, labelSep)
+		return fmt.Sprintf("{%s=%s,%s=%s}", f.label, strconv.Quote(v1), f.label2, strconv.Quote(v2))
+	}
+	return fmt.Sprintf("{%s=%s}", f.label, strconv.Quote(labelVal))
+}
+
+// labelMap is labelString's JSON counterpart.
+func (f *family) labelMap(labelVal string) map[string]string {
+	if f.label == "" {
+		return nil
+	}
+	if f.label2 != "" {
+		v1, v2, _ := strings.Cut(labelVal, labelSep)
+		return map[string]string{f.label: v1, f.label2: v2}
+	}
+	return map[string]string{f.label: labelVal}
+}
+
 // writeMetricProm renders one metric (unlabeled when labelVal is "" and
 // the family has no label name).
 func writeMetricProm(w io.Writer, f *family, m any, labelVal string) error {
-	labels := ""
-	if f.label != "" {
-		labels = fmt.Sprintf("{%s=%s}", f.label, strconv.Quote(labelVal))
-	}
+	labels := f.labelString(labelVal)
 	switch v := m.(type) {
 	case *Counter:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, v.Value())
@@ -125,10 +148,7 @@ func (r *Registry) Snapshot() []JSONFamily {
 	for _, f := range r.sorted() {
 		jf := JSONFamily{Name: f.name, Type: f.kind, Help: f.help}
 		add := func(m any, labelVal string) {
-			var labels map[string]string
-			if f.label != "" {
-				labels = map[string]string{f.label: labelVal}
-			}
+			labels := f.labelMap(labelVal)
 			switch v := m.(type) {
 			case *Counter:
 				val := float64(v.Value())

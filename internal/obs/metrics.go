@@ -148,12 +148,18 @@ const (
 	kindHistogram = "histogram"
 )
 
+// labelSep joins the values of a two-label family into one child key.
+// NUL cannot appear in a metric label value, so the join is unambiguous
+// and composite keys sort by first label then second.
+const labelSep = "\x00"
+
 // family is one registered metric family: a name, help text, a kind, and
 // either a single unlabeled metric, a set of labeled children, or a
 // read-at-scrape-time func.
 type family struct {
 	name, help, kind string
-	label            string // label name for vec families; "" otherwise
+	label            string // first label name for vec families; "" otherwise
+	label2           string // second label name for two-label families
 	buckets          []float64
 
 	mu       sync.Mutex
@@ -206,6 +212,16 @@ type GaugeVec struct{ f *family }
 
 // With returns the gauge for one label value, creating it on first use.
 func (v *GaugeVec) With(label string) *Gauge { return v.f.child(label).(*Gauge) }
+
+// CounterVec2 is a counter family keyed by two labels.
+type CounterVec2 struct{ f *family }
+
+// With returns the counter for one (v1, v2) label pair, creating it on
+// first use. Hot paths should resolve once per pair and keep the
+// *Counter.
+func (v *CounterVec2) With(v1, v2 string) *Counter {
+	return v.f.child(v1 + labelSep + v2).(*Counter)
+}
 
 // HistogramVec is a histogram family keyed by one label.
 type HistogramVec struct{ f *family }
@@ -266,6 +282,13 @@ func (r *Registry) Counter(name, help string) *Counter {
 func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	f := r.add(&family{name: name, help: help, kind: kindCounter, label: label, children: map[string]any{}})
 	return &CounterVec{f: f}
+}
+
+// CounterVec2 registers a counter family keyed by two labels (e.g.
+// route and status class for HTTP request counts).
+func (r *Registry) CounterVec2(name, help, label1, label2 string) *CounterVec2 {
+	f := r.add(&family{name: name, help: help, kind: kindCounter, label: label1, label2: label2, children: map[string]any{}})
+	return &CounterVec2{f: f}
 }
 
 // CounterFunc registers a counter whose value is read from fn at scrape
@@ -336,6 +359,12 @@ func (r *Registry) CounterValue(name, labelVal string) (float64, bool) {
 		return 0, false
 	}
 	return float64(m.(*Counter).Value()), true
+}
+
+// CounterValue2 reads one two-label counter-family value by its label
+// pair. Tests use it; it is not a hot path.
+func (r *Registry) CounterValue2(name, v1, v2 string) (float64, bool) {
+	return r.CounterValue(name, v1+labelSep+v2)
 }
 
 // GaugeValue reads one gauge-family value by label, as CounterValue.

@@ -230,3 +230,56 @@ func TestQueryIDsUnique(t *testing.T) {
 		t.Fatalf("QueryID format: %s", a)
 	}
 }
+
+func TestCounterVec2Exposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec2("http_requests_total", "Requests by route and status.", "route", "status")
+	v.With("/query", "200").Add(3)
+	v.With("/query", "400").Inc()
+	v.With("/metrics", "200").Inc()
+
+	if got, ok := r.CounterValue2("http_requests_total", "/query", "200"); !ok || got != 3 {
+		t.Fatalf("CounterValue2 = %v,%v", got, ok)
+	}
+	if _, ok := r.CounterValue2("http_requests_total", "/query", "503"); ok {
+		t.Fatal("CounterValue2 found a label pair never incremented")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="/metrics",status="200"} 1`,
+		`http_requests_total{route="/query",status="200"} 3`,
+		`http_requests_total{route="/query",status="400"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Children render sorted by first label then second.
+	if strings.Index(text, `route="/metrics"`) > strings.Index(text, `route="/query"`) {
+		t.Errorf("two-label children not sorted:\n%s", text)
+	}
+
+	found := false
+	for _, f := range r.Snapshot() {
+		if f.Name != "http_requests_total" {
+			continue
+		}
+		found = true
+		if len(f.Metrics) != 3 {
+			t.Fatalf("JSON metrics = %d, want 3", len(f.Metrics))
+		}
+		labels := f.Metrics[1].Labels
+		if labels["route"] != "/query" || labels["status"] != "200" {
+			t.Errorf("JSON labels = %v", labels)
+		}
+	}
+	if !found {
+		t.Fatal("family missing from JSON snapshot")
+	}
+}

@@ -159,7 +159,7 @@ func saveTable(t *storage.Table, path string) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	rec := make([]string, t.Schema.Len())
-	for _, row := range t.Rows {
+	for _, row := range t.AllRows() {
 		for i, v := range row {
 			rec[i] = encodeValue(v)
 		}

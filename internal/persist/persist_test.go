@@ -76,10 +76,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if !ok || t2.RowCount() != t1.RowCount() {
 		t.Fatalf("reloaded rows = %v", t2)
 	}
-	for i, row := range t1.Rows {
+	rows1, rows2 := t1.AllRows(), t2.AllRows()
+	for i, row := range rows1 {
 		for j, v := range row {
-			if !v.Equal(t2.Rows[i][j]) {
-				t.Fatalf("row %d col %d: %v != %v", i, j, v, t2.Rows[i][j])
+			if !v.Equal(rows2[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, v, rows2[i][j])
 			}
 		}
 	}

@@ -180,6 +180,14 @@ func (b *builder) buildJoin(l, r *planned, conjs []sqlast.Expr, kind exec.JoinKi
 			res = f
 		}
 		n := exec.NewHashJoinNode(l.node, r.node, lFns, rFns, kind, res, desc)
+		// A build side that is a pure base-table scan (no index bounds,
+		// no fused predicate) produces the same table on every run until
+		// a catalog mutation bumps the epoch — mark it reusable so
+		// prepared statements probing a static dimension table skip the
+		// rebuild (the executor still requires Ctx.EnableBuildReuse).
+		if sc, ok := r.node.(*exec.ScanNode); ok && sc.IndexOrd < 0 && sc.Pred == nil {
+			n.CacheBuild = true
+		}
 		cost := l.node.EstCost() + r.node.EstCost() + evalCPU(l.node.EstRows()+r.node.EstRows(), costHashRow)
 		exec.SetEstimates(n, rows, cost)
 		exec.SetOrdering(n, l.node.Ordering())

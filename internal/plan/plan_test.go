@@ -366,11 +366,12 @@ func TestPredicatePushdownThroughUnionView(t *testing.T) {
 	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "e3" {
 		t.Fatalf("view filter rows = %v", res.Rows)
 	}
-	// The predicate must reach the branch scans (filters directly above
-	// each Scan), not sit above the union.
+	// The predicate must reach the branch scans — fused into each branch's
+	// Scan (or a Filter directly above it), not sitting above the union.
 	node := planFor(t, db, q)
-	if got := exec.CountNodes(node, "Filter"); got != 2 {
-		t.Fatalf("predicate not pushed into union branches (filters=%d):\n%s", got, exec.Explain(node))
+	fused := exec.CountNodes(node, "Scan(reads | ") + exec.CountNodes(node, "Scan(reads2 | ")
+	if got := exec.CountNodes(node, "Filter") + fused; got != 2 {
+		t.Fatalf("predicate not pushed into union branches (pushed=%d):\n%s", got, exec.Explain(node))
 	}
 }
 

@@ -3,6 +3,7 @@ package plan
 import (
 	"math"
 
+	"repro/internal/eval"
 	"repro/internal/exec"
 	"repro/internal/sqlast"
 	"repro/internal/storage"
@@ -32,8 +33,12 @@ const (
 )
 
 // planScan plans a base-table access: an index range scan when a sargable
-// predicate makes one attractive, otherwise a sequential scan, with the
-// residual predicate filtered on top.
+// predicate makes one attractive, otherwise a sequential scan with the
+// subquery-free predicate fused into the scan operator itself — the fused
+// scan evaluates it over the columnar segment vectors and uses per-column
+// range summaries (zone preds) derived from the sargable conjuncts to
+// skip whole segments via their zone maps. Conjuncts containing
+// subqueries stay in a filter on top.
 func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr, scope *cteScope) (*planned, error) {
 	stats := make([]*storage.ColStats, t.Schema.Len())
 	for i := range stats {
@@ -41,7 +46,9 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 	}
 	total := float64(t.RowCount())
 
-	// Gather sargable bounds per indexed column.
+	// Gather sargable bounds per column — every column feeds the zone
+	// preds of a fused sequential scan; indexed ones additionally compete
+	// for an index range scan.
 	type colBounds struct {
 		ord    int
 		bounds storage.Bounds
@@ -51,7 +58,7 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 	byCol := map[int]*colBounds{}
 	for _, c := range conjs {
 		ord, op, lit, ok := sargable(c, t, binding)
-		if !ok || !t.HasIndex(ord) {
+		if !ok {
 			continue
 		}
 		cb := byCol[ord]
@@ -81,6 +88,9 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 	var best *colBounds
 	for _, cb := range byCol {
 		cb.sel = boundsSelectivity(stats[cb.ord], cb.bounds)
+		if !t.HasIndex(cb.ord) {
+			continue
+		}
 		if best == nil || cb.sel < best.sel {
 			best = cb
 		}
@@ -88,16 +98,56 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 
 	scan := exec.NewScanNode(t, binding)
 	pl := &planned{stats: stats}
-	remaining := conjs
+
+	// Split the conjuncts a fused scan could take (no subqueries) from
+	// those that need the filter machinery above the scan. Zone preds may
+	// only summarize conjuncts that are actually fused: the scan skips a
+	// segment on their evidence, so each must be implied by Pred.
+	var fuse, residual []sqlast.Expr
+	for _, c := range conjs {
+		if hasSubquery(c) {
+			residual = append(residual, c)
+		} else {
+			fuse = append(fuse, c)
+		}
+	}
+	var zone []storage.ZonePred
+	for _, cb := range byCol {
+		zone = append(zone, storage.ZonePred{Col: cb.ord, Bounds: cb.bounds})
+	}
+
+	// Zone-aware sequential cost: consult the actual segment zone maps for
+	// how many rows survive pruning (safe at plan time — the plan cache is
+	// keyed by catalog epoch, so any data change replans). The fused
+	// predicate itself is charged at the filter rate over surviving rows.
+	seqRows := total
+	if len(zone) > 0 && len(fuse) > 0 {
+		kept := 0
+		for _, seg := range t.Segments() {
+			if seg.CanMatchAll(zone) {
+				kept += seg.Len()
+			}
+		}
+		seqRows = float64(kept)
+	}
+	seqCost := cpu(seqRows * costSeqRow)
+	if len(fuse) > 0 {
+		seqCost += evalCPU(seqRows, costFilterRow)
+	}
+
 	if best != nil {
 		matched := total * best.sel
 		idxCost := cpu(matched*costIndexRow + math.Log2(total+2))
-		if idxCost < cpu(total*costSeqRow) {
+		// The index-vs-seq decision compares row touches only (the fused
+		// predicate's eval cost applies to the residual filter of the
+		// index path just as much); zone pruning still discounts the
+		// sequential side via seqRows.
+		if idxCost < cpu(seqRows*costSeqRow) {
 			scan.IndexOrd = best.ord
 			scan.Bounds = best.bounds
 			exec.SetEstimates(scan, matched, idxCost)
 			exec.SetOrdering(scan, []exec.OrderCol{{Col: best.ord}})
-			remaining = nil
+			var remaining []sqlast.Expr
 			for _, c := range conjs {
 				if !best.used[c] {
 					remaining = append(remaining, c)
@@ -107,9 +157,40 @@ func (b *builder) planScan(t *storage.Table, binding string, conjs []sqlast.Expr
 			return b.applyFilter(pl, remaining, scope)
 		}
 	}
-	exec.SetEstimates(scan, total, cpu(total*costSeqRow))
+
 	pl.node = scan
-	return b.applyFilter(pl, remaining, scope)
+	if len(fuse) == 0 {
+		exec.SetEstimates(scan, total, seqCost)
+		return b.applyFilter(pl, residual, scope)
+	}
+	expr := sqlast.And(fuse...)
+	pred, err := eval.Compile(expr, &eval.Env{Schema: scan.Schema()})
+	if err != nil {
+		return nil, err
+	}
+	sel := b.selectivity(expr, pl, nil)
+	scan.Pred = pred
+	scan.PredDesc = abbreviate(sqlast.ExprSQL(expr))
+	scan.Zone = zone
+	exec.SetEstimates(scan, total*sel, seqCost)
+	return b.applyFilter(pl, residual, scope)
+}
+
+// hasSubquery reports whether the expression contains an IN or EXISTS
+// subquery (which the scan cannot evaluate itself).
+func hasSubquery(e sqlast.Expr) bool {
+	found := false
+	sqlast.VisitExprs(e, func(x sqlast.Expr) {
+		switch x := x.(type) {
+		case *sqlast.In:
+			if x.Sub != nil {
+				found = true
+			}
+		case *sqlast.Exists:
+			found = true
+		}
+	})
+	return found
 }
 
 // sargable matches "col op literal" (or flipped) on the given table

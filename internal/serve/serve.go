@@ -103,6 +103,7 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	sessions *sessionTable
+	httpReqs *obs.CounterVec2 // repro_http_requests_total{route,status}; nil without telemetry
 
 	httpSrv *http.Server
 	lis     net.Listener
@@ -137,18 +138,18 @@ func New(cfg Config) *Server {
 	if cfg.ChunkRows <= 0 {
 		cfg.ChunkRows = 256
 	}
-	s := &Server{cfg: cfg, sessions: newSessionTable(cfg.SessionIdleTimeout)}
+	s := &Server{cfg: cfg, sessions: newSessionTable(cfg.SessionIdleTimeout), httpReqs: requestCounter(cfg.DB)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.governed(s.handleQuery))
-	mux.HandleFunc("POST /v1/prepare", s.governed(s.handlePrepare))
-	mux.HandleFunc("POST /v1/sessions/{id}/run/{stmt}", s.governed(s.handleRun))
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDrop)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/query", s.counted("/v1/query", s.governed(s.handleQuery)))
+	mux.HandleFunc("POST /v1/prepare", s.counted("/v1/prepare", s.governed(s.handlePrepare)))
+	mux.HandleFunc("POST /v1/sessions/{id}/run/{stmt}", s.counted("/v1/sessions/{id}/run/{stmt}", s.governed(s.handleRun)))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.counted("/v1/sessions/{id}", s.handleSessionInfo))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.counted("/v1/sessions/{id}", s.handleSessionDrop))
+	mux.HandleFunc("GET /healthz", s.counted("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /readyz", s.counted("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -156,10 +157,63 @@ func New(cfg Config) *Server {
 			return
 		}
 		fmt.Fprintln(w, "ready")
-	})
-	mux.Handle("GET /metrics", cfg.DB.MetricsHandler())
+	}))
+	mux.Handle("GET /metrics", http.HandlerFunc(s.counted("/metrics", cfg.DB.MetricsHandler().ServeHTTP)))
 	s.mux = mux
 	return s
+}
+
+// requestCounter registers the server's route/status request-counter
+// family on the DB's metrics registry, so it shows up on /metrics next to
+// the engine's families. nil (counting off) when the DB was opened
+// WithoutTelemetry. A second Server over the same DB would re-register
+// the family — the registry treats duplicate names as bugs — so that
+// server serves uncounted instead of panicking.
+func requestCounter(db *repro.DB) (v *obs.CounterVec2) {
+	reg := db.Metrics()
+	if reg == nil {
+		return nil
+	}
+	defer func() { _ = recover() }()
+	return reg.CounterVec2("repro_http_requests_total",
+		"HTTP requests served, by route pattern and response status code.",
+		"route", "status")
+}
+
+// counted wraps a handler to record one repro_http_requests_total sample
+// per request, labeled by the route pattern and the final status code.
+// The wrapper keeps the response writer's Flusher behavior, which the
+// NDJSON streamer depends on.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.httpReqs == nil {
+			h(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
+	}
+}
+
+// statusWriter captures the status code a handler commits to. Implicit
+// 200s (a body written without WriteHeader) keep the initial value.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streamed responses keep
+// their per-chunk delivery.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Handler returns the server's routing tree for mounting on a

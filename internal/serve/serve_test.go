@@ -494,3 +494,51 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 	}
 	t.Fatal("condition not reached in time")
 }
+
+func TestHTTPRequestMetrics(t *testing.T) {
+	db := newTestDB(t, 5)
+	_, hs := newTestServer(t, db, nil)
+
+	if resp, _ := post(t, hs.URL+"/v1/query", queryRequest{SQL: "select a from t"}); resp.StatusCode != 200 {
+		t.Fatalf("query = %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, hs.URL+"/v1/query", queryRequest{SQL: "select a from t", Strategy: "bogus"}); resp.StatusCode != 400 {
+		t.Fatalf("bad strategy = %d", resp.StatusCode)
+	}
+	if resp, err := http.Get(hs.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz = %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// The counter family lives on the DB's registry, so it shows up on
+	// /metrics with the engine's families.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE repro_http_requests_total counter",
+		`repro_http_requests_total{route="/v1/query",status="200"} 1`,
+		`repro_http_requests_total{route="/v1/query",status="400"} 1`,
+		`repro_http_requests_total{route="/healthz",status="200"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if v, ok := db.Metrics().CounterValue2("repro_http_requests_total", "/v1/query", "200"); !ok || v != 1 {
+		t.Fatalf("registry read = %v,%v", v, ok)
+	}
+}
+
+func TestHTTPRequestMetricsOffWithoutTelemetry(t *testing.T) {
+	db := newTestDB(t, 2, repro.WithoutTelemetry())
+	_, hs := newTestServer(t, db, nil)
+	if resp, _ := post(t, hs.URL+"/v1/query", queryRequest{SQL: "select a from t"}); resp.StatusCode != 200 {
+		t.Fatalf("query without telemetry = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/colvec"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// withSegmentRows shrinks the sealing threshold for the duration of one
+// test so tables split into many segments on small data.
+func withSegmentRows(t *testing.T, n int) {
+	t.Helper()
+	old := DefaultSegmentRows
+	DefaultSegmentRows = n
+	t.Cleanup(func() { DefaultSegmentRows = old })
+}
+
+func iv(v int64) types.Value { return types.NewInt(v) }
+
+func intSchema(name string) *schema.Schema {
+	return schema.New(schema.Col("t", name, types.KindInt))
+}
+
+func zonePred(col int, lo, hi *types.Value, loIncl, hiIncl bool) ZonePred {
+	return ZonePred{Col: col, Bounds: Bounds{Lo: lo, LoIncl: loIncl, Hi: hi, HiIncl: hiIncl}}
+}
+
+func TestSealingAndRowAccess(t *testing.T) {
+	withSegmentRows(t, 4)
+	tab := NewTable("t", intSchema("a"))
+	for i := int64(0); i < 10; i++ {
+		if err := tab.Append(schema.Row{iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.SegmentCount(); got != 2 {
+		t.Fatalf("sealed segments = %d, want 2", got)
+	}
+	if got := tab.RowCount(); got != 10 {
+		t.Fatalf("row count = %d", got)
+	}
+	segs := tab.Segments()
+	if len(segs) != 3 || segs[2].Sealed() {
+		t.Fatalf("segments = %d (last sealed=%v), want 2 sealed + tail", len(segs), segs[len(segs)-1].Sealed())
+	}
+	if segs[1].Base != 4 || segs[2].Base != 8 {
+		t.Fatalf("segment bases = %d,%d", segs[1].Base, segs[2].Base)
+	}
+	// RowAt, AllRows, and per-segment access all agree.
+	all := tab.AllRows()
+	for i := 0; i < 10; i++ {
+		if all[i][0].Int() != int64(i) || tab.RowAt(i)[0].Int() != int64(i) {
+			t.Fatalf("row %d: AllRows=%v RowAt=%v", i, all[i][0], tab.RowAt(i)[0])
+		}
+	}
+	// Sealed segments memoize one row materialization.
+	r1, r2 := segs[0].Rows(), segs[0].Rows()
+	if &r1[0] != &r2[0] {
+		t.Fatal("sealed segment rows not memoized")
+	}
+}
+
+func TestZoneMapBounds(t *testing.T) {
+	withSegmentRows(t, 4)
+	tab := NewTable("t", intSchema("a"))
+	for _, v := range []int64{3, 7, 5, 1} {
+		tab.Append(schema.Row{iv(v)})
+	}
+	seg := tab.Segments()[0]
+	z := seg.Zone(0)
+	if z.Min.Int() != 1 || z.Max.Int() != 7 || z.NullCount != 0 {
+		t.Fatalf("zone = min %v max %v nulls %d", z.Min, z.Max, z.NullCount)
+	}
+
+	lo, hi := iv(8), iv(0)
+	if seg.CanMatch(zonePred(0, &lo, nil, true, false)) {
+		t.Error("a >= 8 should prune a [1,7] segment")
+	}
+	if seg.CanMatch(zonePred(0, nil, &hi, false, true)) {
+		t.Error("a <= 0 should prune a [1,7] segment")
+	}
+	// Boundary exclusivity: a > 7 prunes, a >= 7 does not.
+	b := iv(7)
+	if seg.CanMatch(zonePred(0, &b, nil, false, false)) {
+		t.Error("a > 7 should prune a max=7 segment")
+	}
+	if !seg.CanMatch(zonePred(0, &b, nil, true, false)) {
+		t.Error("a >= 7 must keep a max=7 segment")
+	}
+	eq := iv(4)
+	if !seg.CanMatch(ZonePred{Col: 0, Bounds: Bounds{Equals: &eq}}) {
+		t.Error("a = 4 must keep a [1,7] segment")
+	}
+	eq2 := iv(9)
+	if seg.CanMatch(ZonePred{Col: 0, Bounds: Bounds{Equals: &eq2}}) {
+		t.Error("a = 9 should prune a [1,7] segment")
+	}
+	// Out-of-range / incomparable predicates keep conservatively.
+	sv := types.NewString("x")
+	if !seg.CanMatch(zonePred(0, &sv, nil, true, false)) {
+		t.Error("incomparable bound must keep the segment")
+	}
+	if !seg.CanMatch(ZonePred{Col: 99, Bounds: Bounds{Lo: &lo, LoIncl: true}}) {
+		t.Error("out-of-range column ordinal must keep the segment")
+	}
+}
+
+func TestZoneMapAllNullSegmentPrunes(t *testing.T) {
+	withSegmentRows(t, 4)
+	tab := NewTable("t", intSchema("a"))
+	for i := 0; i < 4; i++ {
+		tab.Append(schema.Row{types.Null})
+	}
+	seg := tab.Segments()[0]
+	z := seg.Zone(0)
+	if z.NullCount != 4 || !z.Min.IsNull() {
+		t.Fatalf("all-null zone = %+v", z)
+	}
+	// NULL cmp anything is UNKNOWN; WHERE keeps only TRUE, so the whole
+	// segment is skippable under any range predicate.
+	lo := iv(0)
+	if seg.CanMatch(zonePred(0, &lo, nil, true, false)) {
+		t.Error("all-null segment should prune under a range predicate")
+	}
+}
+
+func TestZoneMapNaNDisablesPruning(t *testing.T) {
+	withSegmentRows(t, 4)
+	s := &schema.Schema{Columns: []schema.Column{schema.Col("t", "f", types.KindFloat)}}
+	tab := NewTable("t", s)
+	for _, v := range []float64{1.5, math.NaN(), 2.5, 3.5} {
+		tab.Append(schema.Row{types.NewFloat(v)})
+	}
+	seg := tab.Segments()[0]
+	z := seg.Zone(0)
+	if !z.HasNaN {
+		t.Fatalf("zone missed the NaN: %+v", z)
+	}
+	// NaN compares as equal to everything in this engine's Compare, so
+	// min/max ordering is unreliable: never prune.
+	lo := types.NewFloat(100)
+	if !seg.CanMatch(zonePred(0, &lo, nil, true, false)) {
+		t.Error("NaN-bearing segment must never be pruned")
+	}
+}
+
+func TestZoneMapMixedKindsDisablePruning(t *testing.T) {
+	withSegmentRows(t, 4)
+	tab := NewTable("t", intSchema("a"))
+	tab.Append(
+		schema.Row{iv(1)},
+		schema.Row{types.NewString("x")},
+		schema.Row{iv(2)},
+		schema.Row{iv(3)},
+	)
+	seg := tab.Segments()[0]
+	if !seg.Zone(0).Mixed {
+		t.Fatalf("mixed-kind zone = %+v", seg.Zone(0))
+	}
+	lo := iv(100)
+	if !seg.CanMatch(zonePred(0, &lo, nil, true, false)) {
+		t.Error("mixed-kind segment must never be pruned")
+	}
+}
+
+func TestTailSegmentNeverPrunes(t *testing.T) {
+	withSegmentRows(t, 100)
+	tab := NewTable("t", intSchema("a"))
+	tab.Append(schema.Row{iv(1)}, schema.Row{iv(2)})
+	seg := tab.Segments()[0]
+	if seg.Sealed() {
+		t.Fatal("two rows under a 100-row threshold must be the tail")
+	}
+	lo := iv(50)
+	if !seg.CanMatch(zonePred(0, &lo, nil, true, false)) {
+		t.Error("tail segment must never be pruned")
+	}
+}
+
+func TestDictionaryOverflowToPlainStrings(t *testing.T) {
+	withSegmentRows(t, 2048)
+	s := &schema.Schema{Columns: []schema.Column{schema.Col("t", "s", types.KindString)}}
+	tab := NewTable("t", s)
+	// More distinct values than colvec.DictMaxCard forces the builder
+	// off the dictionary encoding onto plain strings.
+	n := colvec.DictMaxCard + 512
+	if n > 2048 {
+		t.Fatalf("test assumes DictMaxCard+512 <= segment size, got %d", n)
+	}
+	for i := 0; i < 2048; i++ {
+		tab.Append(schema.Row{types.NewString(fmt.Sprintf("epc-%06d", i%n))})
+	}
+	seg := tab.Segments()[0]
+	vec := seg.Col(0)
+	if vec.Encoding() != colvec.EncStr {
+		t.Fatalf("encoding = %v, want EncStr overflow", vec.Encoding())
+	}
+	// Values round-trip bit-exactly and the zone map still bounds them.
+	for i := 0; i < 2048; i++ {
+		want := fmt.Sprintf("epc-%06d", i%n)
+		if got := seg.Value(0, i); got.Str() != want {
+			t.Fatalf("value %d = %q, want %q", i, got.Str(), want)
+		}
+	}
+	z := seg.Zone(0)
+	if z.Min.Str() != "epc-000000" || z.Max.Str() != fmt.Sprintf("epc-%06d", n-1) {
+		t.Fatalf("zone = [%v, %v]", z.Min, z.Max)
+	}
+	hi := types.NewString("epc-")
+	if seg.CanMatch(zonePred(0, nil, &hi, true, true)) {
+		t.Error("s <= 'epc-' should prune an overflowed string segment")
+	}
+}
+
+func TestDictionaryEncodingUnderThreshold(t *testing.T) {
+	withSegmentRows(t, 64)
+	s := &schema.Schema{Columns: []schema.Column{schema.Col("t", "s", types.KindString)}}
+	tab := NewTable("t", s)
+	locs := []string{"dock", "shelf", "backroom"}
+	for i := 0; i < 64; i++ {
+		tab.Append(schema.Row{types.NewString(locs[i%3])})
+	}
+	vec := tab.Segments()[0].Col(0)
+	if vec.Encoding() != colvec.EncDict {
+		t.Fatalf("encoding = %v, want EncDict", vec.Encoding())
+	}
+	if got := len(vec.Dict()); got != 3 {
+		t.Fatalf("dictionary cardinality = %d", got)
+	}
+}

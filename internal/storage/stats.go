@@ -21,25 +21,28 @@ type ColStats struct {
 // exact (hash-based); at the scales this engine targets that is cheap and
 // removes one source of noise from plan choices.
 func (t *Table) Analyze() {
+	segs := t.Segments()
 	for ord := range t.Schema.Columns {
 		st := &ColStats{Min: types.Null, Max: types.Null}
 		seen := make(map[string]struct{})
-		for _, r := range t.Rows {
-			v := r[ord]
-			if v.IsNull() {
-				continue
-			}
-			st.NonNull++
-			seen[v.GroupKey()] = struct{}{}
-			if st.Min.IsNull() {
-				st.Min, st.Max = v, v
-				continue
-			}
-			if c, err := types.Compare(v, st.Min); err == nil && c < 0 {
-				st.Min = v
-			}
-			if c, err := types.Compare(v, st.Max); err == nil && c > 0 {
-				st.Max = v
+		for _, seg := range segs {
+			for i := 0; i < seg.Len(); i++ {
+				v := seg.Value(ord, i)
+				if v.IsNull() {
+					continue
+				}
+				st.NonNull++
+				seen[v.GroupKey()] = struct{}{}
+				if st.Min.IsNull() {
+					st.Min, st.Max = v, v
+					continue
+				}
+				if c, err := types.Compare(v, st.Min); err == nil && c < 0 {
+					st.Min = v
+				}
+				if c, err := types.Compare(v, st.Max); err == nil && c > 0 {
+					st.Max = v
+				}
 			}
 		}
 		st.Distinct = len(seen)

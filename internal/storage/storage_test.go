@@ -47,7 +47,7 @@ func TestIndexScanBounds(t *testing.T) {
 	collect := func(b Bounds) []int64 {
 		var out []int64
 		for _, rid := range ix.Scan(b) {
-			out = append(out, tab.Rows[rid][1].Int())
+			out = append(out, tab.RowAt(int(rid))[1].Int())
 		}
 		return out
 	}

@@ -839,7 +839,7 @@ func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
 	tel.notePrepared(p.info.CacheHit)
 	grs := p.db.resources(p.opts)
 	defer grs.Close()
-	ectx := p.opts.execCtx(ctx).SetResources(grs)
+	ectx := p.opts.execCtx(ctx).SetResources(grs).EnableBuildReuse(p.db.Catalog.Epoch())
 	var execStart time.Time
 	if tel != nil {
 		ectx.EnableStats()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/storage"
 )
 
 // The quickstart flow: build a table by hand, define a rule, query with
@@ -135,6 +136,10 @@ func TestFacadeErrors(t *testing.T) {
 
 func stringValue(s string) repro.Value {
 	return repro.Value(mustValue("string", s))
+}
+
+func intValue(v int64) repro.Value {
+	return repro.NewInt(v)
 }
 
 func timeValue(min int64) repro.Value {
@@ -328,5 +333,109 @@ func TestDryRunRule(t *testing.T) {
 	}
 	if _, err := db.DryRunRule("nosuch", 1); err == nil {
 		t.Error("unknown rule must error")
+	}
+}
+
+// A prepared join caches its build side over a static dimension table;
+// a catalog mutation (the dimension insert bumps the epoch) must evict
+// that cache so later runs see the new rows.
+func TestPreparedJoinSeesDimensionChanges(t *testing.T) {
+	db := repro.Open()
+	if err := db.CreateTable("fact",
+		repro.ColumnDef{Name: "k", Kind: repro.KindInt},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("dim",
+		repro.ColumnDef{Name: "k", Kind: repro.KindInt},
+		repro.ColumnDef{Name: "label", Kind: repro.KindString},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("fact", []repro.Value{intValue(1)}, []repro.Value{intValue(2)}, []repro.Value{intValue(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("dim",
+		[]repro.Value{intValue(1), stringValue("one")},
+		[]repro.Value{intValue(2), stringValue("two")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.Prepare("select fact.k, dim.label from fact, dim where fact.k = dim.k order by fact.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("first run rows = %d", len(rows.Data))
+	}
+	// Rerun without changes: same answer off the cached build.
+	rows, err = p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("rerun rows = %d", len(rows.Data))
+	}
+	// Grow the dimension table; the next run must include the new match.
+	if err := db.Insert("dim", []repro.Value{intValue(3), stringValue("three")}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Fatalf("post-insert rows = %d, want 3", len(rows.Data))
+	}
+	if got := rows.Data[2][1].Str(); got != "three" {
+		t.Fatalf("new dimension row label = %q", got)
+	}
+}
+
+// Zone-map pruning is observable: a selective range predicate over a
+// multi-segment table skips segments, and EXPLAIN ANALYZE reports the
+// considered/pruned counts on the fused scan.
+func TestExplainAnalyzeShowsSegmentPruning(t *testing.T) {
+	// Pin the sealing threshold so the segment/pruned counts below hold
+	// under any REPRO_SEGMENT_ROWS the process was started with.
+	old := storage.DefaultSegmentRows
+	storage.DefaultSegmentRows = 64
+	t.Cleanup(func() { storage.DefaultSegmentRows = old })
+
+	db := repro.Open()
+	if err := db.CreateTable("seg", repro.ColumnDef{Name: "a", Kind: repro.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	// Three full 64-row segments plus a 20-row tail.
+	n := 3*64 + 20
+	rows := make([][]repro.Value, n)
+	for i := range rows {
+		rows[i] = []repro.Value{intValue(int64(i))}
+	}
+	if err := db.Insert("seg", rows...); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.ExplainAnalyze("select count(*) from seg where a >= 130")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scan(seg | a >= 130") {
+		t.Fatalf("predicate not fused into the scan:\n%s", out)
+	}
+	// Segments [0,64) and [64,128) prune; [128,192) and the tail survive.
+	if !strings.Contains(out, "segments=4 pruned=2") {
+		t.Fatalf("analyze output missing pruning counts:\n%s", out)
+	}
+	// The answer is unaffected: rows 130..211 survive.
+	res, err := db.Query("select count(*) from seg where a >= 130")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Data[0][0].Int(); got != int64(n-130) {
+		t.Fatalf("count = %d, want %d", got, n-130)
 	}
 }

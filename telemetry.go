@@ -117,6 +117,24 @@ func newDBMetrics(db *DB, latency []float64) *dbMetrics {
 	r.GaugeFunc("repro_query_max_peak_bytes", "Largest single-query peak memory observed.", func() float64 {
 		return float64(db.totals.snapshot().MaxPeak)
 	})
+	r.GaugeFunc("repro_storage_bytes", "Resident bytes across all tables: columnar segment vectors, zone maps, row tails, and indexes.", func() float64 {
+		var b int64
+		for _, name := range db.Catalog.TableNames() {
+			if t, ok := db.Catalog.Table(name); ok {
+				b += t.MemBytes()
+			}
+		}
+		return float64(b)
+	})
+	r.GaugeFunc("repro_storage_segments", "Sealed columnar segments across all tables (mutable tails excluded).", func() float64 {
+		var n int
+		for _, name := range db.Catalog.TableNames() {
+			if t, ok := db.Catalog.Table(name); ok {
+				n += t.SegmentCount()
+			}
+		}
+		return float64(n)
+	})
 	return m
 }
 
