@@ -46,6 +46,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSpillOverhead' -benchmem . | tee BENCH_PR4.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 20x -benchmem . | tee BENCH_PR5.json
 	$(GO) test -run '^$$' -bench 'BenchmarkColumnarScan' -benchmem ./internal/exec/ | tee BENCH_PR7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFirstRowLatency' -benchmem . | tee BENCH_PR8.json
 
 # Every benchmark, including the full paper-figure grid (slow).
 bench-all:

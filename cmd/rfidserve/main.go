@@ -43,6 +43,7 @@ var (
 	slowQuery    = flag.Duration("slow-query", 0, "log queries at or over this duration (0 = off)")
 	queryTimeout = flag.Duration("query-timeout", 0, "server-side per-query timeout applied to every request (0 = none)")
 	queryPar     = flag.Int("query-parallelism", 0, "intra-query worker-pool width per request (0 = engine default, the CPU count; set low when -max-concurrent is high — inter-query concurrency is the better use of the cores)")
+	traceSample  = flag.Float64("trace-sampling", 1, "head-sample this fraction of trace-eligible queries (slow-query log candidates and explicit trace requests); 1 traces all, 0 none")
 )
 
 func main() {
@@ -63,6 +64,9 @@ func run(log *slog.Logger) error {
 	}
 	if *slowQuery > 0 {
 		dbOpts = append(dbOpts, repro.WithSlowQueryLog(*slowQuery, log))
+	}
+	if *traceSample != 1 {
+		dbOpts = append(dbOpts, repro.WithTraceSampling(*traceSample))
 	}
 
 	var db *repro.DB

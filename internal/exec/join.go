@@ -297,109 +297,17 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 		n.storeTable(ctx, build, buildRows)
 	}
 
-	rightWidth := n.Right.Schema().Len()
 	probeWorkers := workers
 	if w := ctx.workersFor(len(l.Rows)); probeWorkers > w {
 		probeWorkers = w
 	}
 	outs := make([][]schema.Row, morselCount(len(l.Rows), probeWorkers))
-	encs := make([]keyEnc, probeWorkers)
+	pss := make([]*probeState, probeWorkers)
+	for w := range pss {
+		pss[w] = newProbeState(n, build, vecProbe)
+	}
 	err = ctx.parallelFor(len(l.Rows), probeWorkers, func(w, m, lo, hi int) error {
-		enc := &encs[w]
-		out := make([]schema.Row, 0, hi-lo)
-		probeSerial := func(b, e int) error {
-			for i := b; i < e; i++ {
-				if err := ctx.Tick(i - b); err != nil {
-					return err
-				}
-				lrow := l.Rows[i]
-				key, null, err := enc.funcs(n.LeftKeys, lrow)
-				if err != nil {
-					return err
-				}
-				matched := false
-				if !null {
-					for _, rrow := range build.lookupRows(hashKey(key), key) {
-						joined := concatRows(lrow, rrow)
-						if n.Residual != nil {
-							ok, err := eval.EvalPredicate(n.Residual, joined)
-							if err != nil {
-								return err
-							}
-							if !ok {
-								continue
-							}
-						}
-						matched = true
-						out = append(out, joined)
-					}
-				}
-				if !matched && n.JoinType == JoinKindLeft {
-					out = append(out, concatRows(lrow, nullRow(rightWidth)))
-				}
-			}
-			return nil
-		}
-		if !vecProbe {
-			if err := probeSerial(lo, hi); err != nil {
-				return err
-			}
-			outs[m] = out
-			return nil
-		}
-		// Vector probe: batch-evaluate the probe keys, gather every
-		// candidate joined row of the chunk with per-left-row ranges, run
-		// the residual once over all candidates, then emit survivors (and
-		// left-join padding) in the serial order.
-		cols := evalScratch(len(n.LeftKeys), MorselSize)
-		var cand []schema.Row
-		candStart := make([]int, 0, MorselSize+1)
-		var sel []int
-		err := ctx.forBatches(lo, hi, func(b, e int) error {
-			chunk := l.Rows[b:e]
-			if !tryBatchAll(n.LeftKeys, chunk, cols) {
-				return probeSerial(b, e)
-			}
-			cand = cand[:0]
-			candStart = candStart[:0]
-			for i := range chunk {
-				candStart = append(candStart, len(cand))
-				key, null := enc.cols(cols, i)
-				if null {
-					continue
-				}
-				for _, rrow := range build.lookupRows(hashKey(key), key) {
-					cand = append(cand, concatRows(chunk[i], rrow))
-				}
-			}
-			candStart = append(candStart, len(cand))
-			if n.Residual != nil {
-				var perr error
-				sel, perr = eval.EvalPredicateBatch(n.Residual, cand, nil, sel[:0])
-				if perr != nil {
-					return perr
-				}
-			}
-			si := 0
-			for i := range chunk {
-				s0, s1 := candStart[i], candStart[i+1]
-				matched := s1 > s0
-				if n.Residual == nil {
-					out = append(out, cand[s0:s1]...)
-				} else {
-					matched = false
-					for si < len(sel) && sel[si] < s1 {
-						out = append(out, cand[sel[si]])
-						matched = true
-						si++
-					}
-				}
-				if !matched && n.JoinType == JoinKindLeft {
-					out = append(out, concatRows(chunk[i], nullRow(rightWidth)))
-				}
-			}
-			return nil
-		})
+		out, err := pss[w].probeRange(ctx, l.Rows, lo, hi, make([]schema.Row, 0, hi-lo))
 		if err != nil {
 			return err
 		}
@@ -412,6 +320,124 @@ func (n *HashJoinNode) Execute(ctx *Ctx) (*Result, error) {
 	rows := concatMorsels(outs)
 	ctx.res.Charge(int64(len(rows)) * (rowHdrBytes + int64(n.schema.Len())*valueBytes))
 	return &Result{Schema: n.schema, Rows: rows}, nil
+}
+
+// probeState is the reusable per-worker state of a hash-join probe: the
+// key encoder and, in vector mode, the evaluation scratch. One instance
+// serves one goroutine at a time — the materializing Execute keeps one
+// per pool worker, the streaming joinSource keeps one for its consumer.
+type probeState struct {
+	n          *HashJoinNode
+	build      *joinTable
+	vec        bool
+	rightWidth int
+	enc        keyEnc
+	cols       [][]types.Value
+	cand       []schema.Row
+	candStart  []int
+	sel        []int
+}
+
+func newProbeState(n *HashJoinNode, build *joinTable, vec bool) *probeState {
+	ps := &probeState{n: n, build: build, vec: vec, rightWidth: n.Right.Schema().Len()}
+	if vec {
+		ps.cols = evalScratch(len(n.LeftKeys), MorselSize)
+		ps.candStart = make([]int, 0, MorselSize+1)
+	}
+	return ps
+}
+
+// probeRange probes rows[lo:hi] against the build table, appending the
+// joined output to out in the serial probe order and returning it.
+func (ps *probeState) probeRange(ctx *Ctx, rows []schema.Row, lo, hi int, out []schema.Row) ([]schema.Row, error) {
+	n := ps.n
+	probeSerial := func(b, e int) error {
+		for i := b; i < e; i++ {
+			if err := ctx.Tick(i - b); err != nil {
+				return err
+			}
+			lrow := rows[i]
+			key, null, err := ps.enc.funcs(n.LeftKeys, lrow)
+			if err != nil {
+				return err
+			}
+			matched := false
+			if !null {
+				for _, rrow := range ps.build.lookupRows(hashKey(key), key) {
+					joined := concatRows(lrow, rrow)
+					if n.Residual != nil {
+						ok, err := eval.EvalPredicate(n.Residual, joined)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							continue
+						}
+					}
+					matched = true
+					out = append(out, joined)
+				}
+			}
+			if !matched && n.JoinType == JoinKindLeft {
+				out = append(out, concatRows(lrow, nullRow(ps.rightWidth)))
+			}
+		}
+		return nil
+	}
+	if !ps.vec {
+		err := probeSerial(lo, hi)
+		return out, err
+	}
+	// Vector probe: batch-evaluate the probe keys, gather every
+	// candidate joined row of the chunk with per-left-row ranges, run
+	// the residual once over all candidates, then emit survivors (and
+	// left-join padding) in the serial order.
+	err := ctx.forBatches(lo, hi, func(b, e int) error {
+		chunk := rows[b:e]
+		if !tryBatchAll(n.LeftKeys, chunk, ps.cols) {
+			return probeSerial(b, e)
+		}
+		ps.cand = ps.cand[:0]
+		ps.candStart = ps.candStart[:0]
+		for i := range chunk {
+			ps.candStart = append(ps.candStart, len(ps.cand))
+			key, null := ps.enc.cols(ps.cols, i)
+			if null {
+				continue
+			}
+			for _, rrow := range ps.build.lookupRows(hashKey(key), key) {
+				ps.cand = append(ps.cand, concatRows(chunk[i], rrow))
+			}
+		}
+		ps.candStart = append(ps.candStart, len(ps.cand))
+		if n.Residual != nil {
+			var perr error
+			ps.sel, perr = eval.EvalPredicateBatch(n.Residual, ps.cand, nil, ps.sel[:0])
+			if perr != nil {
+				return perr
+			}
+		}
+		si := 0
+		for i := range chunk {
+			s0, s1 := ps.candStart[i], ps.candStart[i+1]
+			matched := s1 > s0
+			if n.Residual == nil {
+				out = append(out, ps.cand[s0:s1]...)
+			} else {
+				matched = false
+				for si < len(ps.sel) && ps.sel[si] < s1 {
+					out = append(out, ps.cand[ps.sel[si]])
+					matched = true
+					si++
+				}
+			}
+			if !matched && n.JoinType == JoinKindLeft {
+				out = append(out, concatRows(chunk[i], nullRow(ps.rightWidth)))
+			}
+		}
+		return nil
+	})
+	return out, err
 }
 
 func concatRows(l, r schema.Row) schema.Row {

@@ -537,18 +537,23 @@ func (s *ScanNode) Execute(ctx *Ctx) (*Result, error) {
 	return &Result{Schema: s.schema, Rows: s.Table.AllRows()}, nil
 }
 
-// executeFiltered runs a sequential scan with the fused predicate. Work
-// is split into segment-local morsels — a morsel never straddles a
-// segment boundary, so in vectorized mode each claim evaluates the
-// predicate over one window of the segment's column vectors and only
-// matching rows are ever materialized (as references into the segment's
-// shared row cache). Zone maps prune whole segments first. Any kernel
-// failure, and the entire row-eval mode, fall back to materialized rows
-// with the same batch/row machinery FilterNode uses, so results and
-// errors are byte-identical across modes and parallelism levels.
-func (s *ScanNode) executeFiltered(ctx *Ctx) (*Result, error) {
+// scanMorsel is one segment-local unit of fused-scan work; it never
+// straddles a segment boundary, so in vectorized mode each morsel
+// evaluates the predicate over one window of its segment's column
+// vectors.
+type scanMorsel struct {
+	seg    *storage.Segment
+	lo, hi int
+}
+
+// planFilteredMorsels applies zone-map pruning (vectorized mode only;
+// the row path reads every segment and is the pruning correctness
+// baseline) and splits the surviving segments into segment-local
+// morsels, recording the pruning outcome. It returns the morsels and
+// their total row count. Shared by the materializing executeFiltered
+// and the streaming scanSource.
+func (s *ScanNode) planFilteredMorsels(ctx *Ctx, vec bool) ([]scanMorsel, int) {
 	segs := s.Table.Segments()
-	vec := ctx.useVector(s.Pred)
 	considered := len(segs)
 	pruned := 0
 	if vec && len(s.Zone) > 0 {
@@ -567,74 +572,85 @@ func (s *ScanNode) executeFiltered(ctx *Ctx) (*Result, error) {
 	for _, seg := range segs {
 		total += seg.Len()
 	}
+	morsels := make([]scanMorsel, 0, total/MorselSize+len(segs))
+	for _, seg := range segs {
+		for lo := 0; lo < seg.Len(); lo += MorselSize {
+			hi := min(lo+MorselSize, seg.Len())
+			morsels = append(morsels, scanMorsel{seg: seg, lo: lo, hi: hi})
+		}
+	}
+	return morsels, total
+}
+
+// filterMorsel evaluates the fused predicate over one morsel, returning
+// the matching rows (references into the segment's shared row cache) in
+// position order. Any kernel failure, and the entire row-eval mode,
+// fall back to materialized rows with the same batch/row machinery
+// FilterNode uses, so results and errors are byte-identical across
+// modes and parallelism levels.
+func (s *ScanNode) filterMorsel(ctx *Ctx, mo scanMorsel, vec bool) ([]schema.Row, error) {
+	var out []schema.Row
+	var sel []int
+	if vec && mo.seg.Sealed() {
+		var ok bool
+		sel, ok = eval.TryPredicateCols(s.Pred, mo.seg.Cols(), mo.lo, mo.hi-mo.lo, sel[:0])
+		if ok {
+			if len(sel) > 0 {
+				rows := mo.seg.Rows()
+				out = make([]schema.Row, 0, len(sel))
+				for _, i := range sel {
+					out = append(out, rows[mo.lo+i])
+				}
+			}
+			return out, nil
+		}
+	}
+	rows := mo.seg.Rows()
+	if vec {
+		// Row-form tail, or a kernel error: EvalPredicateBatch's own
+		// row-path fallback restores exact serial error semantics.
+		sel, err := eval.EvalPredicateBatch(s.Pred, rows[mo.lo:mo.hi], nil, sel[:0])
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range sel {
+			out = append(out, rows[mo.lo+i])
+		}
+		return out, nil
+	}
+	for i := mo.lo; i < mo.hi; i++ {
+		if err := ctx.Tick(i - mo.lo); err != nil {
+			return nil, err
+		}
+		keep, err := eval.EvalPredicate(s.Pred, rows[i])
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, rows[i])
+		}
+	}
+	return out, nil
+}
+
+// executeFiltered runs a sequential scan with the fused predicate: zone
+// maps prune whole segments, then segment-local morsels evaluate in
+// parallel into per-morsel output slices that concatenate in morsel
+// order.
+func (s *ScanNode) executeFiltered(ctx *Ctx) (*Result, error) {
+	vec := ctx.useVector(s.Pred)
+	morsels, total := s.planFilteredMorsels(ctx, vec)
 	if err := ctx.reserveOrCharge(int64(total) * rowHdrBytes); err != nil {
 		return nil, err
 	}
-	type morsel struct {
-		seg    *storage.Segment
-		lo, hi int
-	}
-	morsels := make([]morsel, 0, total/MorselSize+len(segs))
-	for _, seg := range segs {
-		for lo := 0; lo < seg.Len(); lo += MorselSize {
-			hi := lo + MorselSize
-			if hi > seg.Len() {
-				hi = seg.Len()
-			}
-			morsels = append(morsels, morsel{seg: seg, lo: lo, hi: hi})
-		}
-	}
-	workers := ctx.workersFor(total)
-	if workers > len(morsels) {
-		workers = len(morsels)
-	}
+	workers := min(ctx.workersFor(total), len(morsels))
 	ctx.noteWorkers(s, workers)
 	ctx.noteEval(s, vec, total)
 	outs := make([][]schema.Row, len(morsels))
 	err := ctx.parallelMorsels(len(morsels), workers, func(_, m int) error {
-		mo := morsels[m]
-		var out []schema.Row
-		var sel []int
-		if vec && mo.seg.Sealed() {
-			var ok bool
-			sel, ok = eval.TryPredicateCols(s.Pred, mo.seg.Cols(), mo.lo, mo.hi-mo.lo, sel[:0])
-			if ok {
-				if len(sel) > 0 {
-					rows := mo.seg.Rows()
-					out = make([]schema.Row, 0, len(sel))
-					for _, i := range sel {
-						out = append(out, rows[mo.lo+i])
-					}
-				}
-				outs[m] = out
-				return nil
-			}
-		}
-		rows := mo.seg.Rows()
-		if vec {
-			// Row-form tail, or a kernel error: EvalPredicateBatch's own
-			// row-path fallback restores exact serial error semantics.
-			sel, err := eval.EvalPredicateBatch(s.Pred, rows[mo.lo:mo.hi], nil, sel[:0])
-			if err != nil {
-				return err
-			}
-			for _, i := range sel {
-				out = append(out, rows[mo.lo+i])
-			}
-			outs[m] = out
-			return nil
-		}
-		for i := mo.lo; i < mo.hi; i++ {
-			if err := ctx.Tick(i - mo.lo); err != nil {
-				return err
-			}
-			keep, err := eval.EvalPredicate(s.Pred, rows[i])
-			if err != nil {
-				return err
-			}
-			if keep {
-				out = append(out, rows[i])
-			}
+		out, err := s.filterMorsel(ctx, morsels[m], vec)
+		if err != nil {
+			return err
 		}
 		outs[m] = out
 		return nil

@@ -153,6 +153,16 @@ func (r *Resources) Stats() MemStats {
 	}
 }
 
+// Used reports the bytes currently charged against the budget — it
+// returns to zero when every operator has released its reservations
+// (the streaming executor's early-Close tests assert exactly that).
+func (r *Resources) Used() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.used.Load()
+}
+
 // Exhausted reports whether any reservation failed.
 func (r *Resources) Exhausted() bool { return r != nil && r.exhausted.Load() }
 

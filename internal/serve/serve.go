@@ -398,13 +398,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	qid := obs.NextQueryID()
 	start := time.Now()
-	rows, err := s.cfg.DB.QueryContext(r.Context(), req.SQL, opts...)
+	rows, err := s.cfg.DB.QueryStreamContext(r.Context(), req.SQL, opts...)
 	if err != nil {
 		s.writeErr(w, qid, err)
 		return
 	}
-	s.cfg.Logger.Debug("query", "query_id", qid, "rows", len(rows.Data), "elapsed", time.Since(start))
-	streamRows(w, qid, rows, s.cfg.ChunkRows, time.Since(start))
+	s.streamLive(w, r, qid, rows, start)
 }
 
 // prepareResponse is the body of a successful /v1/prepare.
@@ -472,12 +471,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	qid := obs.NextQueryID()
 	start := time.Now()
-	rows, err := p.RunContext(r.Context())
+	rows, err := p.StreamContext(r.Context())
 	if err != nil {
 		s.writeErr(w, qid, err)
 		return
 	}
-	streamRows(w, qid, rows, s.cfg.ChunkRows, time.Since(start))
+	s.streamLive(w, r, qid, rows, start)
 }
 
 // sessionInfo is the body of GET /v1/sessions/{id}.

@@ -5,6 +5,7 @@ package serve
 // prove no goroutine outlives its query.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -273,6 +274,104 @@ func TestClientDisconnectCancelsQuery(t *testing.T) {
 // counter reads repro_queries_total for one outcome label.
 func counter(db *repro.DB, outcome string) (float64, bool) {
 	return db.Metrics().CounterValue("repro_queries_total", outcome)
+}
+
+// TestStreamHeaderBeforeCompletion proves the wire is live, not
+// store-and-forward: the client holds the stream header and first chunk
+// in hand while the query is still running. A large scan with one-row
+// chunks fills the TCP buffers long before the result is done, so the
+// handler blocks on write mid-query; at that point the client has the
+// first rows, the admission slot is still held, and no outcome has been
+// recorded. Draining the rest then yields the full footer.
+func TestStreamHeaderBeforeCompletion(t *testing.T) {
+	const total = 60000
+	db := newTestDB(t, total, repro.WithMaxConcurrent(8))
+	_, hs := newTestServer(t, db, func(c *Config) { c.ChunkRows = 1 })
+
+	okBefore, _ := counter(db, "ok")
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT a, s FROM t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	head, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(head, `"columns"`) {
+		t.Fatalf("first line is not the stream header: %q", head)
+	}
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, `"rows"`) {
+		t.Fatalf("second line is not a row chunk: %q", first)
+	}
+	// Header and first rows are client-side; the query must still be in
+	// flight: slot held, no recorded outcome.
+	if running := db.ResourceStats().Admission.Running; running != 1 {
+		t.Fatalf("admission running = %d after first chunk, want 1 (query already finished?)", running)
+	}
+	if okNow, _ := counter(db, "ok"); okNow != okBefore {
+		t.Fatal("query outcome recorded before the stream was consumed")
+	}
+	// Drain the rest; the footer closes the books.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := ndjson(t, rest)
+	foot := objs[len(objs)-1]
+	if foot["status"] != "ok" || foot["row_count"].(float64) != total {
+		t.Fatalf("footer = %v", foot)
+	}
+	waitFor(t, 5*time.Second, func() bool { return db.ResourceStats().Admission.Running == 0 })
+}
+
+// TestStreamClientDisconnectMidStream hangs up after the first chunk of
+// a long live stream and asserts the cooperative-cancel chain: the
+// request context cancels the engine mid-pull, the query's outcome is
+// recorded as canceled, the admission slot frees, and no worker
+// goroutine is left behind (-race).
+func TestStreamClientDisconnectMidStream(t *testing.T) {
+	db := newTestDB(t, 60000, repro.WithMaxConcurrent(8))
+	_, hs := newTestServer(t, db, func(c *Config) { c.ChunkRows = 1 })
+	before := runtime.NumGoroutine()
+
+	canceledBefore, _ := counter(db, "canceled")
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT a, s FROM t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		resp.Body.Close()
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 2; i++ { // header + first chunk
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close() // hang up mid-stream
+
+	// The engine observes the disconnect as a cancellation…
+	waitFor(t, 5*time.Second, func() bool {
+		now, _ := counter(db, "canceled")
+		return now > canceledBefore
+	})
+	// …releases the admission slot…
+	waitFor(t, 5*time.Second, func() bool { return db.ResourceStats().Admission.Running == 0 })
+	// …and unwinds every goroutine it started.
+	http.DefaultClient.CloseIdleConnections()
+	waitFor(t, 5*time.Second, func() bool { return runtime.NumGoroutine() <= before+2 })
 }
 
 // TestGracefulDrain: an in-flight query survives Drain, readiness flips,

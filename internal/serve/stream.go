@@ -96,34 +96,95 @@ func writeNDJSON(w http.ResponseWriter, obj any) error {
 	return nil
 }
 
-// streamRows writes a materialized result as an NDJSON stream, chunkRows
-// rows per chunk. Write errors (the client hung up mid-stream) abort the
-// stream silently — there is no one left to tell.
-func streamRows(w http.ResponseWriter, qid obs.QueryID, rows *repro.Rows, chunkRows int, elapsed time.Duration) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Query-Id", qid.String())
-	if err := writeNDJSON(w, streamHeader{QueryID: qid.String(), Columns: rows.Columns}); err != nil {
-		return
+// streamLive pulls rows from a streaming result and writes them as an
+// NDJSON stream, chunkRows rows per chunk, while the engine is still
+// producing: each chunk is flushed as soon as it fills, so a client
+// reads the first rows before the scan finishes. The HTTP status and
+// stream header are deferred until the first row (or a clean empty
+// result), so an engine error that strikes before any row — a crossed
+// memory budget at a sort's reservation, a bad plan — still maps to its
+// real HTTP status. Past the header the status is committed; a failure
+// then terminates the stream with an errorBody object instead of the
+// footer. Write errors mean the client hung up: the stream is abandoned
+// after a bounded wait for the request context to cancel, so the
+// query's recorded outcome is "canceled", not "ok".
+func (s *Server) streamLive(w http.ResponseWriter, r *http.Request, qid obs.QueryID, rows *repro.Rows, start time.Time) {
+	defer rows.Close()
+	headerSent := false
+	sendHeader := func() bool {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Query-Id", qid.String())
+		if err := writeNDJSON(w, streamHeader{QueryID: qid.String(), Columns: rows.Columns}); err != nil {
+			awaitDisconnect(r)
+			return false
+		}
+		headerSent = true
+		return true
 	}
-	for off := 0; off < len(rows.Data); off += chunkRows {
-		end := min(off+chunkRows, len(rows.Data))
-		chunk := streamChunk{Rows: make([][]any, 0, end-off)}
-		for _, r := range rows.Data[off:end] {
-			enc := make([]any, len(r))
-			for i, v := range r {
-				enc[i] = encodeValue(v)
-			}
-			chunk.Rows = append(chunk.Rows, enc)
+	count := 0
+	chunk := streamChunk{Rows: make([][]any, 0, s.cfg.ChunkRows)}
+	flushChunk := func() bool {
+		if len(chunk.Rows) == 0 {
+			return true
 		}
 		if err := writeNDJSON(w, chunk); err != nil {
+			awaitDisconnect(r)
+			return false
+		}
+		chunk.Rows = chunk.Rows[:0]
+		return true
+	}
+	for rows.Next() {
+		if !headerSent && !sendHeader() {
+			return
+		}
+		row := rows.Row()
+		enc := make([]any, len(row))
+		for i, v := range row {
+			enc[i] = encodeValue(v)
+		}
+		chunk.Rows = append(chunk.Rows, enc)
+		count++
+		if len(chunk.Rows) >= s.cfg.ChunkRows && !flushChunk() {
 			return
 		}
 	}
+	if err := rows.Err(); err != nil {
+		if !headerSent {
+			s.writeErr(w, qid, err)
+			return
+		}
+		code := repro.Code(err)
+		if statusOf(code, err) >= 500 {
+			s.cfg.Logger.Error("query failed mid-stream", "query_id", qid, "code", code, "err", err)
+		}
+		_ = writeNDJSON(w, errorBody{Status: "error", Code: code, Error: err.Error(), QueryID: qid.String()})
+		return
+	}
+	if !headerSent && !sendHeader() {
+		return
+	}
+	if !flushChunk() {
+		return
+	}
+	s.cfg.Logger.Debug("query", "query_id", qid, "rows", count, "elapsed", time.Since(start))
 	_ = writeNDJSON(w, streamFooter{
 		Status:    "ok",
-		RowCount:  len(rows.Data),
+		RowCount:  count,
 		Strategy:  rows.Rewrite.Strategy.String(),
 		CacheHit:  rows.Rewrite.CacheHit,
-		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// awaitDisconnect blocks, bounded, until net/http observes the dropped
+// connection and cancels the request context. A write error races the
+// context cancellation; waiting for it here lets the engine see the
+// cancel before the stream closes, so the query's telemetry outcome
+// reflects the disconnect.
+func awaitDisconnect(r *http.Request) {
+	select {
+	case <-r.Context().Done():
+	case <-time.After(2 * time.Second):
+	}
 }

@@ -265,6 +265,8 @@ type dbConfig struct {
 	slowThreshold  time.Duration
 	slowLogger     *slog.Logger
 	latencyBuckets []float64
+	traceSample    float64
+	traceSampleSet bool
 }
 
 // WithMaxConcurrent bounds how many queries execute at once; further
@@ -625,20 +627,30 @@ func (o *queryOpts) deadline(ctx context.Context) (context.Context, context.Canc
 	return ctx, func() {}
 }
 
-// Rows is a materialized query result.
+// Rows is a query result. Query/QueryContext return it eager — Data
+// fully materialized — while QueryStream/StreamContext return it live,
+// with Data nil and rows pulled from the engine by Next. The cursor API
+// (Next, Row, Scan, Err, Close) works over both forms.
 type Rows struct {
 	// Columns are output column names.
 	Columns []string
-	// Data holds the rows.
+	// Data holds the rows of an eager result; nil on a streaming one.
 	Data [][]Value
 	// Rewrite describes how the query was executed.
 	Rewrite RewriteInfo
 	// Mem reports the query's memory accounting: configured budget, peak
 	// charged bytes, and spill runs/bytes if any operator went to disk.
+	// On a streaming Rows it is populated when the stream finishes.
 	Mem MemStats
 
 	// trace is the query's span tree when one was collected; Trace reads it.
 	trace *Trace
+
+	// pos/cur are the cursor over Data (eager) or the current streamed
+	// row; src is the live executor stream, nil on eager results.
+	pos int
+	cur []Value
+	src *rowsStream
 }
 
 // RewriteInfo reports the chosen rewrite.
@@ -721,7 +733,7 @@ func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts, tel *qt
 		}
 		return nil, wrapCanceled(err)
 	}
-	rows := newRows(out, inf)
+	rows := newRows(out, res.Plan, inf)
 	rows.Mem = grs.Stats()
 	return rows, nil
 }
@@ -859,7 +871,7 @@ func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
 		tel.finish(nil, err)
 		return nil, err
 	}
-	rows := newRows(out, p.info)
+	rows := newRows(out, p.plan, p.info)
 	rows.Mem = grs.Stats()
 	tel.finish(rows, nil)
 	return rows, nil
@@ -937,17 +949,26 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 }
 
 // newRows materializes an executed result into the public Rows shape —
-// the single point where result rows are copied out of the engine, shared
-// by DB.Query and Prepared.Run.
-func newRows(out *exec.Result, inf RewriteInfo) *Rows {
+// the single point where result rows leave the engine, shared by
+// DB.Query and Prepared.Run. When the plan's root exclusively owns its
+// output (projections, joins, aggregates — anything that built fresh
+// rows rather than slicing stored segments), the rows are adopted
+// as-is; only roots that alias engine-owned storage are copied.
+func newRows(out *exec.Result, plan exec.Node, inf RewriteInfo) *Rows {
 	rows := &Rows{Rewrite: inf}
 	rows.Columns = make([]string, len(out.Schema.Columns))
 	for i, c := range out.Schema.Columns {
 		rows.Columns[i] = c.Name
 	}
 	rows.Data = make([][]Value, len(out.Rows))
-	for i, r := range out.Rows {
-		rows.Data[i] = append([]Value{}, r...)
+	if exec.OwnsRows(plan) {
+		for i, r := range out.Rows {
+			rows.Data[i] = r
+		}
+	} else {
+		for i, r := range out.Rows {
+			rows.Data[i] = append([]Value{}, r...)
+		}
 	}
 	return rows
 }

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,6 +50,7 @@ type dbMetrics struct {
 	planDur    *obs.Histogram    // repro_plan_seconds
 	admitWait  *obs.Histogram    // repro_admission_wait_seconds
 	peakBytes  *obs.Histogram    // repro_query_peak_bytes
+	firstRow   *obs.Histogram    // repro_first_row_seconds
 
 	opRows    *obs.CounterVec // repro_operator_rows_total{op}
 	opBatches *obs.CounterVec // repro_operator_batches_total{op}
@@ -77,6 +80,7 @@ func newDBMetrics(db *DB, latency []float64) *dbMetrics {
 		planDur:    r.Histogram("repro_plan_seconds", "Physical planning time per plan-cache miss.", latency),
 		admitWait:  r.Histogram("repro_admission_wait_seconds", "Time spent queued in admission control before execution.", latency),
 		peakBytes:  r.Histogram("repro_query_peak_bytes", "Per-query peak charged memory in bytes.", obs.DefBytesBuckets),
+		firstRow:   r.Histogram("repro_first_row_seconds", "Streamed-query time to first row: query start to the first batch leaving the engine.", latency),
 		opRows:     r.CounterVec("repro_operator_rows_total", "Rows produced per operator kind.", "op"),
 		opBatches:  r.CounterVec("repro_operator_batches_total", "Vector-kernel batches processed per operator kind.", "op"),
 		evalOps:    r.CounterVec("repro_eval_operators_total", "Expression-evaluating operator executions by eval mode (vector, row).", "mode"),
@@ -183,10 +187,29 @@ type dbTelemetry struct {
 	slowThreshold time.Duration
 	slowLogger    *slog.Logger
 
+	// traceEvery is the head-sampling period from WithTraceSampling: a
+	// trace is built for one query in every traceEvery (1 = all, the
+	// default; 0 = none). traceSeq is the sampled-query counter.
+	traceEvery uint64
+	traceSeq   atomic.Uint64
+
 	srv      *http.Server
 	lis      net.Listener
 	addrErr  error
 	wantAddr string
+}
+
+// sampleTrace decides whether the next trace-requesting query gets one,
+// per the WithTraceSampling period. The first such query is always
+// sampled, so a single traced query under heavy sampling still works.
+func (t *dbTelemetry) sampleTrace() bool {
+	switch t.traceEvery {
+	case 1:
+		return true
+	case 0:
+		return false
+	}
+	return (t.traceSeq.Add(1)-1)%t.traceEvery == 0
 }
 
 // startQuery opens one query's telemetry. It returns nil when telemetry
@@ -198,7 +221,7 @@ func (db *DB) startQuery(sql string, o *queryOpts) *qtel {
 		return nil
 	}
 	q := &qtel{db: t, m: t.metrics, start: time.Now(), hook: o.traceHook}
-	if o.traceSet || t.slowLogger != nil {
+	if (o.traceSet || t.slowLogger != nil) && t.sampleTrace() {
 		q.trace = obs.NewTrace(obs.NextQueryID(), sql)
 		q.trace.Root.Start = q.start
 	}
@@ -329,6 +352,20 @@ func operatorSpan(n exec.Node, stats map[exec.Node]*exec.NodeStats) *obs.Span {
 	return sp
 }
 
+// noteFirstRow records a streamed query's time to first row, as a
+// histogram sample and (in a trace) a first_row attribute on the root
+// span. Only the streaming entry points call it; eager queries deliver
+// all rows at once and would observe their full latency here.
+func (q *qtel) noteFirstRow(d time.Duration) {
+	if q == nil {
+		return
+	}
+	q.m.firstRow.Observe(d.Seconds())
+	if q.trace != nil {
+		q.trace.Root.SetAttr("first_row", d.Round(time.Microsecond).String())
+	}
+}
+
 // noteMem records the query's final memory accounting for finish.
 func (q *qtel) noteMem(m MemStats) {
 	if q == nil {
@@ -367,19 +404,25 @@ func (q *qtel) finish(rows *Rows, err error) {
 	if lg := q.db.slowLogger; lg != nil && dur >= q.db.slowThreshold {
 		q.m.slowQ.Inc()
 		attrs := []slog.Attr{
-			slog.String("query_id", q.trace.QueryID.String()),
-			slog.String("sql", q.trace.SQL),
 			slog.Duration("duration", dur),
 			slog.String("outcome", oc),
 			slog.Bool("plan_cache_hit", q.cacheHit),
 			slog.Int64("peak_bytes", q.mem.Peak),
 			slog.Int64("spill_runs", q.mem.SpillRuns),
 		}
-		for i, sp := range q.trace.SlowestSpans(3) {
-			attrs = append(attrs, slog.String(
-				fmt.Sprintf("span_%d", i+1),
-				fmt.Sprintf("%s=%s", sp.Name, sp.Exclusive().Round(time.Microsecond)),
-			))
+		// Under WithTraceSampling the trace may have been sampled away; the
+		// entry then carries the summary fields but no query text or spans.
+		if q.trace != nil {
+			attrs = append(attrs,
+				slog.String("query_id", q.trace.QueryID.String()),
+				slog.String("sql", q.trace.SQL),
+			)
+			for i, sp := range q.trace.SlowestSpans(3) {
+				attrs = append(attrs, slog.String(
+					fmt.Sprintf("span_%d", i+1),
+					fmt.Sprintf("%s=%s", sp.Name, sp.Exclusive().Round(time.Microsecond)),
+				))
+			}
 		}
 		lg.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
 	}
@@ -437,6 +480,20 @@ func WithHistogramBuckets(boundsSeconds []float64) Option {
 	return func(c *dbConfig) { c.latencyBuckets = bounds }
 }
 
+// WithTraceSampling head-samples trace collection: only the given
+// fraction of trace-eligible queries (WithTrace callers, or every query
+// when a slow-query log is configured) actually build a span tree; the
+// rest skip trace construction entirely and pay nothing. fraction >= 1
+// traces every eligible query (the default), fraction <= 0 none, and
+// anything between traces one query in every round(1/fraction),
+// starting with the first. A sampled-out query's WithTrace hook is
+// invoked with a nil *Trace and its Rows.Trace returns nil; slow-query
+// log entries for such queries carry the summary fields but no query
+// text or spans. Metrics are unaffected.
+func WithTraceSampling(fraction float64) Option {
+	return func(c *dbConfig) { c.traceSample, c.traceSampleSet = fraction, true }
+}
+
 // WithSlowQueryLog logs every query at or over threshold to logger: the
 // query text and ID, outcome, plan-cache status, peak memory, spill runs,
 // and the three slowest spans by self time. A zero threshold logs every
@@ -458,6 +515,17 @@ func applyTelemetry(db *DB, c *dbConfig) {
 		slowThreshold: c.slowThreshold,
 		slowLogger:    c.slowLogger,
 		wantAddr:      c.metricsAddr,
+		traceEvery:    1,
+	}
+	if c.traceSampleSet {
+		switch f := c.traceSample; {
+		case f >= 1:
+			t.traceEvery = 1
+		case f <= 0:
+			t.traceEvery = 0
+		default:
+			t.traceEvery = uint64(math.Round(1 / f))
+		}
 	}
 	db.tel = t
 	if c.metricsAddr == "" {
