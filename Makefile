@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak bench bench-all bench-serving serve-smoke clean
+.PHONY: all build vet test race verify soak crash-soak bench bench-all bench-serving serve-smoke clean
 
 all: verify
 
@@ -33,6 +33,14 @@ verify:
 soak:
 	REPRO_SOAK=1 $(GO) test -race -count=1 -run 'TestSoak' -v .
 	$(GO) test -race -count=1 ./internal/govern/
+
+# Crash-recovery soak: boots rfidserve with a WAL, ingests numbered rows
+# over /v1/ingest under load, SIGKILLs the server at a random moment,
+# restarts it, and asserts the recovered table is exactly a durable
+# prefix of what was acknowledged (count >= acked, whole batches only,
+# checksum sum(n) == count*(count-1)/2). Several kill/recover cycles.
+crash-soak:
+	./scripts/crash_soak.sh
 
 # Core benchmarks with allocation stats, recorded to BENCH_PR2.json in
 # the standard `go test -bench` text format that benchstat consumes

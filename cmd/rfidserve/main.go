@@ -38,6 +38,11 @@ var (
 	memLimit = flag.Int64("mem-limit", 0, "default per-query memory budget in bytes (0 = unlimited)")
 	spillDir = flag.String("spill-dir", "", "spill-file directory (default: system temp)")
 
+	walDir       = flag.String("wal", "", "durability root: WAL + checkpoints live here; the server recovers from it on start and /v1/ingest appends become durable")
+	fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always (acked ingests survive power loss), interval, or off")
+	fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval")
+	ckptBytes    = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint when the WAL passes this size (0 disables the size trigger)")
+	ckptEvery    = flag.Duration("checkpoint-interval", 5*time.Minute, "checkpoint on this timer while the WAL is non-empty (0 disables the timer)")
 	sessionIdle  = flag.Duration("session-idle", 5*time.Minute, "evict prepared-statement sessions idle this long")
 	drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on SIGTERM")
 	slowQuery    = flag.Duration("slow-query", 0, "log queries at or over this duration (0 = off)")
@@ -71,26 +76,48 @@ func run(log *slog.Logger) error {
 
 	var db *repro.DB
 	var err error
-	if *dir != "" {
+	switch {
+	case *walDir != "":
+		// Durable mode: the WAL root is the source of truth, recovered on
+		// every start; -dir only seeds a fresh root. An empty fresh root
+		// gets the generated workload, made durable by its load checkpoint.
+		pol, err := repro.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		dbOpts = append(dbOpts,
+			repro.WithWAL(*walDir),
+			repro.WithFsyncPolicy(pol),
+			repro.WithFsyncInterval(*fsyncEvery),
+			repro.WithCheckpointEvery(*ckptBytes, *ckptEvery),
+		)
+		if db, err = repro.OpenDir(*dir, dbOpts...); err != nil {
+			return fmt.Errorf("open wal %s: %w", *walDir, err)
+		}
+		rs := db.ResourceStats().Recovery
+		log.Info("recovered", "wal", *walDir,
+			"checkpoint", rs.Checkpoint,
+			"replayed_records", rs.ReplayedRecords,
+			"replayed_rows", rs.ReplayedRows,
+			"truncated_bytes", rs.TruncatedBytes,
+			"seeded", rs.Seeded)
+		if rs.Checkpoint == "" && rs.ReplayedRecords == 0 && !rs.Seeded && *dir == "" && *scale > 0 {
+			if err := loadWorkload(db, log); err != nil {
+				return err
+			}
+		}
+	case *dir != "":
 		if db, err = repro.OpenDir(*dir, dbOpts...); err != nil {
 			return fmt.Errorf("open %s: %w", *dir, err)
 		}
 		log.Info("restored database", "dir", *dir)
-	} else {
+	default:
 		db = repro.Open(dbOpts...)
-		start := time.Now()
-		if err := db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: *scale, AnomalyPct: *pct}); err != nil {
-			return fmt.Errorf("load workload: %w", err)
+		if err := loadWorkload(db, log); err != nil {
+			return err
 		}
-		if *rules {
-			names, err := db.DefinePaperRules()
-			if err != nil {
-				return fmt.Errorf("define rules: %w", err)
-			}
-			log.Info("rules registered", "rules", names)
-		}
-		log.Info("workload loaded", "scale", *scale, "anomaly_pct", *pct, "elapsed", time.Since(start).Round(time.Millisecond))
 	}
+	defer db.Close()
 
 	srv := serve.New(serve.Config{
 		DB:                 db,
@@ -129,6 +156,24 @@ func run(log *slog.Logger) error {
 		return fmt.Errorf("drain abandoned in-flight queries: %w", err)
 	}
 	log.Info("exit: drained cleanly")
+	return nil
+}
+
+// loadWorkload generates and loads the RFIDGen workload with the paper's
+// rules. On a durable DB the load is made durable by its checkpoint.
+func loadWorkload(db *repro.DB, log *slog.Logger) error {
+	start := time.Now()
+	if err := db.LoadRFIDWorkload(repro.WorkloadConfig{Scale: *scale, AnomalyPct: *pct}); err != nil {
+		return fmt.Errorf("load workload: %w", err)
+	}
+	if *rules {
+		names, err := db.DefinePaperRules()
+		if err != nil {
+			return fmt.Errorf("define rules: %w", err)
+		}
+		log.Info("rules registered", "rules", names)
+	}
+	log.Info("workload loaded", "scale", *scale, "anomaly_pct", *pct, "elapsed", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -4,6 +4,7 @@
 //	rfidsql                       # empty database
 //	rfidsql -workload 5 -pct 10   # pre-loaded RFIDGen workload + paper rules
 //	rfidsql -open /path/to/saved  # restore a \save'd database
+//	rfidsql -wal /path/to/wal     # durable session: recover + log every write
 package main
 
 import (
@@ -19,19 +20,37 @@ var (
 	workload = flag.Int("workload", 0, "generate an RFIDGen workload at this scale (0 = empty db)")
 	pct      = flag.Int("pct", 10, "anomaly percentage for -workload")
 	openDir  = flag.String("open", "", "open a saved database directory")
+	walDir   = flag.String("wal", "", "durability root: recover from it on start, log every write (see \\wal)")
+	fsync    = flag.String("fsync", "always", "WAL fsync policy with -wal: always, interval, or off")
 )
 
 func main() {
 	flag.Parse()
-	db := repro.Open()
-	if *openDir != "" {
+	var db *repro.DB
+	switch {
+	case *walDir != "":
+		pol, err := repro.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfidsql: %v\n", err)
+			os.Exit(1)
+		}
+		// -open seeds a fresh WAL root; thereafter the WAL is the truth.
+		db, err = repro.OpenDir(*openDir, repro.WithWAL(*walDir), repro.WithFsyncPolicy(pol))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfidsql: %v\n", err)
+			os.Exit(1)
+		}
+	case *openDir != "":
 		var err error
 		db, err = repro.OpenDir(*openDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rfidsql: %v\n", err)
 			os.Exit(1)
 		}
+	default:
+		db = repro.Open()
 	}
+	defer db.Close()
 	sh := shell.New(db, os.Stdout)
 	if *workload > 0 {
 		if err := sh.Meta(fmt.Sprintf(`\workload %d %d`, *workload, *pct)); err != nil {

@@ -27,6 +27,21 @@ type Inject struct {
 	// SpillErr makes spill-file creation fail, exercising the I/O-error
 	// path of every spilling operator.
 	SpillErr bool
+
+	// The WAL crash faults below are DB-level, not per-query: they take
+	// effect through repro.WithDurabilityFaults at Open, which maps them
+	// onto the persist layer's fault hooks. They are ignored on a query's
+	// WithFaults.
+
+	// WALTornWrite makes the next WAL append write only a prefix of its
+	// frame and fail as if the process died mid-write.
+	WALTornWrite bool
+	// WALSyncErr makes every WAL fsync fail; under an always policy the
+	// ingest that asked for the sync must not be acknowledged.
+	WALSyncErr bool
+	// CheckpointCrash makes the next checkpoint write its complete temp
+	// directory and die before publishing it.
+	CheckpointCrash bool
 }
 
 // faultState is the per-query instantiation of an Inject: the one-shot

@@ -1,0 +1,175 @@
+// Atomic checkpoints for the WAL-backed durability root.
+//
+// A checkpoint is a complete snapshot (the Save format) plus a
+// CHECKPOINT.json stamp naming the WAL sequence number whose records it
+// already contains. It is written to a tmp-* directory, fsynced, renamed
+// to checkpoint-%06d, and published by rewriting the CURRENT pointer
+// file — the same tmp-write → fsync → rename discipline at every step,
+// so recovery always finds either the old checkpoint or the complete new
+// one, never a partial mix.
+//
+// The covered-WAL bookkeeping uses whole files, not offsets: Checkpoint
+// runs with the engine's catalog write lock held (no append can race
+// it), so after the snapshot lands it rotates the WAL to a fresh file
+// with the next sequence number and stamps the checkpoint with that
+// number. Recovery replays exactly the files with seq >= the stamp.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// checkpointMeta is the CHECKPOINT.json stamp inside a checkpoint dir.
+type checkpointMeta struct {
+	Version int `json:"version"`
+	// WALSeq is the first WAL file whose records are NOT contained in
+	// this checkpoint; recovery replays files with seq >= WALSeq.
+	WALSeq uint64 `json:"wal_seq"`
+}
+
+const (
+	currentFile = "CURRENT"
+	metaFile    = "CHECKPOINT.json"
+	ckptPrefix  = "checkpoint-"
+	tmpPrefix   = "tmp-"
+	ckptNameFmt = "checkpoint-%06d"
+)
+
+// Checkpoint snapshots the database into the WAL's durability root and
+// rotates the log, bounding recovery to the records appended afterwards.
+// The caller must hold the engine's catalog write lock: the snapshot, the
+// stamp, and the rotation must see one consistent state.
+func (w *WAL) Checkpoint(db *catalog.Database, reg *core.Registry) error {
+	w.mu.Lock()
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return fmt.Errorf("persist: wal unusable after earlier failure: %w", err)
+	}
+	next := w.seq + 1
+	w.mu.Unlock()
+
+	tmp, err := os.MkdirTemp(w.dir, tmpPrefix)
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	if err := writeSnapshot(db, reg, tmp); err != nil {
+		return fmt.Errorf("persist: checkpoint snapshot: %w", err)
+	}
+	blob, err := json.Marshal(checkpointMeta{Version: formatVersion, WALSeq: next})
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(tmp, metaFile), blob); err != nil {
+		return err
+	}
+	if w.faults != nil && w.faults.CheckpointCrash {
+		// Die after the complete tmp write, before publication: the
+		// previous checkpoint plus the full WAL must still recover the DB,
+		// and the orphaned tmp-* dir must be swept on reopen.
+		w.faults.CheckpointCrash = false
+		w.mu.Lock()
+		w.broken = ErrInjectedCrash
+		w.mu.Unlock()
+		return fmt.Errorf("%w: kill during checkpoint", ErrInjectedCrash)
+	}
+
+	name := fmt.Sprintf(ckptNameFmt, next)
+	if err := os.Rename(tmp, filepath.Join(w.dir, name)); err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	if err := setCurrent(w.dir, name); err != nil {
+		return err
+	}
+	// Published. Everything from here is cleanup: rotate appends onto
+	// wal-<next> and drop files the checkpoint contains; a crash at any
+	// point leaves extra files that recovery deletes.
+	if err := w.rotate(next - 1); err != nil {
+		return err
+	}
+	sweepCheckpoints(w.dir, name)
+	return nil
+}
+
+// setCurrent atomically points CURRENT at a checkpoint directory name.
+func setCurrent(dir, name string) error {
+	tmp := filepath.Join(dir, currentFile+".tmp")
+	if err := writeFileSync(tmp, []byte(name+"\n")); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCurrent returns the checkpoint directory CURRENT names, or "" when
+// the root has no published checkpoint yet.
+func readCurrent(dir string) (string, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	name := strings.TrimSpace(string(blob))
+	if !strings.HasPrefix(name, ckptPrefix) {
+		return "", fmt.Errorf("persist: CURRENT names %q, not a checkpoint", name)
+	}
+	return name, nil
+}
+
+// readCheckpointMeta loads a checkpoint dir's CHECKPOINT.json stamp.
+func readCheckpointMeta(dir string) (checkpointMeta, error) {
+	var m checkpointMeta
+	blob, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return m, fmt.Errorf("persist: bad checkpoint meta: %w", err)
+	}
+	if m.Version != formatVersion {
+		return m, fmt.Errorf("persist: unsupported checkpoint version %d", m.Version)
+	}
+	return m, nil
+}
+
+// sweepCheckpoints deletes checkpoint-* dirs other than keep. Best
+// effort: a leftover dir wastes disk, nothing else.
+func sweepCheckpoints(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), ckptPrefix) && e.Name() != keep {
+			_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// sweepTmp deletes tmp-* leftovers from checkpoints that died mid-write.
+func sweepTmp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
+}

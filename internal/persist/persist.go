@@ -55,12 +55,54 @@ type viewManifest struct {
 
 const formatVersion = 1
 
-// Save writes the database (and, when reg is non-nil, its rules) to dir,
-// creating it if needed. Existing files in dir are overwritten.
+// Save writes the database (and, when reg is non-nil, its rules) to dir.
+// The snapshot is written to a temporary sibling directory, fsynced, and
+// renamed into place, so a crash mid-Save never destroys the previous
+// good snapshot: dir either holds the old snapshot or the complete new
+// one. (During the swap the old snapshot briefly lives at dir+".bak";
+// Load falls back to it if a crash lands in that window.)
 func Save(db *catalog.Database, reg *core.Registry, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	parent := filepath.Dir(filepath.Clean(dir))
+	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return err
 	}
+	tmp, err := os.MkdirTemp(parent, "tmp-save-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	if err := writeSnapshot(db, reg, tmp); err != nil {
+		return err
+	}
+	return swapDir(tmp, dir)
+}
+
+// swapDir atomically replaces dst with the fully written directory src.
+// An existing dst is parked at dst+".bak" for the duration of the swap
+// and removed once src is in place.
+func swapDir(src, dst string) error {
+	bak := dst + ".bak"
+	if err := os.RemoveAll(bak); err != nil {
+		return err
+	}
+	if _, err := os.Stat(dst); err == nil {
+		if err := os.Rename(dst, bak); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(filepath.Clean(dst))); err != nil {
+		return err
+	}
+	return os.RemoveAll(bak)
+}
+
+// writeSnapshot writes the snapshot files (manifest + one CSV per table)
+// into dir, which must already exist, fsyncing each file so a subsequent
+// rename publishes fully durable contents. Save and Checkpoint share it.
+func writeSnapshot(db *catalog.Database, reg *core.Registry, dir string) error {
 	m := manifest{Version: formatVersion}
 	for _, name := range db.TableNames() {
 		t, _ := db.Table(name)
@@ -89,13 +131,40 @@ func Save(db *catalog.Database, reg *core.Registry, dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644)
+	if err := writeFileSync(filepath.Join(dir, "manifest.json"), blob); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes path and fsyncs it before closing.
+func writeFileSync(path string, blob []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Load restores a database and rules catalog from a directory written by
-// Save. Indexes are rebuilt and statistics re-analyzed.
+// Save. Indexes are rebuilt and statistics re-analyzed. If dir has no
+// manifest but dir+".bak" does — the signature of a crash inside Save's
+// rename window — the backup is loaded instead.
 func Load(dir string) (*catalog.Database, *core.Registry, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if os.IsNotExist(err) {
+		if bb, berr := os.ReadFile(filepath.Join(dir+".bak", "manifest.json")); berr == nil {
+			blob, err, dir = bb, nil, dir+".bak"
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -168,7 +237,10 @@ func saveTable(t *storage.Table, path string) error {
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 func loadTable(t *storage.Table, path string) error {

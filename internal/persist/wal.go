@@ -1,0 +1,581 @@
+// Write-ahead log for the deferred-cleansing engine's ingest path.
+//
+// The paper defers cleansing to query time so ingest can accept raw RFID
+// reads cheaply and continuously; this file makes that ingest durable. A
+// WAL file is a 16-byte header (magic, version, sequence number) followed
+// by length-prefixed records:
+//
+//	uint32 payload length (LE)
+//	uint32 CRC32C over (type byte ‖ payload)
+//	uint8  record type
+//	payload
+//
+// Record payloads are the same deliberately boring encodings the snapshot
+// format uses: append batches carry rows as encodeValue strings inside a
+// small JSON envelope, DDL records carry a JSON op, and rule records carry
+// the raw extended SQL-TS source. Replay decodes by the table schema in
+// effect at that point of the log, exactly as the live path did.
+//
+// Torn writes are the expected failure: recovery reads records until the
+// first short, oversized, or checksum-failing frame, truncates the file
+// there, and resumes appending at the cut. A record is therefore durable
+// iff it is entirely on disk with a valid checksum — there is no partial
+// replay of a batch.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// FsyncPolicy selects when acknowledged WAL writes are forced to disk.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs before every append acknowledgment: an acked batch
+	// survives power loss. Concurrent committers share one fsync (group
+	// commit).
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a timer: an acked batch survives process
+	// death immediately, and power loss after at most the sync interval.
+	FsyncInterval
+	// FsyncOff never syncs: the OS flushes at its leisure. Acked batches
+	// survive process death (the write hit the page cache) but not
+	// necessarily power loss.
+	FsyncOff
+)
+
+// String renders the policy the way flags and docs spell it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy reads a policy name: always, interval, or off.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("persist: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// CrashFaults injects durability failures for tests and the soak suite.
+// The zero value injects nothing. The facade maps govern.Inject's WAL
+// fields onto this so persist stays decoupled from the governance layer.
+type CrashFaults struct {
+	// TornWrite makes the next WAL append write only a prefix of its frame
+	// and then fail as if the process died mid-write: the append reports
+	// ErrInjectedCrash, and the WAL refuses further appends. Reopening the
+	// directory must recover exactly the previously acknowledged records.
+	TornWrite bool
+	// SyncErr makes every fsync fail. Under FsyncAlways the append that
+	// asked for the sync fails; the batch must not be acknowledged.
+	SyncErr bool
+	// CheckpointCrash makes Checkpoint write its complete temp directory
+	// and then fail before publishing it — the crash window in which the
+	// previous checkpoint plus the full WAL must still recover the DB.
+	CheckpointCrash bool
+}
+
+// ErrInjectedCrash reports a failure forced by CrashFaults.
+var ErrInjectedCrash = errors.New("persist: injected crash fault")
+
+// WAL record types.
+const (
+	recAppend byte = 1 // appendPayload JSON
+	recDDL    byte = 2 // DDLRecord JSON
+	recRule   byte = 3 // raw extended SQL-TS source
+)
+
+const (
+	walMagic      = "RWAL"
+	walVersion    = 1
+	walHeaderSize = 16
+	recHeaderSize = 9
+	// maxRecordBytes bounds a single record; a length prefix beyond it is
+	// treated as corruption, not an allocation request.
+	maxRecordBytes = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendPayload is the JSON envelope of an append-batch record. Row
+// values use the snapshot format's encodeValue strings; kinds come from
+// the table schema at replay time.
+type appendPayload struct {
+	Table string     `json:"table"`
+	Rows  [][]string `json:"rows"`
+}
+
+// DDLRecord is the JSON payload of a DDL record.
+type DDLRecord struct {
+	// Op: create_table, create_view, or build_index.
+	Op    string `json:"op"`
+	Name  string `json:"name,omitempty"`
+	Table string `json:"table,omitempty"`
+	// Columns describe create_table schemas (kind names as in manifests).
+	Columns []colDef `json:"columns,omitempty"`
+	// SQL is a create_view definition.
+	SQL string `json:"sql,omitempty"`
+	// Column is a build_index target.
+	Column string `json:"column,omitempty"`
+}
+
+// DDL op names.
+const (
+	DDLCreateTable = "create_table"
+	DDLCreateView  = "create_view"
+	DDLBuildIndex  = "build_index"
+)
+
+// NewTableDDL builds a create_table record from a schema.
+func NewTableDDL(name string, s *schema.Schema) DDLRecord {
+	d := DDLRecord{Op: DDLCreateTable, Name: name}
+	for _, c := range s.Columns {
+		d.Columns = append(d.Columns, colDef{Name: c.Name, Kind: kindName(c.Kind)})
+	}
+	return d
+}
+
+// WAL is one open write-ahead log file inside a durability root. Appends
+// are serialized by the caller (the engine holds its catalog write lock
+// across every mutation); Sync coalesces concurrent committers into a
+// shared fsync.
+type WAL struct {
+	dir      string
+	policy   FsyncPolicy
+	interval time.Duration
+	faults   *CrashFaults
+	// OnFsync, when set, observes each fsync's duration (metrics).
+	OnFsync func(time.Duration)
+
+	mu     sync.Mutex // guards f, seq, broken, rotation
+	f      *os.File
+	seq    uint64
+	size   atomic.Int64 // end offset of the current file
+	broken error        // sticky: set after a torn write or failed rotation
+
+	syncMu sync.Mutex
+	synced int64 // offset known durable in the current file
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+// walFileName renders the canonical wal file name for a sequence number.
+func walFileName(seq uint64) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+// walSeqOf parses a wal file name; ok is false for other files.
+func walSeqOf(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "wal-%06d.log", &seq); n == 1 && err == nil {
+		return seq, true
+	}
+	return 0, false
+}
+
+// createWALFile writes a fresh wal file (header only) and syncs it and
+// its directory, so the file survives a crash immediately after rotation.
+func createWALFile(dir string, seq uint64) (*os.File, error) {
+	path := filepath.Join(dir, walFileName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// openWALAt opens an existing wal file for appending at offset end (the
+// recovery-determined good end), truncating anything after it.
+func openWALAt(dir string, seq uint64, end int64) (*os.File, error) {
+	path := filepath.Join(dir, walFileName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Persist the cut: a torn record must not reappear after another crash.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// start finishes WAL construction: interval ticker, size bookkeeping.
+func (w *WAL) start(end int64) {
+	w.size.Store(end)
+	w.synced = end
+	if w.policy == FsyncInterval {
+		if w.interval <= 0 {
+			w.interval = 100 * time.Millisecond
+		}
+		w.tickStop = make(chan struct{})
+		w.tickDone = make(chan struct{})
+		go func() {
+			defer close(w.tickDone)
+			t := time.NewTicker(w.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					_ = w.Sync()
+				case <-w.tickStop:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Size reports the current wal file's end offset in bytes.
+func (w *WAL) Size() int64 { return w.size.Load() }
+
+// Seq reports the current wal file's sequence number.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Dir reports the durability root the WAL lives in.
+func (w *WAL) Dir() string { return w.dir }
+
+// Policy reports the WAL's fsync policy.
+func (w *WAL) Policy() FsyncPolicy { return w.policy }
+
+// Empty reports whether the current wal file holds no records.
+func (w *WAL) Empty() bool { return w.size.Load() <= walHeaderSize }
+
+// frame assembles one record's on-disk bytes.
+func frame(typ byte, payload []byte) []byte {
+	buf := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	crc := crc32.Update(0, crcTable, []byte{typ})
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(buf[4:], crc)
+	buf[8] = typ
+	copy(buf[recHeaderSize:], payload)
+	return buf
+}
+
+// append writes one record frame. The caller serializes appends (the
+// engine's catalog write lock); durability is Sync's job.
+func (w *WAL) append(typ byte, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("persist: wal unusable after earlier failure: %w", w.broken)
+	}
+	buf := frame(typ, payload)
+	if w.faults != nil && w.faults.TornWrite {
+		w.faults.TornWrite = false
+		// Simulate dying mid-write: half the frame reaches the file, the
+		// rest never will. The record must not be acknowledged and must be
+		// truncated away on recovery.
+		torn := buf[:recHeaderSize+len(payload)/2]
+		if _, err := w.f.Write(torn); err == nil {
+			_ = w.f.Sync()
+		}
+		w.size.Add(int64(len(torn)))
+		w.broken = ErrInjectedCrash
+		return fmt.Errorf("%w: torn wal write", ErrInjectedCrash)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.broken = err
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	w.size.Add(int64(len(buf)))
+	return nil
+}
+
+// AppendBatch logs one append-batch record. Values are encoded with the
+// snapshot format's value encoding; the batch is one record, so recovery
+// replays it entirely or not at all.
+func (w *WAL) AppendBatch(table string, rows []schema.Row) error {
+	p := appendPayload{Table: table, Rows: make([][]string, len(rows))}
+	for i, r := range rows {
+		enc := make([]string, len(r))
+		for j, v := range r {
+			enc[j] = encodeValue(v)
+		}
+		p.Rows[i] = enc
+	}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return w.append(recAppend, blob)
+}
+
+// AppendDDL logs one DDL record.
+func (w *WAL) AppendDDL(d DDLRecord) error {
+	blob, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	return w.append(recDDL, blob)
+}
+
+// AppendRule logs one rule-create record (the raw extended SQL-TS source).
+func (w *WAL) AppendRule(src string) error {
+	return w.append(recRule, []byte(src))
+}
+
+// Sync forces everything appended so far to disk. Concurrent callers
+// coalesce: a committer whose record a neighbor's fsync already covered
+// returns without touching the disk (group commit).
+func (w *WAL) Sync() error {
+	target := w.size.Load()
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced >= target {
+		return nil
+	}
+	if w.faults != nil && w.faults.SyncErr {
+		return fmt.Errorf("%w: wal fsync error", ErrInjectedCrash)
+	}
+	// Capture the end before syncing: the fsync covers at least this much.
+	cur := w.size.Load()
+	start := time.Now()
+	w.mu.Lock()
+	f := w.f
+	w.mu.Unlock()
+	if f == nil {
+		return errors.New("persist: wal closed")
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("persist: wal fsync: %w", err)
+	}
+	if w.OnFsync != nil {
+		w.OnFsync(time.Since(start))
+	}
+	if cur > w.synced {
+		w.synced = cur
+	}
+	return nil
+}
+
+// Commit makes the preceding appends as durable as the configured policy
+// promises: a blocking fsync under always, nothing under interval (the
+// ticker owns syncing) or off.
+func (w *WAL) Commit() error {
+	if w.policy == FsyncAlways {
+		return w.Sync()
+	}
+	return nil
+}
+
+// rotate switches appends to a fresh wal file with the next sequence
+// number and deletes files at or below covered (they are fully contained
+// in a published checkpoint). Called by Checkpoint with the engine's
+// write lock held, so no append races the switch.
+func (w *WAL) rotate(covered uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := w.seq + 1
+	nf, err := createWALFile(w.dir, next)
+	if err != nil {
+		w.broken = err
+		return fmt.Errorf("persist: wal rotate: %w", err)
+	}
+	old := w.f
+	w.f = nf
+	w.seq = next
+	w.size.Store(walHeaderSize)
+	w.syncMu.Lock()
+	w.synced = walHeaderSize
+	w.syncMu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	names, err := os.ReadDir(w.dir)
+	if err == nil {
+		for _, e := range names {
+			if seq, ok := walSeqOf(e.Name()); ok && seq <= covered {
+				_ = os.Remove(filepath.Join(w.dir, e.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops the interval ticker, makes a best-effort final sync, and
+// closes the file. The WAL is unusable afterwards.
+func (w *WAL) Close() error {
+	if w.tickStop != nil {
+		close(w.tickStop)
+		<-w.tickDone
+		w.tickStop = nil
+	}
+	var syncErr error
+	if w.policy != FsyncOff {
+		syncErr = w.Sync()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return syncErr
+	}
+	err := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return err
+}
+
+// Record is one decoded WAL record, handed to replay callbacks.
+type Record struct {
+	Type byte
+	// Payload aliases the read buffer; callbacks must not retain it.
+	Payload []byte
+	// Start and End are the record's byte range in its file.
+	Start, End int64
+}
+
+// replayFile reads records from path starting at offset from, invoking fn
+// for each intact record. It returns the offset of the first byte that is
+// not part of an intact record (the good end) and the number of records
+// delivered. A torn or corrupt frame ends replay silently — that is the
+// expected crash signature, not an error; only I/O failures and callback
+// errors are returned.
+func replayFile(path string, from int64, fn func(Record) error) (goodEnd int64, n int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	size := st.Size()
+	if from < walHeaderSize {
+		hdr := make([]byte, walHeaderSize)
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// Shorter than a header: torn at creation. goodEnd 0 tells the
+			// caller to recreate the file before appending.
+			return 0, 0, nil
+		}
+		if string(hdr[:4]) != walMagic {
+			return 0, 0, fmt.Errorf("persist: %s: not a wal file", path)
+		}
+		if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
+			return 0, 0, fmt.Errorf("persist: %s: unsupported wal version %d", path, v)
+		}
+		from = walHeaderSize
+	}
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	good := from
+	hdr := make([]byte, recHeaderSize)
+	var payload []byte
+	for {
+		if size-good < recHeaderSize {
+			return good, n, nil
+		}
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return good, n, nil
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		typ := hdr[8]
+		if plen > maxRecordBytes || size-good-recHeaderSize < plen {
+			return good, n, nil
+		}
+		if int64(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return good, n, nil
+		}
+		crc := crc32.Update(0, crcTable, []byte{typ})
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != wantCRC {
+			return good, n, nil
+		}
+		rec := Record{Type: typ, Payload: payload, Start: good, End: good + recHeaderSize + plen}
+		if err := fn(rec); err != nil {
+			return good, n, err
+		}
+		good = rec.End
+		n++
+	}
+}
+
+// walFiles lists the root's wal files by ascending sequence number.
+func walFiles(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := walSeqOf(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

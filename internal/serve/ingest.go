@@ -1,0 +1,193 @@
+// POST /v1/ingest: the durable append path on the wire. A 200 response
+// means the batch is durable per the DB's configured fsync policy — on a
+// WAL-backed server under `always`, the rows survive power loss before
+// the client sees the status line; without a WAL the endpoint still
+// works but "durable":"none" tells the client what it got.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// ingestColumn declares one column of a create_if_missing schema. Kind
+// names are the engine's: BOOL, INT, FLOAT, STRING, TIME, INTERVAL.
+type ingestColumn struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// ingestRequest is the body of /v1/ingest. Row values are JSON-typed per
+// the column kind: bool for BOOL, number for INT/FLOAT, string for
+// STRING, RFC3339 string or microsecond number for TIME, Go duration
+// string or microsecond number for INTERVAL, null for NULL.
+type ingestRequest struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+	// CreateIfMissing declares the table's schema; when the table does
+	// not exist it is created (durably, on a WAL-backed server) first.
+	CreateIfMissing []ingestColumn `json:"create_if_missing,omitempty"`
+}
+
+// ingestResponse is the body of a successful /v1/ingest.
+type ingestResponse struct {
+	Status string `json:"status"`
+	Table  string `json:"table"`
+	Rows   int    `json:"rows"`
+	// Durable is the fsync policy the 200 promises: always, interval,
+	// off, or none (no WAL configured).
+	Durable string `json:"durable"`
+	// Created reports that create_if_missing made the table.
+	Created bool `json:"created,omitempty"`
+}
+
+// handleIngest appends one batch durably.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	dec.UseNumber() // keep INT values exact; float64 round-trips lose precision past 2^53
+	if err := dec.Decode(&req); err != nil {
+		s.writeCode(w, http.StatusBadRequest, CodeBadRequest, "invalid request body: "+err.Error(), 0)
+		return
+	}
+	if req.Table == "" {
+		s.writeCode(w, http.StatusBadRequest, CodeBadRequest, "table is required", 0)
+		return
+	}
+	cols, err := s.cfg.DB.TableColumns(req.Table)
+	created := false
+	if err != nil && len(req.CreateIfMissing) > 0 {
+		if cols, err = s.createForIngest(&req); err != nil {
+			s.writeCode(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+			return
+		}
+		created = true
+	}
+	if err != nil {
+		s.writeErr(w, obs.NextQueryID(), err)
+		return
+	}
+	rows := make([][]repro.Value, len(req.Rows))
+	for i, raw := range req.Rows {
+		if len(raw) != len(cols) {
+			s.writeCode(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("row %d has %d values, table %s has %d columns", i, len(raw), req.Table, len(cols)), 0)
+			return
+		}
+		row := make([]repro.Value, len(raw))
+		for j, v := range raw {
+			val, err := decodeJSONValue(v, cols[j].Kind)
+			if err != nil {
+				s.writeCode(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Sprintf("row %d column %s: %v", i, cols[j].Name, err), 0)
+				return
+			}
+			row[j] = val
+		}
+		rows[i] = row
+	}
+	if err := s.cfg.DB.IngestContext(r.Context(), req.Table, rows...); err != nil {
+		s.writeErr(w, obs.NextQueryID(), err)
+		return
+	}
+	durable := "none"
+	if ws := s.cfg.DB.WALStats(); ws.Durable {
+		durable = ws.Policy
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ingestResponse{
+		Status: "ok", Table: req.Table, Rows: len(rows), Durable: durable, Created: created,
+	})
+}
+
+// createForIngest makes the batch's table from its create_if_missing
+// schema and returns the resulting columns. A racing creator is fine:
+// losing the race falls back to the winner's schema.
+func (s *Server) createForIngest(req *ingestRequest) ([]repro.ColumnDef, error) {
+	defs := make([]repro.ColumnDef, len(req.CreateIfMissing))
+	for i, c := range req.CreateIfMissing {
+		k, err := repro.ParseKind(c.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("create_if_missing column %s: %v", c.Name, err)
+		}
+		defs[i] = repro.ColumnDef{Name: c.Name, Kind: k}
+	}
+	if err := s.cfg.DB.CreateTable(req.Table, defs...); err != nil {
+		if cols, lookupErr := s.cfg.DB.TableColumns(req.Table); lookupErr == nil {
+			return cols, nil
+		}
+		return nil, err
+	}
+	return s.cfg.DB.TableColumns(req.Table)
+}
+
+// decodeJSONValue converts one JSON value into an engine value of the
+// column's kind.
+func decodeJSONValue(v any, k repro.Kind) (repro.Value, error) {
+	if v == nil {
+		return repro.Null, nil
+	}
+	switch k {
+	case repro.KindBool:
+		if b, ok := v.(bool); ok {
+			return repro.NewBool(b), nil
+		}
+	case repro.KindInt:
+		if n, ok := v.(json.Number); ok {
+			i, err := n.Int64()
+			if err != nil {
+				return repro.Null, fmt.Errorf("not an integer: %v", n)
+			}
+			return repro.NewInt(i), nil
+		}
+	case repro.KindFloat:
+		if n, ok := v.(json.Number); ok {
+			f, err := n.Float64()
+			if err != nil {
+				return repro.Null, fmt.Errorf("not a number: %v", n)
+			}
+			return repro.NewFloat(f), nil
+		}
+	case repro.KindString:
+		if s, ok := v.(string); ok {
+			return repro.NewString(s), nil
+		}
+	case repro.KindTime:
+		switch t := v.(type) {
+		case string:
+			ts, err := time.Parse(time.RFC3339Nano, t)
+			if err != nil {
+				return repro.Null, fmt.Errorf("not an RFC3339 time: %q", t)
+			}
+			return repro.NewTime(ts), nil
+		case json.Number:
+			usec, err := t.Int64()
+			if err != nil {
+				return repro.Null, fmt.Errorf("not a microsecond timestamp: %v", t)
+			}
+			return repro.NewTime(time.UnixMicro(usec).UTC()), nil
+		}
+	case repro.KindInterval:
+		switch d := v.(type) {
+		case string:
+			dur, err := time.ParseDuration(d)
+			if err != nil {
+				return repro.Null, fmt.Errorf("not a duration: %q", d)
+			}
+			return repro.NewInterval(dur), nil
+		case json.Number:
+			usec, err := d.Int64()
+			if err != nil {
+				return repro.Null, fmt.Errorf("not a microsecond duration: %v", d)
+			}
+			return repro.NewInterval(time.Duration(usec) * time.Microsecond), nil
+		}
+	}
+	return repro.Null, fmt.Errorf("cannot decode %T as %s", v, k)
+}

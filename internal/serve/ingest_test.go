@@ -1,0 +1,228 @@
+package serve
+
+// /v1/ingest wire semantics: typed row decoding, create_if_missing,
+// durability reporting, and the readiness gate.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func postIngest(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	return post(t, url+"/v1/ingest", body)
+}
+
+func queryCount(t *testing.T, url, sql string) float64 {
+	t.Helper()
+	resp, payload := post(t, url+"/v1/query", map[string]any{"sql": sql, "strategy": "dirty"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status = %d, body %s", resp.StatusCode, payload)
+	}
+	objs := ndjson(t, payload)
+	for _, o := range objs {
+		if rows, ok := o["rows"].([]any); ok && len(rows) > 0 {
+			return rows[0].([]any)[0].(float64)
+		}
+	}
+	t.Fatalf("no rows in %s", payload)
+	return 0
+}
+
+func TestIngestAppendsRows(t *testing.T) {
+	db := newTestDB(t, 3)
+	_, hs := newTestServer(t, db, nil)
+	resp, payload := postIngest(t, hs.URL, map[string]any{
+		"table": "t",
+		"rows":  [][]any{{10, "ten"}, {11, nil}},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
+	}
+	var out ingestResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.Rows != 2 || out.Durable != "none" || out.Created {
+		t.Fatalf("response = %+v", out)
+	}
+	if got := queryCount(t, hs.URL, "SELECT count(*) FROM t"); got != 5 {
+		t.Fatalf("count = %v, want 5", got)
+	}
+}
+
+func TestIngestCreateIfMissing(t *testing.T) {
+	db := newTestDB(t, 0)
+	_, hs := newTestServer(t, db, nil)
+	body := map[string]any{
+		"table": "events",
+		"create_if_missing": []map[string]string{
+			{"name": "epc", "kind": "STRING"},
+			{"name": "rtime", "kind": "TIME"},
+			{"name": "dwell", "kind": "INTERVAL"},
+			{"name": "ok", "kind": "BOOL"},
+			{"name": "temp", "kind": "FLOAT"},
+		},
+		"rows": [][]any{
+			{"e1", "2026-08-08T12:00:00Z", "90s", true, 21.5},
+			{"e2", 1786190400000000, 90000000, false, nil},
+		},
+	}
+	resp, payload := postIngest(t, hs.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
+	}
+	var out ingestResponse
+	json.Unmarshal(payload, &out)
+	if !out.Created || out.Rows != 2 {
+		t.Fatalf("response = %+v", out)
+	}
+	// Second batch: the table now exists, created must be false.
+	resp, payload = postIngest(t, hs.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("second status = %d, body %s", resp.StatusCode, payload)
+	}
+	var out2 ingestResponse
+	json.Unmarshal(payload, &out2)
+	if out2.Created {
+		t.Fatalf("second response claims created: %+v", out2)
+	}
+	if got := queryCount(t, hs.URL, "SELECT count(*) FROM events"); got != 4 {
+		t.Fatalf("count = %v, want 4", got)
+	}
+	// Both TIME spellings decode to the same microsecond instant.
+	if got := queryCount(t, hs.URL, "SELECT count(*) FROM events WHERE rtime = TIMESTAMP '2026-08-08 12:00:00'"); got != 4 {
+		t.Fatalf("time decode mismatch: %v rows at the instant, want 4", got)
+	}
+}
+
+func TestIngestRejectsBadBatches(t *testing.T) {
+	db := newTestDB(t, 1)
+	_, hs := newTestServer(t, db, nil)
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"missing table", map[string]any{"rows": [][]any{{1, "x"}}}},
+		{"unknown field", map[string]any{"table": "t", "rowz": [][]any{}}},
+		{"arity", map[string]any{"table": "t", "rows": [][]any{{1}}}},
+		{"type mismatch", map[string]any{"table": "t", "rows": [][]any{{"not-an-int", "s"}}}},
+		{"float into int", map[string]any{"table": "t", "rows": [][]any{{1.5, "s"}}}},
+		{"bad kind", map[string]any{"table": "u", "create_if_missing": []map[string]string{{"name": "c", "kind": "BLOB"}}, "rows": [][]any{}}},
+	}
+	for _, tc := range cases {
+		resp, payload := postIngest(t, hs.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", tc.name, resp.StatusCode, payload)
+		}
+		if code := errCode(t, payload); code != CodeBadRequest {
+			t.Errorf("%s: code = %s", tc.name, code)
+		}
+	}
+	// No partial batch may have landed.
+	if got := queryCount(t, hs.URL, "SELECT count(*) FROM t"); got != 1 {
+		t.Fatalf("count = %v, want 1 (bad batches must be atomic)", got)
+	}
+	// Unknown table without create_if_missing is an engine error, not 400.
+	resp, _ := postIngest(t, hs.URL, map[string]any{"table": "nosuch", "rows": [][]any{}})
+	if resp.StatusCode == 200 {
+		t.Error("ingest into missing table succeeded")
+	}
+}
+
+func TestIngestReportsDurability(t *testing.T) {
+	wal := t.TempDir()
+	db, err := repro.OpenDir("", repro.WithWAL(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	_, hs := newTestServer(t, db, nil)
+	resp, payload := postIngest(t, hs.URL, map[string]any{
+		"table":             "reads",
+		"create_if_missing": []map[string]string{{"name": "epc", "kind": "STRING"}},
+		"rows":              [][]any{{"e1"}, {"e2"}},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
+	}
+	var out ingestResponse
+	json.Unmarshal(payload, &out)
+	if out.Durable != "always" || !out.Created {
+		t.Fatalf("response = %+v", out)
+	}
+
+	// The acked batch survives a restart.
+	db.Close()
+	db2, err := repro.OpenDir("", repro.WithWAL(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Query("SELECT count(*) FROM reads", repro.WithStrategy(repro.Dirty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data[0][0].Int() != 2 {
+		t.Fatalf("recovered %v rows, want 2", res.Data[0][0])
+	}
+}
+
+func TestReadyGateBouncesUntilRecovered(t *testing.T) {
+	db := newTestDB(t, 1)
+	var ready atomic.Bool
+	_, hs := newTestServer(t, db, func(c *Config) {
+		c.Ready = ready.Load
+	})
+
+	resp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready = %d, want 503", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/query", "/v1/ingest"} {
+		resp, payload := post(t, hs.URL+path, map[string]any{"table": "t", "sql": "SELECT 1", "rows": [][]any{}})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s before ready = %d, want 503 (body %s)", path, resp.StatusCode, payload)
+		}
+		if code := errCode(t, payload); code != CodeStarting {
+			t.Fatalf("%s code = %s, want %s", path, code, CodeStarting)
+		}
+	}
+	// Liveness is not readiness: healthz stays 200 during recovery.
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz before ready = %d, want 200", resp.StatusCode)
+	}
+
+	ready.Store(true)
+	deadline := time.Now().Add(time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz stuck at %d after ready", resp.StatusCode)
+		}
+	}
+	if resp, payload := postIngest(t, hs.URL, map[string]any{"table": "t", "rows": [][]any{{7, "x"}}}); resp.StatusCode != 200 {
+		t.Fatalf("ingest after ready = %d (body %s)", resp.StatusCode, payload)
+	}
+}

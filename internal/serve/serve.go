@@ -6,6 +6,7 @@
 // Endpoints (docs/WIRE.md has the full protocol):
 //
 //	POST   /v1/query                      one-shot query, NDJSON row stream
+//	POST   /v1/ingest                     durable batch append (200 = durable per fsync policy)
 //	POST   /v1/prepare                    prepare a statement in a session
 //	POST   /v1/sessions/{id}/run/{stmt}   run a prepared statement
 //	GET    /v1/sessions/{id}              session introspection
@@ -56,6 +57,9 @@ const (
 	CodeNoSession = "session_not_found"
 	// CodeNoStatement: the session exists but the statement id doesn't.
 	CodeNoStatement = "statement_not_found"
+	// CodeStarting: the server is up but its DB is still recovering
+	// (Config.Ready reports false); retry shortly.
+	CodeStarting = "starting"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (popularized
@@ -96,6 +100,15 @@ type Config struct {
 	// request's own options — engine-wide defaults such as a server-side
 	// timeout, or fault injection in tests.
 	QueryOptions []repro.QueryOption
+
+	// Ready gates readiness on startup work: while it returns false,
+	// /readyz answers 503 and query/ingest requests get 503 "starting",
+	// so load balancers hold traffic until WAL replay (or any other
+	// warm-up the embedder runs) finishes. nil means ready immediately.
+	// OpenDir recovers synchronously, so rfidserve itself is ready by the
+	// time it listens; the gate exists for embedders that construct the
+	// Server before (or while) opening the DB.
+	Ready func() bool
 }
 
 // Server is one HTTP front end over one DB.
@@ -141,6 +154,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, sessions: newSessionTable(cfg.SessionIdleTimeout), httpReqs: requestCounter(cfg.DB)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.counted("/v1/query", s.governed(s.handleQuery)))
+	mux.HandleFunc("POST /v1/ingest", s.counted("/v1/ingest", s.governed(s.handleIngest)))
 	mux.HandleFunc("POST /v1/prepare", s.counted("/v1/prepare", s.governed(s.handlePrepare)))
 	mux.HandleFunc("POST /v1/sessions/{id}/run/{stmt}", s.counted("/v1/sessions/{id}/run/{stmt}", s.governed(s.handleRun)))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.counted("/v1/sessions/{id}", s.handleSessionInfo))
@@ -154,6 +168,11 @@ func New(cfg Config) *Server {
 		if s.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "draining")
+			return
+		}
+		if !s.ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "starting")
 			return
 		}
 		fmt.Fprintln(w, "ready")
@@ -311,10 +330,17 @@ func (s *Server) governed(h http.HandlerFunc) http.HandlerFunc {
 			s.writeCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", 0)
 			return
 		}
+		if !s.ready() {
+			s.writeCode(w, http.StatusServiceUnavailable, CodeStarting, "server is starting (recovery in progress)", 0)
+			return
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		h(w, r)
 	}
 }
+
+// ready reports the Config.Ready gate (true when none is configured).
+func (s *Server) ready() bool { return s.cfg.Ready == nil || s.cfg.Ready() }
 
 // queryRequest is the body of /v1/query and /v1/prepare.
 type queryRequest struct {

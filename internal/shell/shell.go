@@ -409,6 +409,33 @@ func (s *Shell) Meta(cmd string) error {
 		s.DB = db
 		fmt.Fprintf(s.Out, "opened %s\n", fields[1])
 		return nil
+	case `\wal`:
+		ws := s.DB.WALStats()
+		if !ws.Durable {
+			fmt.Fprintln(s.Out, "wal: off (open with repro.WithWAL for durability)")
+			return nil
+		}
+		fmt.Fprintf(s.Out, "wal: %s  file=wal-%06d.log  size=%s  fsync=%s  checkpoints=%d\n",
+			ws.Dir, ws.Seq, repro.FormatBytes(ws.Bytes), ws.Policy, ws.Checkpoints)
+		rs := s.DB.ResourceStats().Recovery
+		switch {
+		case rs.Seeded:
+			fmt.Fprintln(s.Out, "recovery: seeded from snapshot (fresh root)")
+		case rs.Checkpoint == "" && rs.ReplayedRecords == 0:
+			fmt.Fprintln(s.Out, "recovery: fresh root (nothing to replay)")
+		default:
+			fmt.Fprintf(s.Out, "recovery: checkpoint=%s replayed=%d records (%d rows), truncated=%s\n",
+				rs.Checkpoint, rs.ReplayedRecords, rs.ReplayedRows, repro.FormatBytes(rs.TruncatedBytes))
+		}
+		return nil
+	case `\checkpoint`:
+		if err := s.DB.Checkpoint(); err != nil {
+			return err
+		}
+		ws := s.DB.WALStats()
+		fmt.Fprintf(s.Out, "checkpointed: wal now at wal-%06d.log (%s), %d checkpoints total\n",
+			ws.Seq, repro.FormatBytes(ws.Bytes), ws.Checkpoints)
+		return nil
 	}
 	return fmt.Errorf("unknown command %s (try \\h)", fields[0])
 }
@@ -456,5 +483,7 @@ const helpText = `commands:
   \cache [reset]         show (or reset) the rewrite/plan cache counters
   \workload [scale pct]  generate + load the RFIDGen workload and paper rules
   \save <dir> / \open <dir>   persist / restore the database
+  \wal                   show WAL status and the recovery outcome (durable shells)
+  \checkpoint            force a checkpoint and truncate the WAL
   \q                     quit
 `

@@ -52,6 +52,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/rfidgen"
 	"repro/internal/schema"
+	"repro/internal/sqlast"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -198,6 +199,11 @@ type DB struct {
 	// tel is the DB's observability state — metric registry, slow-query
 	// log, metrics listener (see telemetry.go); nil with WithoutTelemetry.
 	tel *dbTelemetry
+
+	// wal and durable are the durability layer (see durability.go); both
+	// nil on a DB opened without WithWAL.
+	wal     *persist.WAL
+	durable *durableState
 }
 
 // resourceTotals aggregates governance outcomes across queries. One mutex
@@ -267,6 +273,14 @@ type dbConfig struct {
 	latencyBuckets []float64
 	traceSample    float64
 	traceSampleSet bool
+
+	// Durability options (see durability.go).
+	walDir             string
+	fsyncPolicy        FsyncPolicy
+	fsyncInterval      time.Duration
+	checkpointBytes    int64
+	checkpointInterval time.Duration
+	walFaults          *persist.CrashFaults
 }
 
 // WithMaxConcurrent bounds how many queries execute at once; further
@@ -299,18 +313,36 @@ func WithSpillDir(dir string) Option {
 	return func(c *dbConfig) { c.spillDir = dir }
 }
 
-// Open creates an empty database. Options configure resource governance
-// (admission control, default memory budget, spill location).
-func Open(opts ...Option) *DB {
-	cat := catalog.NewDatabase()
-	reg := core.NewRegistry(cat)
-	db := &DB{
+// newDB assembles a DB around an existing catalog and rules registry.
+func newDB(cat *catalog.Database, reg *core.Registry) *DB {
+	return &DB{
 		Catalog:  cat,
 		Registry: reg,
 		Rewriter: core.NewRewriter(cat, reg),
 		Planner:  plan.New(cat),
 		cache:    newPlanCache(),
 	}
+}
+
+// collectDBOpts folds Open options into one config.
+func collectDBOpts(opts []Option) *dbConfig {
+	c := &dbConfig{queueDepth: -1}
+	for _, f := range opts {
+		f(c)
+	}
+	return c
+}
+
+// Open creates an empty database. Options configure resource governance
+// (admission control, default memory budget, spill location). Durability
+// (WithWAL) requires OpenDir — recovery can fail, and Open has no error
+// return — so Open panics on it.
+func Open(opts ...Option) *DB {
+	if c := collectDBOpts(opts); c.walDir != "" {
+		panic("repro: WithWAL requires OpenDir (recovery can fail); use OpenDir(\"\", WithWAL(dir))")
+	}
+	cat := catalog.NewDatabase()
+	db := newDB(cat, core.NewRegistry(cat))
 	applyDBOpts(db, opts)
 	return db
 }
@@ -318,27 +350,26 @@ func Open(opts ...Option) *DB {
 // OpenDir restores a database previously written with Save: tables,
 // views, and the rules catalog (indexes rebuilt, statistics refreshed).
 // Options are applied as in Open.
+//
+// With WithWAL the directory semantics change: the WAL root is the
+// source of truth, recovered checkpoint-plus-log on every open, and dir
+// is only a seed snapshot for a fresh root (pass "" for none). See
+// durability.go.
 func OpenDir(dir string, opts ...Option) (*DB, error) {
+	if c := collectDBOpts(opts); c.walDir != "" {
+		return openDurable(dir, c, opts)
+	}
 	cat, reg, err := persist.Load(dir)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{
-		Catalog:  cat,
-		Registry: reg,
-		Rewriter: core.NewRewriter(cat, reg),
-		Planner:  plan.New(cat),
-		cache:    newPlanCache(),
-	}
+	db := newDB(cat, reg)
 	applyDBOpts(db, opts)
 	return db, nil
 }
 
 func applyDBOpts(db *DB, opts []Option) {
-	c := &dbConfig{queueDepth: -1}
-	for _, f := range opts {
-		f(c)
-	}
+	c := collectDBOpts(opts)
 	queue := c.queueDepth
 	if queue < 0 {
 		queue = 2 * c.maxConcurrent
@@ -363,33 +394,64 @@ type ColumnDef struct {
 	Kind Kind
 }
 
-// CreateTable adds an empty base table.
+// ParseKind reads a kind name as rendered by Kind.String() — BOOL, INT,
+// FLOAT, STRING, TIME, INTERVAL. The wire layer and shell use it to turn
+// user-supplied schemas into ColumnDefs.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range []Kind{KindBool, KindInt, KindFloat, KindString, KindTime, KindInterval} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown kind %q", name)
+}
+
+// TableColumns reports a table's schema in declaration order.
+func (db *DB) TableColumns(table string) ([]ColumnDef, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.Catalog.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	cols := make([]ColumnDef, t.Schema.Len())
+	for i, c := range t.Schema.Columns {
+		cols[i] = ColumnDef{Name: c.Name, Kind: c.Kind}
+	}
+	return cols, nil
+}
+
+// CreateTable adds an empty base table. On a durable DB the DDL is
+// WAL-logged and synced before it is acknowledged.
 func (db *DB) CreateTable(name string, cols ...ColumnDef) error {
 	s := &schema.Schema{}
 	for _, c := range cols {
 		s.Columns = append(s.Columns, schema.Col(name, c.Name, c.Kind))
 	}
+	t := storage.NewTable(name, s)
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.Catalog.AddTable(storage.NewTable(name, s))
+	// Validate before logging: a record enters the WAL only if its apply
+	// must succeed, so replay cannot fail where the live path succeeded.
+	if _, exists := db.Catalog.Table(name); exists {
+		return fmt.Errorf("catalog: table %q already exists", strings.ToLower(name))
+	}
+	if _, exists := db.Catalog.View(name); exists {
+		return fmt.Errorf("catalog: %q already names a view", strings.ToLower(name))
+	}
+	if err := db.walDDL(persist.NewTableDDL(name, s)); err != nil {
+		return err
+	}
+	return db.Catalog.AddTable(t)
 }
 
 // Insert appends rows of values to a table. Row arity must match the
-// table schema.
+// table schema. On a durable DB the batch is WAL-logged and synced per
+// the fsync policy before returning — Insert and Ingest are equivalent
+// there; Ingest exists to make the durable contract explicit at call
+// sites.
 func (db *DB) Insert(table string, rows ...[]Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.Catalog.Table(table)
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoTable, table)
-	}
-	for _, r := range rows {
-		if err := t.Append(schema.Row(r)); err != nil {
-			return err
-		}
-	}
-	db.Catalog.BumpEpoch()
-	return nil
+	return db.Ingest(table, rows...)
 }
 
 // BuildIndex creates (or rebuilds) a sorted index on a column.
@@ -399,6 +461,12 @@ func (db *DB) BuildIndex(table, column string) error {
 	t, ok := db.Catalog.Table(table)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	if t.Schema.IndexOf(column) < 0 {
+		return fmt.Errorf("storage: no column %q in table %s", column, t.Name)
+	}
+	if err := db.walDDL(persist.DDLRecord{Op: persist.DDLBuildIndex, Table: table, Column: column}); err != nil {
+		return err
 	}
 	if err := t.BuildIndex(column); err != nil {
 		return err
@@ -420,7 +488,8 @@ func (db *DB) Analyze(table string) error {
 	return nil
 }
 
-// CreateView registers a named view.
+// CreateView registers a named view. On a durable DB the DDL is
+// WAL-logged and synced before it is acknowledged.
 func (db *DB) CreateView(name, query string) error {
 	stmt, err := sqlparser.Parse(query)
 	if err != nil {
@@ -428,6 +497,15 @@ func (db *DB) CreateView(name, query string) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if _, exists := db.Catalog.View(name); exists {
+		return fmt.Errorf("catalog: view %q already exists", strings.ToLower(name))
+	}
+	if _, exists := db.Catalog.Table(name); exists {
+		return fmt.Errorf("catalog: %q already names a table", strings.ToLower(name))
+	}
+	if err := db.walDDL(persist.DDLRecord{Op: persist.DDLCreateView, Name: name, SQL: sqlast.SQL(stmt)}); err != nil {
+		return err
+	}
 	return db.Catalog.AddView(name, stmt)
 }
 
@@ -458,7 +536,10 @@ func (db *DB) LoadRFIDWorkload(cfg WorkloadConfig) error {
 	}
 	db.Workload = d
 	db.Catalog.BumpEpoch()
-	return nil
+	// Durable DBs make bulk loads durable with one checkpoint instead of
+	// WAL-logging every generated row; a crash mid-load loses the whole
+	// load atomically, never a partial workload.
+	return db.walCheckpointLocked()
 }
 
 // DefinePaperRules registers the five cleansing rules of §4.3 against the
@@ -474,6 +555,9 @@ func (db *DB) DefinePaperRules() ([]string, error) {
 	for _, src := range db.Workload.PaperRules() {
 		r, err := db.Registry.Define(src)
 		if err != nil {
+			return nil, err
+		}
+		if err := db.walRule(r.Rule.String()); err != nil {
 			return nil, err
 		}
 		names = append(names, r.Rule.Name)
@@ -498,6 +582,11 @@ func (db *DB) DefineRule(src string) (RuleInfo, error) {
 	defer db.mu.Unlock()
 	r, err := db.Registry.Define(src)
 	if err != nil {
+		return RuleInfo{}, err
+	}
+	// Log the registry's canonical rendering, the same form the snapshot
+	// manifest stores, so replay re-defines the identical rule.
+	if err := db.walRule(r.Rule.String()); err != nil {
 		return RuleInfo{}, err
 	}
 	return RuleInfo{Name: r.Rule.Name, SQLTS: r.Rule.String(), Template: r.TemplateSQL}, nil
@@ -1030,6 +1119,11 @@ func (db *DB) MaterializeCleansedContext(ctx context.Context, source, dest strin
 		}
 	}
 	dst.Analyze()
+	// Like LoadRFIDWorkload, the materialized table is made durable with
+	// one checkpoint rather than row-by-row WAL records.
+	if err := db.walCheckpointLocked(); err != nil {
+		return 0, err
+	}
 	return dst.RowCount(), nil
 }
 
@@ -1161,14 +1255,23 @@ type ResourceStats struct {
 	Exhausted int64
 	// MaxPeak is the largest single-query peak memory observed, in bytes.
 	MaxPeak int64
+	// Recovery reports what crash recovery did at OpenDir (zero without a
+	// WAL; Recovery.Durable distinguishes "no WAL" from "clean recovery").
+	Recovery RecoveryStats
+	// WAL is the live write-ahead log's position (zero without one).
+	WAL WALStats
 }
 
 // ResourceStats snapshots the DB's cumulative resource-governance
-// counters: admission decisions, spill volume, budget failures, and the
-// per-query memory high-water mark.
+// counters: admission decisions, spill volume, budget failures, the
+// per-query memory high-water mark, and the durability layer's state.
 func (db *DB) ResourceStats() ResourceStats {
 	s := db.totals.snapshot()
 	s.Admission = db.admit.Stats()
+	if db.durable != nil {
+		s.Recovery = db.durable.recovery
+		s.WAL = db.WALStats()
+	}
 	return s
 }
 

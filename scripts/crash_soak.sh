@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Crash-recovery soak: boots rfidserve with a WAL, ingests numbered rows
+# over /v1/ingest under load, SIGKILLs the server at a random moment,
+# restarts it over the same durability root, and asserts the recovered
+# table is exactly a durable prefix of what was acknowledged:
+#
+#   - count >= the last batch the client saw a 200 for (fsync=always:
+#     an acked batch survives the kill)
+#   - count % BATCH == 0 (batches are atomic: no torn batch ever
+#     surfaces, even if the kill landed mid-append)
+#   - sum(n) == count*(count-1)/2 (rows are exactly 0..count-1 — the
+#     prefix property: nothing reordered, duplicated, or skipped)
+#
+# Repeats for ROUNDS kill/recover cycles, accumulating rows in the same
+# root so later rounds also recover checkpoint + WAL tail, not just WAL.
+# CI runs this via `make crash-soak`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${ROUNDS:-4}"
+BATCH="${BATCH:-7}"
+CKPT_BYTES="${CKPT_BYTES:-65536}"
+
+tmp=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/rfidserve" ./cmd/rfidserve
+WAL="$tmp/wal"
+
+start_server() {
+  rm -f "$tmp/addr"
+  "$tmp/rfidserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -wal "$WAL" -fsync always -checkpoint-bytes "$CKPT_BYTES" \
+    -scale 0 -paper-rules=false 2>"$tmp/server.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "crash_soak: server died during startup" >&2
+      cat "$tmp/server.log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -s "$tmp/addr" ] || { echo "crash_soak: server never bound" >&2; exit 1; }
+  ADDR=$(cat "$tmp/addr")
+  # Readiness: recovery is synchronous in OpenDir, but wait for /readyz
+  # anyway so the script also exercises the gate.
+  for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR/readyz" >/dev/null && return 0
+    sleep 0.1
+  done
+  echo "crash_soak: server never became ready" >&2
+  exit 1
+}
+
+# query_int <sql> -> one integer from /v1/query (dirty strategy: the
+# soak table has no rules, this skips rewrite work).
+query_int() {
+  curl -sf "http://$ADDR/v1/query" -d "{\"sql\":\"$1\",\"strategy\":\"dirty\"}" \
+    | grep -o '"rows":\[\[[-0-9]*' | head -1 | grep -o '[-0-9]*$'
+}
+
+acked=0 # rows known durable (end of the last 200-acked batch)
+echo 0 >"$tmp/acked"
+
+ingest_until_killed() {
+  # Fire batches as fast as curl allows; stop when the server dies.
+  # Runs backgrounded (a subshell), so the ack high-water mark is
+  # persisted through a file for the parent to read after the kill.
+  local n=$1
+  while :; do
+    vals=""
+    for ((j = 0; j < BATCH; j++)); do
+      vals="$vals[$((n + j))],"
+    done
+    body="{\"table\":\"soak\",\"create_if_missing\":[{\"name\":\"n\",\"kind\":\"INT\"}],\"rows\":[${vals%,}]}"
+    if curl -sf -m 10 "http://$ADDR/v1/ingest" -d "$body" >/dev/null 2>&1; then
+      n=$((n + BATCH))
+      echo "$n" >"$tmp/acked"
+    else
+      return 0 # server gone (or the kill raced the request)
+    fi
+  done
+}
+
+# verify_prefix <ctx>: the soak table must be a durable prefix — at
+# least every acked row, whole batches only, values exactly 0..count-1.
+verify_prefix() {
+  local ctx=$1 count got_sum want_sum
+  count=$(query_int "SELECT count(*) FROM soak")
+  [ -n "$count" ] || { echo "crash_soak: $ctx: count query failed" >&2; exit 1; }
+  if [ "$count" -lt "$acked" ]; then
+    echo "crash_soak: $ctx: recovered $count rows < $acked acked" >&2
+    exit 1
+  fi
+  if [ $((count % BATCH)) -ne 0 ]; then
+    echo "crash_soak: $ctx: count $count not a whole number of batches (torn batch surfaced)" >&2
+    exit 1
+  fi
+  want_sum=$((count * (count - 1) / 2))
+  got_sum=$(query_int "SELECT sum(n) FROM soak")
+  if [ "$got_sum" != "$want_sum" ]; then
+    echo "crash_soak: $ctx: checksum sum(n)=$got_sum, want $want_sum for 0..$((count - 1))" >&2
+    exit 1
+  fi
+  # Resume numbering from the recovered prefix: unacked rows past it may
+  # be gone (that is allowed), so the next round restarts at count.
+  acked=$count
+  echo "crash_soak: $ctx: $count rows durable, checksum ok"
+}
+
+for round in $(seq 1 "$ROUNDS"); do
+  start_server
+  if [ "$round" -gt 1 ]; then
+    verify_prefix "round $round"
+  fi
+
+  # Ingest under load and kill the server at a random point (0.1–2s in).
+  ingest_until_killed "$acked" &
+  LOAD_PID=$!
+  sleep "$((RANDOM % 2)).$((1 + RANDOM % 9))"
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait "$LOAD_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  acked=$(cat "$tmp/acked")
+done
+
+# Final verification pass after the last kill, then a graceful exit.
+start_server
+verify_prefix "final"
+kill -TERM "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "crash_soak: ok ($ROUNDS kill/recover cycles, $acked rows durable)"

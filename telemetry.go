@@ -576,15 +576,20 @@ func (db *DB) MetricsAddr() (string, error) {
 	return t.lis.Addr().String(), nil
 }
 
-// Close releases the DB's background resources — today, the metrics
-// listener started by WithMetricsAddr. A DB without one closes as a
-// no-op; Close is safe to call on every DB.
+// Close releases the DB's background resources: the durability layer
+// (checkpoint timer stopped, WAL synced per policy and closed) and the
+// metrics listener started by WithMetricsAddr. A DB without either
+// closes as a no-op; Close is safe to call on every DB.
 func (db *DB) Close() error {
+	walErr := db.closeDurability()
 	t := db.tel
 	if t == nil || t.srv == nil {
-		return nil
+		return walErr
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	return t.srv.Shutdown(ctx)
+	if err := t.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return walErr
 }
