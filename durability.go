@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/schema"
+	"repro/internal/types"
 )
 
 // FsyncPolicy selects when acknowledged ingests are forced to disk; see
@@ -237,8 +238,11 @@ func (db *DB) IngestContext(ctx context.Context, table string, rows ...[]Value) 
 }
 
 // ingestLocked WAL-logs and applies one append batch under the write
-// lock. Rows are validated before logging so a record never enters the
-// WAL unless its apply must succeed.
+// lock. Rows are validated before logging — arity AND value kinds — so a
+// record never enters the WAL unless its apply must succeed: replay
+// decodes values by the column kind, so a kind-mismatched value that the
+// in-memory append tolerated would otherwise become a checksum-valid WAL
+// record that recovery can never apply.
 func (db *DB) ingestLocked(table string, rows []schema.Row) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -249,6 +253,12 @@ func (db *DB) ingestLocked(table string, rows []schema.Row) error {
 	for _, r := range rows {
 		if len(r) != t.Schema.Len() {
 			return fmt.Errorf("repro: row arity %d does not match schema %d for table %s", len(r), t.Schema.Len(), table)
+		}
+		for j, v := range r {
+			if k := v.Kind(); k != types.KindNull && k != t.Schema.Columns[j].Kind {
+				return fmt.Errorf("repro: %s value for %s column %s of table %s",
+					k, t.Schema.Columns[j].Kind, t.Schema.Columns[j].Name, table)
+			}
 		}
 	}
 	if db.wal != nil {

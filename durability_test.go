@@ -319,6 +319,108 @@ func TestConcurrentIngest(t *testing.T) {
 	}
 }
 
+// A kind-mismatched value must be rejected before it is WAL-logged:
+// replay decodes by column kind, so a logged mismatch would be a
+// checksum-valid record that recovery can never apply — the root would
+// refuse to reopen forever. Nulls stay insertable into any column.
+func TestIngestRejectsKindMismatch(t *testing.T) {
+	wal := t.TempDir()
+	db := openDurableDB(t, wal)
+	mkReads(t, db)
+	ingestN(t, db, 0, 3)
+	// STRING into the INT column: the exact shape that bricks replay.
+	err := db.Ingest("reads", []repro.Value{
+		repro.NewString("e9"), repro.NewTime(time.UnixMicro(9).UTC()), repro.NewString("not-an-int"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "INT") {
+		t.Fatalf("kind-mismatched ingest = %v, want kind error", err)
+	}
+	// Insert delegates to Ingest and must be guarded the same way.
+	if err := db.Insert("reads", []repro.Value{
+		repro.NewInt(1), repro.NewTime(time.UnixMicro(9).UTC()), repro.NewInt(9),
+	}); err == nil {
+		t.Fatal("kind-mismatched insert must fail")
+	}
+	// NULLs are valid in every column and must still be accepted.
+	if err := db.Ingest("reads", []repro.Value{repro.Null, repro.Null, repro.Null}); err != nil {
+		t.Fatalf("null ingest: %v", err)
+	}
+	if got := countReads(t, db); got != 4 {
+		t.Fatalf("live count = %d, want 4", got)
+	}
+	db.Close()
+
+	// The root must reopen — the rejected batches never reached the WAL.
+	db2 := openDurableDB(t, wal)
+	defer db2.Close()
+	if got := countReads(t, db2); got != 4 {
+		t.Fatalf("recovered %d rows, want 4", got)
+	}
+}
+
+// Checkpoints racing committers: a rotation must never fail an ingest
+// whose rows the just-published checkpoint already contains (the
+// "file already closed" double-insert trap), and every acked row must
+// survive a restart.
+func TestConcurrentIngestWithCheckpoints(t *testing.T) {
+	wal := t.TempDir()
+	db := openDurableDB(t, wal)
+	mkReads(t, db)
+	const workers, per = 4, 40
+	var ingesters, checkpointer sync.WaitGroup
+	errs := make(chan error, workers+1)
+	stop := make(chan struct{})
+	checkpointer.Add(1)
+	go func() {
+		defer checkpointer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := db.Checkpoint(); err != nil {
+					errs <- fmt.Errorf("checkpoint: %w", err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		ingesters.Add(1)
+		go func(w int) {
+			defer ingesters.Done()
+			for i := 0; i < per; i++ {
+				id := w*per + i
+				if err := db.Ingest("reads", []repro.Value{
+					repro.NewString(fmt.Sprintf("e%d", id)),
+					repro.NewTime(time.UnixMicro(int64(id)).UTC()),
+					repro.NewInt(int64(id)),
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	ingesters.Wait()
+	close(stop)
+	checkpointer.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := countReads(t, db); got != workers*per {
+		t.Fatalf("live count = %d, want %d", got, workers*per)
+	}
+	db.Close()
+
+	db2 := openDurableDB(t, wal)
+	defer db2.Close()
+	if got := countReads(t, db2); got != workers*per {
+		t.Fatalf("recovered %d rows, want %d", got, workers*per)
+	}
+}
+
 // Ingest without a WAL degrades to Insert; Checkpoint reports
 // ErrNotDurable; WALStats is zero.
 func TestNonDurableSurfaces(t *testing.T) {

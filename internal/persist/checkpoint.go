@@ -71,6 +71,13 @@ func (w *WAL) Checkpoint(db *catalog.Database, reg *core.Registry) error {
 	if err := writeFileSync(filepath.Join(tmp, metaFile), blob); err != nil {
 		return err
 	}
+	// writeFileSync made the stamp's bytes durable but not its dirent;
+	// fsync the tmp dir again (writeSnapshot's syncDir predates the stamp)
+	// so the rename below cannot publish a directory whose CHECKPOINT.json
+	// vanishes in a crash — recovery hard-fails on a stampless checkpoint.
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
 	if w.faults != nil && w.faults.CheckpointCrash {
 		// Die after the complete tmp write, before publication: the
 		// previous checkpoint plus the full WAL must still recover the DB,
@@ -83,13 +90,40 @@ func (w *WAL) Checkpoint(db *catalog.Database, reg *core.Registry) error {
 	}
 
 	name := fmt.Sprintf(ckptNameFmt, next)
-	if err := os.Rename(tmp, filepath.Join(w.dir, name)); err != nil {
+	dst := filepath.Join(w.dir, name)
+	// A leftover checkpoint-N from an attempt that failed between its
+	// rename and the seq advance is unpublished by definition — CURRENT
+	// never names it while w.seq still yields the same N — so removing it
+	// is safe and keeps the rename from wedging on ENOTEMPTY forever.
+	// The CURRENT check is belt and braces: if it somehow names this dir,
+	// refuse rather than delete the live checkpoint.
+	if _, err := os.Stat(dst); err == nil {
+		if cur, _ := readCurrent(w.dir); cur == name {
+			return fmt.Errorf("persist: checkpoint %s already published but wal not rotated; reopen the root", name)
+		}
+		if err := os.RemoveAll(dst); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dst); err != nil {
 		return err
 	}
 	if err := syncDir(w.dir); err != nil {
 		return err
 	}
 	if err := setCurrent(w.dir, name); err != nil {
+		// Ambiguous publication: CURRENT may or may not name the new
+		// checkpoint (setCurrent's rename can land without its dir fsync).
+		// If it does, the stamp claims replay starts at wal seq `next`,
+		// but appends still target the un-rotated old file — any further
+		// acked record would be silently dropped by recovery. Refuse all
+		// further WAL use; reopening resolves either CURRENT state to the
+		// full acked set.
+		w.mu.Lock()
+		if w.broken == nil {
+			w.broken = err
+		}
+		w.mu.Unlock()
 		return err
 	}
 	// Published. Everything from here is cleanup: rotate appends onto

@@ -266,7 +266,13 @@ func (w *WAL) start(end int64) {
 			for {
 				select {
 				case <-t.C:
-					_ = w.Sync()
+					if err := w.Sync(); err != nil && w.brokenErr() != nil {
+						// A real fsync failure broke the WAL: appends and
+						// commits now refuse, so keep the failure loud by
+						// not retrying a sync the kernel may falsely
+						// report as clean.
+						return
+					}
 				case <-w.tickStop:
 					return
 				}
@@ -293,6 +299,14 @@ func (w *WAL) Policy() FsyncPolicy { return w.policy }
 
 // Empty reports whether the current wal file holds no records.
 func (w *WAL) Empty() bool { return w.size.Load() <= walHeaderSize }
+
+// brokenErr reports the sticky failure that made the WAL unusable, nil
+// while it is healthy.
+func (w *WAL) brokenErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
 
 // frame assembles one record's on-disk bytes.
 func frame(typ byte, payload []byte) []byte {
@@ -372,6 +386,20 @@ func (w *WAL) AppendRule(src string) error {
 // Sync forces everything appended so far to disk. Concurrent callers
 // coalesce: a committer whose record a neighbor's fsync already covered
 // returns without touching the disk (group commit).
+//
+// If the target offset was already covered when Sync is entered the call
+// succeeds without touching the file, even if the file has since been
+// rotated away by a checkpoint: the rotation only happens after the
+// checkpoint containing those records was published, so they are durable
+// regardless. This is what keeps a committer's Commit truthful when a
+// concurrent Checkpoint rotates the WAL between its append and its fsync.
+//
+// A real fsync failure is unrecoverable: the kernel may have dropped the
+// dirty pages and cleared the error, so a later "successful" fsync would
+// acknowledge records sitting after a hole that never reached disk. Sync
+// therefore marks the WAL broken, and every subsequent append, commit,
+// and sync refuses until the root is reopened (recovery truncates to the
+// verified durable prefix).
 func (w *WAL) Sync() error {
 	target := w.size.Load()
 	w.syncMu.Lock()
@@ -379,19 +407,30 @@ func (w *WAL) Sync() error {
 	if w.synced >= target {
 		return nil
 	}
+	w.mu.Lock()
+	f, broken := w.f, w.broken
+	w.mu.Unlock()
+	if broken != nil {
+		return fmt.Errorf("persist: wal unusable after earlier failure: %w", broken)
+	}
+	if f == nil {
+		return errors.New("persist: wal closed")
+	}
+	// The injected fault is a transient fsync error (nothing claims the
+	// pages were dropped), so it does not break the WAL — tests clear the
+	// fault and retry the same commit.
 	if w.faults != nil && w.faults.SyncErr {
 		return fmt.Errorf("%w: wal fsync error", ErrInjectedCrash)
 	}
 	// Capture the end before syncing: the fsync covers at least this much.
 	cur := w.size.Load()
 	start := time.Now()
-	w.mu.Lock()
-	f := w.f
-	w.mu.Unlock()
-	if f == nil {
-		return errors.New("persist: wal closed")
-	}
 	if err := f.Sync(); err != nil {
+		w.mu.Lock()
+		if w.broken == nil {
+			w.broken = err
+		}
+		w.mu.Unlock()
 		return fmt.Errorf("persist: wal fsync: %w", err)
 	}
 	if w.OnFsync != nil {
@@ -416,8 +455,13 @@ func (w *WAL) Commit() error {
 // rotate switches appends to a fresh wal file with the next sequence
 // number and deletes files at or below covered (they are fully contained
 // in a published checkpoint). Called by Checkpoint with the engine's
-// write lock held, so no append races the switch.
+// write lock held, so no append races the switch; syncMu is held for the
+// whole swap so an in-flight committer's Sync either finishes on the old
+// file before it is closed or starts on the new one — never in between.
+// (Lock order is syncMu before mu everywhere, matching Sync.)
 func (w *WAL) rotate(covered uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	next := w.seq + 1
@@ -430,9 +474,7 @@ func (w *WAL) rotate(covered uint64) error {
 	w.f = nf
 	w.seq = next
 	w.size.Store(walHeaderSize)
-	w.syncMu.Lock()
 	w.synced = walHeaderSize
-	w.syncMu.Unlock()
 	if old != nil {
 		_ = old.Close()
 	}
@@ -459,6 +501,10 @@ func (w *WAL) Close() error {
 	if w.policy != FsyncOff {
 		syncErr = w.Sync()
 	}
+	// syncMu excludes any straggling committer's fsync from racing the
+	// close (same order as Sync and rotate: syncMu before mu).
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

@@ -582,6 +582,59 @@ func TestCheckpointCrashRecoversFromPrevious(t *testing.T) {
 	}
 }
 
+// TestCheckpointOverLeftoverDir: a checkpoint-N directory left by an
+// attempt that failed before publication must not wedge the next
+// checkpoint on ENOTEMPTY — it is unpublished, so it is removed and
+// replaced.
+func TestCheckpointOverLeftoverDir(t *testing.T) {
+	dir := t.TempDir()
+	db, reg, w, _, err := OpenDurable(dir, nil, DurableOpts{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := schema.New(schema.Col("r", "n", types.KindInt))
+	if err := w.AppendDDL(NewTableDDL("r", s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(storage.NewTable("r", s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the wreck of a failed earlier attempt: the name the next
+	// checkpoint will want, already holding a stale file.
+	stale := filepath.Join(dir, fmt.Sprintf(ckptNameFmt, w.Seq()+1))
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, "junk"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(db, reg); err != nil {
+		t.Fatalf("checkpoint over leftover dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(stale, "junk")); !os.IsNotExist(err) {
+		t.Error("stale checkpoint contents survived the republish")
+	}
+	if _, err := os.Stat(filepath.Join(stale, metaFile)); err != nil {
+		t.Errorf("republished checkpoint has no stamp: %v", err)
+	}
+	db2, _, w2, info, err := OpenDurable(dir, nil, DurableOpts{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Checkpoint == "" {
+		t.Error("republished checkpoint not used by recovery")
+	}
+	tab, _ := db2.Table("r")
+	if tab == nil {
+		t.Fatal("table lost across the republished checkpoint")
+	}
+}
+
 // TestCheckpointBoundsReplay: records before a checkpoint are not
 // replayed (their files are gone), records after are.
 func TestCheckpointBoundsReplay(t *testing.T) {
