@@ -10,14 +10,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +52,7 @@ var (
 	queryTimeout = flag.Duration("query-timeout", 0, "server-side per-query timeout applied to every request (0 = none)")
 	queryPar     = flag.Int("query-parallelism", 0, "intra-query worker-pool width per request (0 = engine default, the CPU count; set low when -max-concurrent is high — inter-query concurrency is the better use of the cores)")
 	traceSample  = flag.Float64("trace-sampling", 1, "head-sample this fraction of trace-eligible queries (slow-query log candidates and explicit trace requests); 1 traces all, 0 none")
+	traceExport  = flag.String("trace-export", "", "export sampled traces as OTLP/JSON: a file path (appended, one export request per line) or an http(s):// OTLP endpoint POSTed to per trace")
 )
 
 func main() {
@@ -72,6 +76,14 @@ func run(log *slog.Logger) error {
 	}
 	if *traceSample != 1 {
 		dbOpts = append(dbOpts, repro.WithTraceSampling(*traceSample))
+	}
+	if *traceExport != "" {
+		sink, closeSink, err := openTraceSink(*traceExport)
+		if err != nil {
+			return fmt.Errorf("trace-export: %w", err)
+		}
+		defer closeSink()
+		dbOpts = append(dbOpts, repro.WithTraceExporter(sink))
 	}
 
 	var db *repro.DB
@@ -175,6 +187,42 @@ func loadWorkload(db *repro.DB, log *slog.Logger) error {
 	}
 	log.Info("workload loaded", "scale", *scale, "anomaly_pct", *pct, "elapsed", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// openTraceSink resolves the -trace-export destination: an http(s)://
+// URL becomes a sink that POSTs each OTLP/JSON export request to the
+// endpoint; anything else is a file path opened for append.
+func openTraceSink(dest string) (io.Writer, func(), error) {
+	if strings.HasPrefix(dest, "http://") || strings.HasPrefix(dest, "https://") {
+		return &httpTraceSink{url: dest, c: &http.Client{Timeout: 10 * time.Second}}, func() {}, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { _ = f.Close() }, nil
+}
+
+// httpTraceSink posts each export request (one Write per trace, already
+// a complete OTLP/JSON document) to an OTLP HTTP endpoint. Failures
+// surface as write errors, which the engine counts in
+// repro_trace_export_errors_total without disturbing queries.
+type httpTraceSink struct {
+	url string
+	c   *http.Client
+}
+
+func (s *httpTraceSink) Write(p []byte) (int, error) {
+	resp, err := s.c.Post(s.url, "application/json", bytes.NewReader(p))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, fmt.Errorf("otlp endpoint returned %s", resp.Status)
+	}
+	return len(p), nil
 }
 
 func serverQueryOptions() []repro.QueryOption {

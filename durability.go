@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -121,6 +122,7 @@ func openDurable(dir string, c *dbConfig, opts []Option) (*DB, error) {
 	if dir != "" {
 		seed = func() (*catalog.Database, *core.Registry, error) { return persist.Load(dir) }
 	}
+	recoverStart := time.Now()
 	cat, reg, wal, info, err := persist.OpenDurable(c.walDir, seed, persist.DurableOpts{
 		Policy:   c.fsyncPolicy,
 		Interval: c.fsyncInterval,
@@ -147,6 +149,15 @@ func openDurable(dir string, c *dbConfig, opts []Option) (*DB, error) {
 		db.durable.checkpoints.Add(1)
 	}
 	db.attachWALTelemetry()
+	// Startup recovery gets its own exported span, so a fleet's trace
+	// store shows how long each restart spent replaying.
+	db.tel.exportSpan("recovery", recoverStart, time.Since(recoverStart),
+		obs.Attr{Key: "checkpoint", Val: info.Checkpoint},
+		obs.Attr{Key: "replayed_records", Val: strconv.FormatInt(info.ReplayedRecords, 10)},
+		obs.Attr{Key: "replayed_rows", Val: strconv.FormatInt(info.ReplayedRows, 10)},
+		obs.Attr{Key: "truncated_bytes", Val: strconv.FormatInt(info.TruncatedBytes, 10)},
+		obs.Attr{Key: "seeded", Val: strconv.FormatBool(info.Seeded)},
+	)
 	if c.checkpointInterval > 0 {
 		db.durable.stop = make(chan struct{})
 		db.durable.done = make(chan struct{})
@@ -221,16 +232,33 @@ func (db *DB) IngestContext(ctx context.Context, table string, rows ...[]Value) 
 	if err := ctx.Err(); err != nil {
 		return wrapCanceled(err)
 	}
+	var it *itel
+	if db.tel != nil {
+		// Like queries, an observed ingest gets a private cancellation
+		// layer so DB.Kill can stop it while it waits for the write lock.
+		var kill context.CancelFunc
+		ctx, kill = context.WithCancel(ctx)
+		defer kill()
+		it = db.startIngest(table, len(rows), kill)
+	}
 	srows := make([]schema.Row, len(rows))
 	for i, r := range rows {
 		srows[i] = schema.Row(r)
 	}
-	if err := db.ingestLocked(table, srows); err != nil {
+	if err := db.ingestLocked(ctx, table, srows, it); err != nil {
+		it.finish(err)
 		return err
 	}
 	// The fsync happens outside the catalog lock: concurrent ingests
 	// group-commit on one disk flush, and queries are never blocked on it.
-	if err := db.walCommit(); err != nil {
+	it.setPhase("fsync")
+	fsyncStart := time.Now()
+	err := db.walCommit()
+	if db.wal != nil {
+		it.span("fsync", fsyncStart, time.Since(fsyncStart))
+	}
+	it.finish(err)
+	if err != nil {
 		return err
 	}
 	db.maybeCheckpoint()
@@ -243,13 +271,21 @@ func (db *DB) IngestContext(ctx context.Context, table string, rows ...[]Value) 
 // decodes values by the column kind, so a kind-mismatched value that the
 // in-memory append tolerated would otherwise become a checksum-valid WAL
 // record that recovery can never apply.
-func (db *DB) ingestLocked(table string, rows []schema.Row) error {
+func (db *DB) ingestLocked(ctx context.Context, table string, rows []schema.Row, it *itel) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Cancellation (a caller hang-up, or DB.Kill) is honored up to the
+	// point the batch enters the WAL; past that the apply and fsync
+	// complete so the acknowledgment stays truthful.
+	if err := ctx.Err(); err != nil {
+		return wrapCanceled(err)
+	}
 	t, ok := db.Catalog.Table(table)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
+	it.setPhase("validate")
+	validateStart := time.Now()
 	for _, r := range rows {
 		if len(r) != t.Schema.Len() {
 			return fmt.Errorf("repro: row arity %d does not match schema %d for table %s", len(r), t.Schema.Len(), table)
@@ -261,17 +297,25 @@ func (db *DB) ingestLocked(table string, rows []schema.Row) error {
 			}
 		}
 	}
+	it.span("validate", validateStart, time.Since(validateStart))
 	if db.wal != nil {
+		it.setPhase("wal_append")
+		appendStart := time.Now()
 		if err := db.wal.AppendBatch(table, rows); err != nil {
 			return err
 		}
+		it.span("wal_append", appendStart, time.Since(appendStart),
+			obs.Attr{Key: "wal_bytes", Val: strconv.FormatInt(db.wal.Size(), 10)})
 	}
+	it.setPhase("apply")
+	applyStart := time.Now()
 	for _, r := range rows {
 		if err := t.Append(r); err != nil {
 			return err
 		}
 	}
 	db.Catalog.BumpEpoch()
+	it.span("apply", applyStart, time.Since(applyStart))
 	return nil
 }
 
@@ -315,10 +359,15 @@ func (db *DB) walCheckpointLocked() error {
 	if db.wal == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := db.wal.Checkpoint(db.Catalog, db.Registry); err != nil {
 		return err
 	}
 	db.durable.checkpoints.Add(1)
+	db.tel.exportSpan("checkpoint", start, time.Since(start),
+		obs.Attr{Key: "wal_seq", Val: strconv.FormatUint(db.wal.Seq(), 10)},
+		obs.Attr{Key: "checkpoints", Val: strconv.FormatInt(db.durable.checkpoints.Load(), 10)},
+	)
 	return nil
 }
 

@@ -244,6 +244,24 @@ func (c *Ctx) noteWorkers(n Node, workers int) {
 	c.mu.Unlock()
 }
 
+// noteStreamRows publishes a streaming operator's running row count, so
+// a live stats snapshot (the active-query registry) shows progress while
+// the stream is still being consumed. The stream's cleanup overwrites
+// the entry with the authoritative final numbers. Called once per output
+// batch, never per row.
+func (c *Ctx) noteStreamRows(n Node, rows int, start time.Time) {
+	if c.stats == nil {
+		return
+	}
+	c.mu.Lock()
+	st := c.statLocked(n)
+	st.Rows = rows
+	if st.Start.IsZero() {
+		st.Start = start
+	}
+	c.mu.Unlock()
+}
+
 // noteSpill records an operator's spill activity: always on the query's
 // cumulative counters, and per-operator when stats are being collected.
 func (c *Ctx) noteSpill(n Node, runs int, bytes int64) {

@@ -242,6 +242,12 @@ func (s *opStream) Next() (batch []schema.Row, err error) {
 			continue
 		}
 		s.rows += len(b)
+		// Publish the running row count so an active-query snapshot shows
+		// live progress; cleanup still writes the authoritative final
+		// stats. One mutex acquisition per batch, not per row.
+		if s.node != nil && s.ctx.stats != nil {
+			s.ctx.noteStreamRows(s.node, s.rows, s.start)
+		}
 		return b, nil
 	}
 }

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Active-query registry: every running query or ingest registers itself
+// here for the duration of its execution, so an operator can ask "what is
+// running right now?" (DB.ActiveQueries, GET /v1/queries, the shell's
+// \queries) and stop a runaway statement (DB.Kill, DELETE
+// /v1/queries/{id}, \kill).
+//
+// Like the rest of the package, the registry is engine-agnostic: it
+// stores closures, not plans. The serving layer attaches a stats closure
+// (a snapshot of the execution's per-operator counters) and a memory
+// closure (the query's live reservation) once execution starts; Snapshot
+// invokes them to build point-in-time ActiveInfo values.
+//
+// Cost model: registration and removal are one mutex acquisition per
+// query each — never per row or per batch. Phase updates are one mutex
+// acquisition per query stage (a handful per query). The per-row hot
+// path never touches the registry.
+
+// ActiveOp is one operator's live counters inside an ActiveInfo: the
+// rows (and, for vectorized operators, kernel batches) it has produced
+// so far, aggregated by operator kind.
+type ActiveOp struct {
+	Op      string
+	Rows    int
+	Batches int
+}
+
+// ActiveInfo is a point-in-time snapshot of one running query or ingest.
+type ActiveInfo struct {
+	ID    QueryID
+	Kind  string // "query" or "ingest"
+	SQL   string
+	Start time.Time
+	// Phase is the stage the statement is in right now: queued, compile,
+	// execute, stream, or an ingest stage (validate, wal_append, apply,
+	// fsync).
+	Phase   string
+	Elapsed time.Duration
+	// MemBytes is the query's currently reserved (charged) memory; zero
+	// before execution starts and for unobserved stages.
+	MemBytes int64
+	// Killed reports that Kill was called; the statement is unwinding
+	// through its cancellation points.
+	Killed bool
+	// Operators are the live per-operator row/batch counts recorded so
+	// far, sorted by operator kind. Operators appear as their counters are
+	// first published, so a snapshot mid-query shows the work completed or
+	// in progress, not the full plan.
+	Operators []ActiveOp
+}
+
+// ActiveEntry is one statement's registration. The serving layer holds
+// it for the statement's lifetime and feeds it phase changes and the
+// stats/memory closures; Snapshot and Kill reach it through the set.
+type ActiveEntry struct {
+	id    QueryID
+	kind  string
+	sql   string
+	start time.Time
+
+	mu      sync.Mutex
+	phase   string
+	cancel  func()
+	killed  bool
+	statsFn func() []ActiveOp
+	memFn   func() int64
+}
+
+// SetPhase records the stage the statement is in.
+func (e *ActiveEntry) SetPhase(phase string) {
+	e.mu.Lock()
+	e.phase = phase
+	e.mu.Unlock()
+}
+
+// Attach wires the execution-time closures: stats returns the live
+// per-operator counters, mem the current memory reservation. Either may
+// be nil.
+func (e *ActiveEntry) Attach(stats func() []ActiveOp, mem func() int64) {
+	e.mu.Lock()
+	e.statsFn, e.memFn = stats, mem
+	e.mu.Unlock()
+}
+
+// Kill marks the entry killed and fires its cancel func. Idempotent.
+func (e *ActiveEntry) Kill() {
+	e.mu.Lock()
+	e.killed = true
+	cancel := e.cancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Killed reports whether Kill was called, so the statement's finish path
+// can record outcome "killed" instead of the generic "canceled".
+func (e *ActiveEntry) Killed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.killed
+}
+
+// snapshot builds the entry's point-in-time view. The closures run
+// outside any registry lock (only the entry's own mutex is held while
+// they are read, released before they are invoked).
+func (e *ActiveEntry) snapshot(now time.Time) ActiveInfo {
+	e.mu.Lock()
+	info := ActiveInfo{
+		ID: e.id, Kind: e.kind, SQL: e.sql, Start: e.start,
+		Phase: e.phase, Killed: e.killed,
+	}
+	statsFn, memFn := e.statsFn, e.memFn
+	e.mu.Unlock()
+	info.Elapsed = now.Sub(e.start)
+	if memFn != nil {
+		info.MemBytes = memFn()
+	}
+	if statsFn != nil {
+		info.Operators = statsFn()
+	}
+	return info
+}
+
+// ActiveSet is the registry of running statements for one DB.
+type ActiveSet struct {
+	mu      sync.Mutex
+	entries map[QueryID]*ActiveEntry
+}
+
+// NewActiveSet returns an empty registry.
+func NewActiveSet() *ActiveSet {
+	return &ActiveSet{entries: map[QueryID]*ActiveEntry{}}
+}
+
+// Register adds one running statement. cancel, when non-nil, is invoked
+// by Kill to stop the statement through its cooperative cancellation
+// points.
+func (s *ActiveSet) Register(id QueryID, kind, sql string, start time.Time, cancel func()) *ActiveEntry {
+	e := &ActiveEntry{id: id, kind: kind, sql: sql, start: start, cancel: cancel}
+	s.mu.Lock()
+	s.entries[id] = e
+	s.mu.Unlock()
+	return e
+}
+
+// Remove drops a finished statement.
+func (s *ActiveSet) Remove(id QueryID) {
+	s.mu.Lock()
+	delete(s.entries, id)
+	s.mu.Unlock()
+}
+
+// Len reports how many statements are running right now.
+func (s *ActiveSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Kill cancels the statement with the given ID, reporting whether it was
+// found. The entry stays registered until the statement unwinds through
+// its own finish path, so a racing Snapshot shows it as killed rather
+// than silently gone.
+func (s *ActiveSet) Kill(id QueryID) bool {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.Kill()
+	return true
+}
+
+// Snapshot returns a point-in-time view of every running statement,
+// sorted by ID (registration order). The stats closures run outside the
+// set lock, so a slow snapshot never blocks registrations.
+func (s *ActiveSet) Snapshot() []ActiveInfo {
+	s.mu.Lock()
+	entries := make([]*ActiveEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	out := make([]ActiveInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.snapshot(now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestActiveSetRegisterSnapshotRemove(t *testing.T) {
+	s := NewActiveSet()
+	start := time.Now().Add(-time.Second)
+	e1 := s.Register(QueryID(2), "query", "SELECT 1", start, nil)
+	s.Register(QueryID(1), "ingest", "INGEST INTO reads (3 rows)", start, nil)
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	e1.SetPhase("execute")
+	e1.Attach(
+		func() []ActiveOp { return []ActiveOp{{Op: "Scan", Rows: 42, Batches: 3}} },
+		func() int64 { return 4096 },
+	)
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(snap))
+	}
+	// Sorted by ID: the ingest (id 1) first, the query (id 2) second.
+	if snap[0].ID != 1 || snap[0].Kind != "ingest" {
+		t.Fatalf("snap[0] = %+v, want id 1 kind ingest", snap[0])
+	}
+	q := snap[1]
+	if q.ID != 2 || q.Kind != "query" || q.SQL != "SELECT 1" || q.Phase != "execute" {
+		t.Fatalf("snap[1] = %+v", q)
+	}
+	if q.MemBytes != 4096 {
+		t.Fatalf("MemBytes = %d, want 4096", q.MemBytes)
+	}
+	if q.Elapsed < time.Second {
+		t.Fatalf("Elapsed = %v, want >= 1s", q.Elapsed)
+	}
+	if len(q.Operators) != 1 || q.Operators[0] != (ActiveOp{Op: "Scan", Rows: 42, Batches: 3}) {
+		t.Fatalf("Operators = %+v", q.Operators)
+	}
+	s.Remove(QueryID(1))
+	s.Remove(QueryID(2))
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after Remove = %d, want 0", got)
+	}
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Snapshot after Remove = %+v, want empty", snap)
+	}
+}
+
+func TestActiveSetKill(t *testing.T) {
+	s := NewActiveSet()
+	canceled := 0
+	e := s.Register(QueryID(7), "query", "SELECT 1", time.Now(), func() { canceled++ })
+	if s.Kill(QueryID(99)) {
+		t.Fatal("Kill of unknown ID reported found")
+	}
+	if !s.Kill(QueryID(7)) {
+		t.Fatal("Kill of registered ID reported not found")
+	}
+	if canceled != 1 {
+		t.Fatalf("cancel invoked %d times, want 1", canceled)
+	}
+	if !e.Killed() {
+		t.Fatal("entry not marked killed")
+	}
+	// Still visible (as killed) until the statement unwinds and removes
+	// itself — a racing snapshot must not show it as silently gone.
+	snap := s.Snapshot()
+	if len(snap) != 1 || !snap[0].Killed {
+		t.Fatalf("Snapshot after Kill = %+v, want one killed entry", snap)
+	}
+	// Idempotent: a second Kill fires cancel again but stays consistent.
+	if !s.Kill(QueryID(7)) {
+		t.Fatal("second Kill reported not found")
+	}
+}
+
+func TestActiveSetConcurrent(t *testing.T) {
+	s := NewActiveSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				id := QueryID(i*1000 + j)
+				e := s.Register(id, "query", "SELECT 1", time.Now(), func() {})
+				e.SetPhase("execute")
+				e.Attach(func() []ActiveOp { return nil }, func() int64 { return 1 })
+				s.Kill(id)
+				s.Remove(id)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}

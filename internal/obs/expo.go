@@ -9,6 +9,21 @@ import (
 	"strings"
 )
 
+// labelEscaper applies the Prometheus text-format escaping rules for
+// label values: backslash, double quote, and newline — and nothing else.
+// strconv.Quote is NOT a substitute: it escapes tab as `\t` and
+// non-printing runes as `\xNN`, sequences the Prometheus parser rejects
+// or reads literally.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper applies the HELP-line rules: only backslash and newline.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabel renders a label value as a quoted, escaped literal.
+func escapeLabel(v string) string {
+	return `"` + labelEscaper.Replace(v) + `"`
+}
+
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4): # HELP / # TYPE headers, counters and gauges as
 // single samples, histograms as cumulative `_bucket{le=...}` samples plus
@@ -16,7 +31,7 @@ import (
 // label-value order, so the output is diffable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.sorted() {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, helpEscaper.Replace(f.help), f.name, f.kind); err != nil {
 			return err
 		}
 		if err := f.writePrometheus(w); err != nil {
@@ -58,9 +73,9 @@ func (f *family) labelString(labelVal string) string {
 	}
 	if f.label2 != "" {
 		v1, v2, _ := strings.Cut(labelVal, labelSep)
-		return fmt.Sprintf("{%s=%s,%s=%s}", f.label, strconv.Quote(v1), f.label2, strconv.Quote(v2))
+		return fmt.Sprintf("{%s=%s,%s=%s}", f.label, escapeLabel(v1), f.label2, escapeLabel(v2))
 	}
-	return fmt.Sprintf("{%s=%s}", f.label, strconv.Quote(labelVal))
+	return fmt.Sprintf("{%s=%s}", f.label, escapeLabel(labelVal))
 }
 
 // labelMap is labelString's JSON counterpart.
@@ -97,7 +112,7 @@ func writeMetricProm(w io.Writer, f *family, m any, labelVal string) error {
 			}
 			bl := fmt.Sprintf("{le=%q}", le)
 			if f.label != "" {
-				bl = fmt.Sprintf("{%s=%s,le=%q}", f.label, strconv.Quote(labelVal), le)
+				bl = fmt.Sprintf("{%s=%s,le=%q}", f.label, escapeLabel(labelVal), le)
 			}
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum); err != nil {
 				return err

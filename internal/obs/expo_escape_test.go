@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping pins the text-format escaping rules for
+// label values: backslash → \\, double quote → \", newline → \n — and
+// nothing else. In particular a tab must pass through literally
+// (strconv.Quote would render it as \t, which the Prometheus parser
+// reads as a literal 't').
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("esc_total", "escaping test", "val")
+	c.With(`back\slash`).Inc()
+	c.With(`quo"te`).Inc()
+	c.With("new\nline").Inc()
+	c.With("tab\there").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`esc_total{val="back\\slash"} 1`,
+		`esc_total{val="quo\"te"} 1`,
+		`esc_total{val="new\nline"} 1`,
+		"esc_total{val=\"tab\there\"} 1", // literal tab, NOT \t
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\t`) {
+		t.Errorf("exposition contains \\t escape (invalid in Prometheus text format):\n%s", out)
+	}
+}
+
+// TestPrometheusHistogramLabelEscaping covers the labeled-histogram
+// bucket lines, which render their label value separately from the
+// scalar samples.
+func TestPrometheusHistogramLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("esc_seconds", "escaping test", "op", []float64{1})
+	h.With(`a\b"c`).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`esc_seconds_bucket{op="a\\b\"c",le="1"} 1`,
+		`esc_seconds_bucket{op="a\\b\"c",le="+Inf"} 1`,
+		`esc_seconds_sum{op="a\\b\"c"} 0.5`,
+		`esc_seconds_count{op="a\\b\"c"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusHelpEscaping: HELP text escapes backslash and newline
+// only (quotes stay raw on HELP lines).
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("help_esc_total", "line one\nline \\two with \"quotes\"")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `# HELP help_esc_total line one\nline \\two with "quotes"`
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("HELP line not escaped\nwant: %s\ngot:\n%s", want, out)
+	}
+	// A raw newline inside HELP would split the comment and corrupt the
+	// exposition: every line must be a comment or a sample.
+	for _, ln := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if ln == "" {
+			t.Errorf("empty line in exposition:\n%s", out)
+		}
+		if !strings.HasPrefix(ln, "#") && !strings.HasPrefix(ln, "help_esc_total") {
+			t.Errorf("stray line %q in exposition:\n%s", ln, out)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// OTLP/JSON trace export. Each finished Trace is serialized as one
+// OpenTelemetry ExportTraceServiceRequest document (the OTLP/HTTP JSON
+// encoding) and written as a single line, so a file sink is newline-
+// delimited JSON an OTLP collector — or plain jq — can consume, and an
+// HTTP sink can POST each line as-is to a collector's /v1/traces.
+//
+// The exporter depends only on the span model in this package; it knows
+// nothing about the engine. IDs are derived deterministically from the
+// query ID and the span's depth-first position, which keeps golden-file
+// tests byte-stable and makes the trace/span IDs correlatable with the
+// query_id attribute and the slow-query log.
+
+// otlp* mirror the OTLP/JSON wire shape. Only the fields the span model
+// populates are emitted; all are part of the stable OTLP encoding.
+type otlpDoc struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string   `json:"traceId"`
+	SpanID       string   `json:"spanId"`
+	ParentSpanID string   `json:"parentSpanId,omitempty"`
+	Name         string   `json:"name"`
+	Kind         string   `json:"kind"`
+	Start        string   `json:"startTimeUnixNano"`
+	End          string   `json:"endTimeUnixNano"`
+	Attributes   []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+// OTLPExporter serializes finished traces to an io.Writer as
+// newline-delimited OTLP/JSON. Export is safe for concurrent use; each
+// trace is written as one atomic Write so lines never interleave.
+type OTLPExporter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	service string
+}
+
+// NewOTLPExporter wraps w. service becomes the resource's service.name
+// attribute on every exported document.
+func NewOTLPExporter(w io.Writer, service string) *OTLPExporter {
+	return &OTLPExporter{w: w, service: service}
+}
+
+// Export writes one trace as a single OTLP/JSON line.
+func (e *OTLPExporter) Export(t *Trace) error {
+	if e == nil || t == nil || t.Root == nil {
+		return nil
+	}
+	doc := otlpDoc{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{
+			{Key: "service.name", Value: otlpValue{StringValue: e.service}},
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "repro/obs"},
+			Spans: flattenSpans(t),
+		}},
+	}}}
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err = e.w.Write(buf)
+	return err
+}
+
+// flattenSpans walks the trace depth-first, assigning deterministic IDs:
+// the trace ID is the query ID, the span ID is the query ID combined
+// with the span's visit order. A span with a zero start (never timed —
+// e.g. a phase skipped on a plan-cache hit) inherits its parent's start
+// with zero duration so the document stays temporally well-formed.
+func flattenSpans(t *Trace) []otlpSpan {
+	traceID := fmt.Sprintf("%032x", uint64(t.QueryID))
+	var out []otlpSpan
+	seq := 0
+	var walk func(sp *Span, parent string, parentStart int64)
+	walk = func(sp *Span, parent string, parentStart int64) {
+		seq++
+		id := fmt.Sprintf("%016x", uint64(t.QueryID)<<16|uint64(seq))
+		start := sp.Start.UnixNano()
+		if sp.Start.IsZero() {
+			start = parentStart
+		}
+		end := start + sp.Dur.Nanoseconds()
+		o := otlpSpan{
+			TraceID:      traceID,
+			SpanID:       id,
+			ParentSpanID: parent,
+			Name:         sp.Name,
+			Kind:         "SPAN_KIND_INTERNAL",
+			Start:        strconv.FormatInt(start, 10),
+			End:          strconv.FormatInt(end, 10),
+		}
+		if parent == "" {
+			// Root span: lead with the trace-level identity so a collector
+			// query on query_id finds the whole tree.
+			o.Attributes = append(o.Attributes,
+				otlpKV{Key: "query_id", Value: otlpValue{StringValue: t.QueryID.String()}},
+				otlpKV{Key: "sql", Value: otlpValue{StringValue: t.SQL}},
+			)
+		}
+		for _, a := range sp.Attrs {
+			o.Attributes = append(o.Attributes, otlpKV{Key: a.Key, Value: otlpValue{StringValue: a.Val}})
+		}
+		out = append(out, o)
+		for _, c := range sp.Children {
+			walk(c, id, start)
+		}
+	}
+	walk(t.Root, "", t.Root.Start.UnixNano())
+	return out
+}

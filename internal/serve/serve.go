@@ -11,6 +11,8 @@
 //	POST   /v1/sessions/{id}/run/{stmt}   run a prepared statement
 //	GET    /v1/sessions/{id}              session introspection
 //	DELETE /v1/sessions/{id}              drop a session
+//	GET    /v1/queries                    active statements with live operator counts
+//	DELETE /v1/queries/{id}               kill a running statement
 //	GET    /healthz                       liveness (200 while the process runs)
 //	GET    /readyz                        readiness (503 once draining)
 //	GET    /metrics                       the DB's metrics registry
@@ -157,6 +159,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/ingest", s.counted("/v1/ingest", s.governed(s.handleIngest)))
 	mux.HandleFunc("POST /v1/prepare", s.counted("/v1/prepare", s.governed(s.handlePrepare)))
 	mux.HandleFunc("POST /v1/sessions/{id}/run/{stmt}", s.counted("/v1/sessions/{id}/run/{stmt}", s.governed(s.handleRun)))
+	mux.HandleFunc("GET /v1/queries", s.counted("/v1/queries", s.handleQueries))
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.counted("/v1/queries/{id}", s.handleKill))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.counted("/v1/sessions/{id}", s.handleSessionInfo))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.counted("/v1/sessions/{id}", s.handleSessionDrop))
 	mux.HandleFunc("GET /healthz", s.counted("/healthz", func(w http.ResponseWriter, r *http.Request) {

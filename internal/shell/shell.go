@@ -428,6 +428,48 @@ func (s *Shell) Meta(cmd string) error {
 				rs.Checkpoint, rs.ReplayedRecords, rs.ReplayedRows, repro.FormatBytes(rs.TruncatedBytes))
 		}
 		return nil
+	case `\queries`:
+		active := s.DB.ActiveQueries()
+		if s.DB.Metrics() == nil {
+			fmt.Fprintln(s.Out, "telemetry disabled")
+			return nil
+		}
+		if len(active) == 0 {
+			fmt.Fprintln(s.Out, "no active queries")
+			return nil
+		}
+		for _, q := range active {
+			state := q.Phase
+			if q.Killed {
+				state += " (killed)"
+			}
+			fmt.Fprintf(s.Out, "%s  %-7s %-10s %8s  %s\n",
+				q.ID, q.Kind, state, q.Elapsed.Round(time.Millisecond), q.SQL)
+			if q.MemBytes > 0 {
+				fmt.Fprintf(s.Out, "  mem: %s\n", repro.FormatBytes(q.MemBytes))
+			}
+			for _, op := range q.Operators {
+				fmt.Fprintf(s.Out, "  %-14s %d rows", op.Op, op.Rows)
+				if op.Batches > 0 {
+					fmt.Fprintf(s.Out, " (%d batches)", op.Batches)
+				}
+				fmt.Fprintln(s.Out)
+			}
+		}
+		return nil
+	case `\kill`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \kill <query-id>`)
+		}
+		id, err := repro.ParseQueryID(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad query id %q", fields[1])
+		}
+		if err := s.DB.Kill(id); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.Out, "killed %s\n", id)
+		return nil
 	case `\checkpoint`:
 		if err := s.DB.Checkpoint(); err != nil {
 			return err
@@ -483,6 +525,8 @@ const helpText = `commands:
   \cache [reset]         show (or reset) the rewrite/plan cache counters
   \workload [scale pct]  generate + load the RFIDGen workload and paper rules
   \save <dir> / \open <dir>   persist / restore the database
+  \queries               list running statements (phase, elapsed, live row counts)
+  \kill <id>             cancel a running statement by its query id
   \wal                   show WAL status and the recovery outcome (durable shells)
   \checkpoint            force a checkpoint and truncate the WAL
   \q                     quit

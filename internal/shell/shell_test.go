@@ -220,3 +220,37 @@ select epc, biz_loc, rtime from caser order by rtime, epc, biz_loc;
 		t.Fatalf("no engine totals:\n%s", text)
 	}
 }
+
+func TestShellQueriesAndKill(t *testing.T) {
+	sh, out := newShell(t)
+	// Shell statements are synchronous, so \queries sees an idle engine;
+	// the command's shape and \kill's error contract are what this pins.
+	feed(t, sh, `\queries
+\kill
+\kill not-an-id
+\kill q-09999999
+\q
+`)
+	text := out.String()
+	for _, want := range []string{
+		"no active queries",
+		`usage: \kill <query-id>`,
+		`bad query id "not-an-id"`,
+		"no such query: q-09999999",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestShellQueriesWithoutTelemetry(t *testing.T) {
+	var out strings.Builder
+	sh := New(repro.Open(repro.WithoutTelemetry()), &out)
+	feed(t, sh, `\queries
+\q
+`)
+	if !strings.Contains(out.String(), "telemetry disabled") {
+		t.Fatalf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,322 @@
+// Tests for the live operations console and the OTLP trace exporter as
+// the public API exposes them: active-query visibility and cooperative
+// kill from the embedded API, OTLP/JSON export for queries and for the
+// durability pipeline (WAL append + fsync spans), and the exporter's
+// composition with WithTraceSampling and WithoutTelemetry.
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// mkIntTable builds table t(a INT) with n rows.
+func mkIntTable(t *testing.T, db *repro.DB, n int) {
+	t.Helper()
+	if err := db.CreateTable("t", repro.ColumnDef{Name: "a", Kind: repro.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]repro.Value, n)
+	for i := range rows {
+		rows[i] = []repro.Value{repro.NewInt(int64(i))}
+	}
+	if err := db.Insert("t", rows...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillEagerQuery kills a materializing query through the embedded
+// API: it must be visible in ActiveQueries while running, die with a
+// canceled error, record outcome "killed", and leave the registry empty.
+func TestKillEagerQuery(t *testing.T) {
+	db := repro.Open()
+	mkIntTable(t, db, 512)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := db.Query("SELECT a FROM t ORDER BY a",
+			repro.WithFaults(repro.FaultInjection{SlowOp: 100 * time.Millisecond}))
+		errc <- err
+	}()
+
+	// The query must appear in the registry with its SQL and a phase.
+	var id repro.QueryID
+	deadline := time.Now().Add(10 * time.Second)
+	for id == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never appeared in ActiveQueries")
+		}
+		for _, q := range db.ActiveQueries() {
+			if q.Kind != "query" || !strings.Contains(q.SQL, "ORDER BY") {
+				continue
+			}
+			if q.Phase == "" {
+				t.Fatalf("active query has no phase: %+v", q)
+			}
+			id = q.ID
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := db.Kill(id); err != nil {
+		t.Fatalf("Kill(%s) = %v", id, err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("killed query returned no error")
+		}
+		if repro.Code(err) != repro.CodeCanceled {
+			t.Fatalf("killed query code = %q (%v), want %q", repro.Code(err), err, repro.CodeCanceled)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed query did not unwind")
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for len(db.ActiveQueries()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry not empty after kill: %+v", db.ActiveQueries())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := metricValue(t, db, "repro_queries_total", "killed"); got < 1 {
+		t.Fatalf(`repro_queries_total{outcome="killed"} = %v, want >= 1`, got)
+	}
+	// A second kill of the same (gone) ID reports ErrNoQuery.
+	if err := db.Kill(id); !errors.Is(err, repro.ErrNoQuery) {
+		t.Fatalf("Kill of finished query = %v, want ErrNoQuery", err)
+	}
+}
+
+// metricValue reads one labeled sample from the metrics snapshot.
+func metricValue(t *testing.T, db *repro.DB, family, labelVal string) float64 {
+	t.Helper()
+	for _, fam := range db.Metrics().Snapshot() {
+		if fam.Name != family {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			for _, v := range m.Labels {
+				if v == labelVal && m.Value != nil {
+					return *m.Value
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// syncSink is a concurrency-safe trace sink.
+type syncSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *syncSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *syncSink) Lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	text := strings.TrimSpace(s.buf.String())
+	if text == "" {
+		return nil
+	}
+	return strings.Split(text, "\n")
+}
+
+// otlpSpanNames decodes one OTLP/JSON export line and returns its span
+// names plus the root span's name.
+func otlpSpanNames(t *testing.T, line string) (root string, names map[string]bool) {
+	t.Helper()
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					SpanID       string `json:"spanId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+					Start        string `json:"startTimeUnixNano"`
+					End          string `json:"endTimeUnixNano"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal([]byte(line), &doc); err != nil {
+		t.Fatalf("export line is not valid JSON: %v\n%s", err, line)
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("export line shape: %s", line)
+	}
+	names = map[string]bool{}
+	for _, sp := range doc.ResourceSpans[0].ScopeSpans[0].Spans {
+		names[sp.Name] = true
+		if len(sp.TraceID) != 32 || len(sp.SpanID) != 16 {
+			t.Fatalf("span %q has bad ids trace=%q span=%q", sp.Name, sp.TraceID, sp.SpanID)
+		}
+		if sp.ParentSpanID == "" {
+			root = sp.Name
+		}
+	}
+	return root, names
+}
+
+// TestTraceExporterEndToEnd opens a durable DB with an OTLP exporter and
+// proves both trace families come out: a query trace with its execute
+// subtree, and an ingest trace carrying the durability pipeline's
+// wal_append and fsync spans.
+func TestTraceExporterEndToEnd(t *testing.T) {
+	sink := &syncSink{}
+	db, err := repro.OpenDir("",
+		repro.WithWAL(t.TempDir()),
+		repro.WithTraceExporter(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mkIntTable(t, db, 64)
+
+	rows := make([][]repro.Value, 32)
+	for i := range rows {
+		rows[i] = []repro.Value{repro.NewInt(int64(1000 + i))}
+	}
+	if err := db.Ingest("t", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT count(*) FROM t WHERE a >= 0"); err != nil {
+		t.Fatal(err)
+	}
+
+	var queryLine, ingestLine bool
+	for _, line := range sink.Lines() {
+		root, names := otlpSpanNames(t, line)
+		switch root {
+		case "query":
+			queryLine = true
+			if !names["execute"] {
+				t.Fatalf("query trace has no execute span: %v", names)
+			}
+		case "ingest":
+			ingestLine = true
+			for _, want := range []string{"validate", "wal_append", "apply", "fsync"} {
+				if !names[want] {
+					t.Fatalf("ingest trace missing %q span: %v", want, names)
+				}
+			}
+		}
+	}
+	if !queryLine || !ingestLine {
+		t.Fatalf("exports missing a family: query=%v ingest=%v\n%s",
+			queryLine, ingestLine, strings.Join(sink.Lines(), "\n"))
+	}
+	if got := metricValue1(t, db, "repro_trace_exports_total"); got < 2 {
+		t.Fatalf("repro_trace_exports_total = %v, want >= 2", got)
+	}
+}
+
+// metricValue1 reads an unlabeled sample from the metrics snapshot.
+func metricValue1(t *testing.T, db *repro.DB, family string) float64 {
+	t.Helper()
+	for _, fam := range db.Metrics().Snapshot() {
+		if fam.Name != family {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			if m.Value != nil {
+				return *m.Value
+			}
+		}
+	}
+	return 0
+}
+
+// TestTraceExporterHonorsSampling pins the composition rules: sampling 0
+// suppresses every export, and a failing sink counts errors without
+// failing statements.
+func TestTraceExporterHonorsSampling(t *testing.T) {
+	sink := &syncSink{}
+	db := repro.Open(
+		repro.WithTraceExporter(sink),
+		repro.WithTraceSampling(0))
+	mkIntTable(t, db, 16)
+	if _, err := db.Query("SELECT count(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest("t", []repro.Value{repro.NewInt(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if lines := sink.Lines(); lines != nil {
+		t.Fatalf("sampling 0 still exported %d traces", len(lines))
+	}
+
+	// A sink that always fails must not fail the query.
+	db2 := repro.Open(repro.WithTraceExporter(failingSink{}))
+	mkIntTable(t, db2, 16)
+	if _, err := db2.Query("SELECT count(*) FROM t"); err != nil {
+		t.Fatalf("query failed because the trace sink failed: %v", err)
+	}
+	if got := metricValue1(t, db2, "repro_trace_export_errors_total"); got < 1 {
+		t.Fatalf("repro_trace_export_errors_total = %v, want >= 1", got)
+	}
+}
+
+type failingSink struct{}
+
+func (failingSink) Write(p []byte) (int, error) { return 0, fmt.Errorf("sink down") }
+
+// TestConsoleWithoutTelemetry pins the off switch: no registry, no kill.
+func TestConsoleWithoutTelemetry(t *testing.T) {
+	sink := &syncSink{}
+	db := repro.Open(repro.WithoutTelemetry(), repro.WithTraceExporter(sink))
+	mkIntTable(t, db, 16)
+	if got := db.ActiveQueries(); got != nil {
+		t.Fatalf("ActiveQueries without telemetry = %v, want nil", got)
+	}
+	if err := db.Kill(repro.QueryID(1)); !errors.Is(err, repro.ErrNoQuery) {
+		t.Fatalf("Kill without telemetry = %v, want ErrNoQuery", err)
+	}
+	// Queries still run, and the exporter stays silent.
+	if _, err := db.Query("SELECT count(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if lines := sink.Lines(); lines != nil {
+		t.Fatalf("WithoutTelemetry still exported %d traces", len(lines))
+	}
+}
+
+// TestParseQueryID pins the printed-form round trip and its rejects.
+func TestParseQueryID(t *testing.T) {
+	id, err := repro.ParseQueryID("q-00000042")
+	if err != nil || id != repro.QueryID(42) {
+		t.Fatalf("ParseQueryID = %v, %v", id, err)
+	}
+	if id.String() != "q-00000042" {
+		t.Fatalf("round trip = %q", id.String())
+	}
+	for _, bad := range []string{"", "42x", "q-", "q-0", "p-00000042"} {
+		if _, err := repro.ParseQueryID(bad); err == nil {
+			t.Fatalf("ParseQueryID(%q) accepted", bad)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"strings"
 	"sync"
@@ -273,6 +274,7 @@ type dbConfig struct {
 	latencyBuckets []float64
 	traceSample    float64
 	traceSampleSet bool
+	traceExport    io.Writer
 
 	// Durability options (see durability.go).
 	walDir             string
@@ -770,6 +772,16 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 	ctx, cancel := o.deadline(ctx)
 	defer cancel()
 	tel := db.startQuery(sql, o)
+	if tel != nil {
+		// A private cancellation layer under the caller's context so
+		// DB.Kill can stop exactly this query; the registry entry holds
+		// the cancel func.
+		var kill context.CancelFunc
+		ctx, kill = context.WithCancel(ctx)
+		defer kill()
+		tel.activate("query", kill)
+		tel.setPhase("queued")
+	}
 	admitStart := time.Now()
 	release, err := db.admitQuery(ctx)
 	if err != nil {
@@ -792,6 +804,7 @@ func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts, tel *qt
 	key := newCacheKey(sql, o, db.Catalog.Epoch())
 	var compileStart time.Time
 	if tel != nil {
+		tel.setPhase("compile")
 		compileStart = time.Now()
 	}
 	res, inf, err := db.rewriteCached(sql, o)
@@ -805,6 +818,8 @@ func (db *DB) queryLocked(ctx context.Context, sql string, o *queryOpts, tel *qt
 	var execStart time.Time
 	if tel != nil {
 		ectx.EnableStats()
+		tel.attachExec(ectx, grs)
+		tel.setPhase("execute")
 		execStart = time.Now()
 	}
 	out, err := exec.Run(ectx, res.Plan)
@@ -927,6 +942,13 @@ func (p *Prepared) Run() (*Rows, error) {
 // a later Query or Prepare under a raised limit replans fresh.
 func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
 	tel := p.db.startQuery(p.sql, p.opts)
+	if tel != nil {
+		var kill context.CancelFunc
+		ctx, kill = context.WithCancel(ctx)
+		defer kill()
+		tel.activate("query", kill)
+		tel.setPhase("queued")
+	}
 	admitStart := time.Now()
 	release, err := p.db.admitQuery(ctx)
 	if err != nil {
@@ -944,6 +966,8 @@ func (p *Prepared) RunContext(ctx context.Context) (*Rows, error) {
 	var execStart time.Time
 	if tel != nil {
 		ectx.EnableStats()
+		tel.attachExec(ectx, grs)
+		tel.setPhase("execute")
 		execStart = time.Now()
 	}
 	out, err := exec.Run(ectx, p.plan)
@@ -982,6 +1006,13 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 	ctx, cancel := o.deadline(ctx)
 	defer cancel()
 	tel := db.startQuery(sql, o)
+	if tel != nil {
+		var kill context.CancelFunc
+		ctx, kill = context.WithCancel(ctx)
+		defer kill()
+		tel.activate("query", kill)
+		tel.setPhase("queued")
+	}
 	admitStart := time.Now()
 	release, err := db.admitQuery(ctx)
 	if err != nil {
@@ -995,6 +1026,7 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 	key := newCacheKey(sql, o, db.Catalog.Epoch())
 	var compileStart time.Time
 	if tel != nil {
+		tel.setPhase("compile")
 		compileStart = time.Now()
 	}
 	res, inf, err := db.rewriteCached(sql, o)
@@ -1006,6 +1038,10 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string, opts ...Que
 	grs := db.resources(o)
 	defer grs.Close()
 	ectx := exec.NewAnalyzeCtxWith(ctx).SetParallelism(o.parallelism).SetVectorize(!o.rowEval).SetResources(grs)
+	if tel != nil {
+		tel.attachExec(ectx, grs)
+		tel.setPhase("execute")
+	}
 	execStart := time.Now()
 	_, runErr := exec.Run(ectx, res.Plan)
 	db.totals.note(grs.Stats(), runErr != nil && grs.Exhausted())

@@ -47,6 +47,10 @@ func (db *DB) QueryStreamContext(ctx context.Context, sql string, opts ...QueryO
 	qctx, cancelQuery := context.WithCancel(dctx)
 	cancel := func() { cancelQuery(); cancelDeadline() }
 	tel := db.startQuery(sql, o)
+	// The stream's private cancel is exactly what Kill needs: it stops
+	// in-flight engine work and the consumer sees ErrCanceled from Next.
+	tel.activate("query", cancelQuery)
+	tel.setPhase("queued")
 	admitStart := time.Now()
 	release, err := db.admitQuery(qctx)
 	if err != nil {
@@ -59,6 +63,7 @@ func (db *DB) QueryStreamContext(ctx context.Context, sql string, opts ...QueryO
 	key := newCacheKey(sql, o, db.Catalog.Epoch())
 	var compileStart time.Time
 	if tel != nil {
+		tel.setPhase("compile")
 		compileStart = time.Now()
 	}
 	res, inf, err := db.rewriteCached(sql, o)
@@ -74,6 +79,8 @@ func (db *DB) QueryStreamContext(ctx context.Context, sql string, opts ...QueryO
 	ectx := o.execCtx(qctx).SetResources(grs)
 	if tel != nil {
 		ectx.EnableStats()
+		tel.attachExec(ectx, grs)
+		tel.setPhase("stream")
 	}
 	return newStreamingRows(db, res.OpenStream(ectx), res.Plan, ectx, grs, tel, key, inf, streamHandles{
 		qctx:       qctx,
@@ -98,6 +105,8 @@ func (p *Prepared) StreamContext(ctx context.Context) (*Rows, error) {
 	queryStart := time.Now()
 	qctx, cancel := context.WithCancel(ctx)
 	tel := p.db.startQuery(p.sql, p.opts)
+	tel.activate("query", cancel)
+	tel.setPhase("queued")
 	admitStart := time.Now()
 	release, err := p.db.admitQuery(qctx)
 	if err != nil {
@@ -112,6 +121,8 @@ func (p *Prepared) StreamContext(ctx context.Context) (*Rows, error) {
 	ectx := p.opts.execCtx(qctx).SetResources(grs).EnableBuildReuse(p.db.Catalog.Epoch())
 	if tel != nil {
 		ectx.EnableStats()
+		tel.attachExec(ectx, grs)
+		tel.setPhase("stream")
 	}
 	return newStreamingRows(p.db, exec.Open(ectx, p.plan), p.plan, ectx, grs, tel, p.key, p.info, streamHandles{
 		qctx:       qctx,

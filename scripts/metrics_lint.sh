@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# metrics_lint.sh — assert that every repro_* metric registered in code
+# is documented in docs/OBSERVABILITY.md, so the metric inventory can't
+# silently drift from the implementation.
+#
+# A metric "registered in code" is any "repro_..." string literal in
+# non-test Go source; registration helpers (Counter, GaugeFunc,
+# HistogramVec, ...) all take the name as a quoted literal, so a plain
+# grep finds them all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/OBSERVABILITY.md
+[ -f "$DOC" ] || { echo "metrics_lint: $DOC missing" >&2; exit 1; }
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -q "\`$name\`" "$DOC"; then
+    echo "metrics_lint: $name is registered in code but not documented in $DOC" >&2
+    missing=1
+  fi
+done < <(grep -rhoE '"repro_[a-z0-9_]+"' --include='*.go' --exclude='*_test.go' . | tr -d '"' | sort -u)
+
+if [ "$missing" -ne 0 ]; then
+  echo "metrics_lint: add the missing metrics to $DOC (name, type, labels, meaning)" >&2
+  exit 1
+fi
+echo "metrics_lint: all registered repro_* metrics are documented"

@@ -4,16 +4,23 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/govern"
 	"repro/internal/obs"
 )
 
@@ -32,7 +39,17 @@ type (
 	QueryID = obs.QueryID
 	// MetricsRegistry is the DB's metric registry; see DB.Metrics.
 	MetricsRegistry = obs.Registry
+	// ActiveQuery is one running query or ingest as reported by
+	// DB.ActiveQueries: ID, SQL, phase, elapsed time, live per-operator
+	// row counts, and current memory reservation.
+	ActiveQuery = obs.ActiveInfo
+	// ActiveOperator is one operator's live counters inside an ActiveQuery.
+	ActiveOperator = obs.ActiveOp
 )
+
+// ErrNoQuery is returned by DB.Kill when no running query has the given
+// ID — it already finished, or never existed.
+var ErrNoQuery = errors.New("repro: no such query")
 
 // dbMetrics is the DB's metric families, registered once at Open. Hot-path
 // families are pre-resolved into fields (publishing is atomic ops only);
@@ -60,6 +77,10 @@ type dbMetrics struct {
 	spillBytes *obs.Counter // repro_spill_bytes_total
 	spilledQ   *obs.Counter // repro_spilled_queries_total
 	slowQ      *obs.Counter // repro_slow_queries_total
+
+	ingestDur       *obs.Histogram // repro_ingest_seconds
+	traceExports    *obs.Counter   // repro_trace_exports_total
+	traceExportErrs *obs.Counter   // repro_trace_export_errors_total
 }
 
 // newDBMetrics builds the registry for one DB and wires the func-backed
@@ -72,7 +93,7 @@ func newDBMetrics(db *DB, latency []float64) *dbMetrics {
 	r := obs.NewRegistry()
 	m := &dbMetrics{
 		reg:     r,
-		queries: r.CounterVec("repro_queries_total", "Governed query executions by outcome (ok, canceled, exhausted, overloaded, error).", "outcome"),
+		queries: r.CounterVec("repro_queries_total", "Governed query executions by outcome (ok, canceled, killed, exhausted, overloaded, error).", "outcome"),
 		queryDur: r.HistogramVec("repro_query_seconds", "End-to-end query latency by outcome, admission wait included.",
 			"outcome", latency),
 		parseDur:   r.Histogram("repro_parse_seconds", "SQL parse time per plan-cache miss.", latency),
@@ -88,10 +109,14 @@ func newDBMetrics(db *DB, latency []float64) *dbMetrics {
 		spillBytes: r.Counter("repro_spill_bytes_total", "Bytes written through spill files."),
 		spilledQ:   r.Counter("repro_spilled_queries_total", "Queries in which at least one operator spilled to disk."),
 		slowQ:      r.Counter("repro_slow_queries_total", "Queries at or over the slow-query threshold."),
+		ingestDur:  r.Histogram("repro_ingest_seconds", "End-to-end DB.Ingest batch latency: validation, WAL append, apply, and the durability fsync.", latency),
+
+		traceExports:    r.Counter("repro_trace_exports_total", "Traces serialized to the OTLP exporter."),
+		traceExportErrs: r.Counter("repro_trace_export_errors_total", "Trace exports that failed at the sink."),
 	}
 	// Pre-create the outcome children so scrapes show the full label set
 	// from the first query, and the hot path never takes the family mutex.
-	for _, oc := range []string{"ok", "canceled", "exhausted", "overloaded", "error"} {
+	for _, oc := range []string{"ok", "canceled", "killed", "exhausted", "overloaded", "error"} {
 		m.queries.With(oc)
 		m.queryDur.With(oc)
 	}
@@ -139,7 +164,42 @@ func newDBMetrics(db *DB, latency []float64) *dbMetrics {
 		}
 		return float64(n)
 	})
+	// Process-level runtime gauges for the metrics listener. ReadMemStats
+	// stops the world, so one sampler feeds all memstats-backed collectors
+	// and refreshes at most once a second — a scrape hitting four families
+	// pays for one read, and scrape storms pay for none.
+	sampler := &memStatsSampler{}
+	r.GaugeFunc("repro_runtime_goroutines", "Live goroutines in the process.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("repro_runtime_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc), sampled at most once a second.", func() float64 {
+		return float64(sampler.get().HeapAlloc)
+	})
+	r.CounterFunc("repro_runtime_gc_total", "Completed GC cycles since process start.", func() float64 {
+		return float64(sampler.get().NumGC)
+	})
+	r.CounterFunc("repro_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", func() float64 {
+		return float64(sampler.get().PauseTotalNs) / 1e9
+	})
 	return m
+}
+
+// memStatsSampler caches runtime.ReadMemStats for a second so multiple
+// func-backed collectors in one scrape share a single stop-the-world read.
+type memStatsSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (s *memStatsSampler) get() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > time.Second {
+		runtime.ReadMemStats(&s.ms)
+		s.at = now
+	}
+	return s.ms
 }
 
 // outcomeOf classifies a finished query for the outcome-labeled metrics.
@@ -170,11 +230,15 @@ func outcomeOf(err error) string {
 type qtel struct {
 	db    *dbTelemetry
 	m     *dbMetrics
+	id    obs.QueryID
+	sql   string
 	start time.Time
 	trace *obs.Trace
 	hook  func(*Trace)
+	entry *obs.ActiveEntry
 
 	cacheHit bool
+	firstRow time.Duration
 	mem      MemStats
 }
 
@@ -192,6 +256,15 @@ type dbTelemetry struct {
 	// default; 0 = none). traceSeq is the sampled-query counter.
 	traceEvery uint64
 	traceSeq   atomic.Uint64
+
+	// active is the live-operations registry: every running query and
+	// ingest, for DB.ActiveQueries / GET /v1/queries / \queries, and the
+	// kill paths.
+	active *obs.ActiveSet
+
+	// exporter, when non-nil (WithTraceExporter), receives every sampled
+	// trace as one OTLP/JSON line at query finish.
+	exporter *obs.OTLPExporter
 
 	srv      *http.Server
 	lis      net.Listener
@@ -213,19 +286,77 @@ func (t *dbTelemetry) sampleTrace() bool {
 }
 
 // startQuery opens one query's telemetry. It returns nil when telemetry
-// is off. A trace (span tree) is built only when the query asked for one
-// or the slow-query log will want spans; metrics publish either way.
+// is off. Every observed query gets an ID (one atomic increment) so the
+// active-query registry and slow-query log can always identify it; a
+// trace (span tree) is built only when the query asked for one, the
+// slow-query log will want spans, or a trace exporter is configured —
+// metrics publish either way.
 func (db *DB) startQuery(sql string, o *queryOpts) *qtel {
 	t := db.tel
 	if t == nil {
 		return nil
 	}
-	q := &qtel{db: t, m: t.metrics, start: time.Now(), hook: o.traceHook}
-	if (o.traceSet || t.slowLogger != nil) && t.sampleTrace() {
-		q.trace = obs.NewTrace(obs.NextQueryID(), sql)
+	q := &qtel{db: t, m: t.metrics, id: obs.NextQueryID(), sql: sql, start: time.Now(), hook: o.traceHook}
+	if (o.traceSet || t.slowLogger != nil || t.exporter != nil) && t.sampleTrace() {
+		q.trace = obs.NewTrace(q.id, sql)
 		q.trace.Root.Start = q.start
 	}
 	return q
+}
+
+// activate registers the query in the live-operations registry, making
+// it visible to ActiveQueries and killable through Kill. cancel is the
+// query's private cancellation (nil renders it visible but not
+// killable). Exactly one registry mutation; finish removes the entry.
+func (q *qtel) activate(kind string, cancel func()) {
+	if q == nil {
+		return
+	}
+	q.entry = q.db.active.Register(q.id, kind, q.sql, q.start, cancel)
+}
+
+// setPhase publishes the query's current stage to the registry.
+func (q *qtel) setPhase(phase string) {
+	if q == nil || q.entry == nil {
+		return
+	}
+	q.entry.SetPhase(phase)
+}
+
+// attachExec wires the registry entry to the running execution: live
+// per-operator row/batch counts from the exec stats map (aggregated by
+// operator kind, the same grouping the operator metrics use) and the
+// query's current memory reservation. The closures run only when a
+// snapshot is taken — the execution hot path is untouched.
+func (q *qtel) attachExec(ectx *exec.Ctx, grs *govern.Resources) {
+	if q == nil || q.entry == nil {
+		return
+	}
+	stats := func() []obs.ActiveOp {
+		snap := ectx.StatsSnapshot()
+		agg := make(map[string]*obs.ActiveOp, len(snap))
+		for n, st := range snap {
+			kind := exec.Kind(n)
+			a := agg[kind]
+			if a == nil {
+				a = &obs.ActiveOp{Op: kind}
+				agg[kind] = a
+			}
+			a.Rows += st.Rows
+			a.Batches += st.Batches
+		}
+		out := make([]obs.ActiveOp, 0, len(agg))
+		for _, a := range agg {
+			out = append(out, *a)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+		return out
+	}
+	var mem func() int64
+	if grs != nil {
+		mem = grs.Used
+	}
+	q.entry.Attach(stats, mem)
 }
 
 // noteAdmit records the admission wait, as a histogram sample and (in a
@@ -361,6 +492,7 @@ func (q *qtel) noteFirstRow(d time.Duration) {
 		return
 	}
 	q.m.firstRow.Observe(d.Seconds())
+	q.firstRow = d
 	if q.trace != nil {
 		q.trace.Root.SetAttr("first_row", d.Round(time.Microsecond).String())
 	}
@@ -384,6 +516,16 @@ func (q *qtel) finish(rows *Rows, err error) {
 	}
 	dur := time.Since(q.start)
 	oc := outcomeOf(err)
+	// A killed query unwinds through the cancellation machinery and
+	// arrives here as "canceled"; the registry entry knows Kill was the
+	// cause. Only a query that actually failed is reclassified — a kill
+	// racing a successful finish stays "ok".
+	if q.entry != nil {
+		if err != nil && q.entry.Killed() {
+			oc = "killed"
+		}
+		q.db.active.Remove(q.id)
+	}
 	q.m.queries.With(oc).Inc()
 	q.m.queryDur.With(oc).Observe(dur.Seconds())
 	if q.mem.Peak > 0 || oc == "ok" {
@@ -397,6 +539,7 @@ func (q *qtel) finish(rows *Rows, err error) {
 	if q.trace != nil {
 		q.trace.Root.Dur = dur
 		q.trace.Root.SetAttr("outcome", oc)
+		q.trace.Root.SetAttr("plan_cache_hit", strconv.FormatBool(q.cacheHit))
 		if rows != nil {
 			rows.trace = q.trace
 		}
@@ -404,31 +547,190 @@ func (q *qtel) finish(rows *Rows, err error) {
 	if lg := q.db.slowLogger; lg != nil && dur >= q.db.slowThreshold {
 		q.m.slowQ.Inc()
 		attrs := []slog.Attr{
+			slog.String("query_id", q.id.String()),
+			slog.String("sql", q.sql),
 			slog.Duration("duration", dur),
 			slog.String("outcome", oc),
 			slog.Bool("plan_cache_hit", q.cacheHit),
 			slog.Int64("peak_bytes", q.mem.Peak),
 			slog.Int64("spill_runs", q.mem.SpillRuns),
 		}
+		// A streamed query's time to first row: how long the client waited
+		// before any data arrived, often the number that matters when the
+		// total duration is dominated by a slow consumer.
+		if q.firstRow > 0 {
+			attrs = append(attrs, slog.Duration("first_row", q.firstRow))
+		}
 		// Under WithTraceSampling the trace may have been sampled away; the
-		// entry then carries the summary fields but no query text or spans.
-		if q.trace != nil {
-			attrs = append(attrs,
-				slog.String("query_id", q.trace.QueryID.String()),
-				slog.String("sql", q.trace.SQL),
-			)
-			for i, sp := range q.trace.SlowestSpans(3) {
-				attrs = append(attrs, slog.String(
-					fmt.Sprintf("span_%d", i+1),
-					fmt.Sprintf("%s=%s", sp.Name, sp.Exclusive().Round(time.Microsecond)),
-				))
-			}
+		// entry then carries the summary fields but no spans.
+		for i, sp := range q.trace.SlowestSpans(3) {
+			attrs = append(attrs, slog.String(
+				fmt.Sprintf("span_%d", i+1),
+				fmt.Sprintf("%s=%s", sp.Name, sp.Exclusive().Round(time.Microsecond)),
+			))
 		}
 		lg.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
 	}
+	q.db.export(q.trace)
 	if q.hook != nil {
 		q.hook(q.trace)
 	}
+}
+
+// export serializes one finished trace to the OTLP exporter, counting
+// successes and sink failures. Nil traces (sampled away) and a nil
+// exporter are no-ops.
+func (t *dbTelemetry) export(tr *obs.Trace) {
+	if t == nil || t.exporter == nil || tr == nil {
+		return
+	}
+	if err := t.exporter.Export(tr); err != nil {
+		t.metrics.traceExportErrs.Inc()
+	} else {
+		t.metrics.traceExports.Inc()
+	}
+}
+
+// exportSpan emits a standalone single-span trace for an engine-internal
+// operation with no query attached: a checkpoint, or startup recovery.
+func (t *dbTelemetry) exportSpan(name string, start time.Time, d time.Duration, attrs ...obs.Attr) {
+	if t == nil || t.exporter == nil {
+		return
+	}
+	tr := obs.NewTrace(obs.NextQueryID(), "")
+	tr.Root.Name = name
+	tr.Root.Start = start
+	tr.Root.Dur = d
+	tr.Root.Attrs = attrs
+	t.export(tr)
+}
+
+// itel carries one ingest batch's telemetry: the end-to-end latency
+// histogram, the registry entry (ingests are visible in ActiveQueries
+// and killable like queries), and — when a trace is sampled — the
+// durability-pipeline span tree (validate → wal_append → apply → fsync).
+// A nil *itel disables ingest telemetry; every method is nil-safe.
+type itel struct {
+	db    *dbTelemetry
+	m     *dbMetrics
+	id    obs.QueryID
+	start time.Time
+	trace *obs.Trace
+	entry *obs.ActiveEntry
+}
+
+// startIngest opens one ingest batch's telemetry and registers it in the
+// live-operations registry. The registry SQL field carries a synthetic
+// statement so \queries output reads uniformly.
+func (db *DB) startIngest(table string, nrows int, cancel func()) *itel {
+	t := db.tel
+	if t == nil {
+		return nil
+	}
+	sql := fmt.Sprintf("INGEST INTO %s (%d rows)", table, nrows)
+	q := &itel{db: t, m: t.metrics, id: obs.NextQueryID(), start: time.Now()}
+	if (t.slowLogger != nil || t.exporter != nil) && t.sampleTrace() {
+		q.trace = obs.NewTrace(q.id, sql)
+		q.trace.Root.Name = "ingest"
+		q.trace.Root.Start = q.start
+		q.trace.Root.SetAttr("table", table)
+		q.trace.Root.SetAttr("rows", strconv.Itoa(nrows))
+	}
+	q.entry = t.active.Register(q.id, "ingest", sql, q.start, cancel)
+	return q
+}
+
+// setPhase publishes the ingest's current pipeline stage.
+func (q *itel) setPhase(phase string) {
+	if q == nil {
+		return
+	}
+	q.entry.SetPhase(phase)
+}
+
+// span records one completed pipeline stage as a child span, when a
+// trace is being built. Stages are recorded after the fact (start +
+// duration), so the durability path takes no extra branches when no
+// trace is sampled.
+func (q *itel) span(name string, start time.Time, d time.Duration, attrs ...obs.Attr) {
+	if q == nil || q.trace == nil {
+		return
+	}
+	sp := &obs.Span{Name: name, Start: start, Dur: d, Attrs: attrs}
+	q.trace.Root.AddChild(sp)
+}
+
+// finish closes the ingest's telemetry: the latency histogram, registry
+// removal, trace finalization and export, and the slow log (an ingest at
+// or over the slow-query threshold logs like a slow query).
+func (q *itel) finish(err error) {
+	if q == nil {
+		return
+	}
+	dur := time.Since(q.start)
+	oc := outcomeOf(err)
+	if err != nil && q.entry.Killed() {
+		oc = "killed"
+	}
+	q.db.active.Remove(q.id)
+	q.m.ingestDur.Observe(dur.Seconds())
+	if q.trace != nil {
+		q.trace.Root.Dur = dur
+		q.trace.Root.SetAttr("outcome", oc)
+	}
+	if lg := q.db.slowLogger; lg != nil && dur >= q.db.slowThreshold {
+		attrs := []slog.Attr{
+			slog.String("query_id", q.id.String()),
+			slog.Duration("duration", dur),
+			slog.String("outcome", oc),
+		}
+		if q.trace != nil {
+			attrs = append(attrs, slog.String("sql", q.trace.SQL))
+		}
+		for i, sp := range q.trace.SlowestSpans(3) {
+			attrs = append(attrs, slog.String(
+				fmt.Sprintf("span_%d", i+1),
+				fmt.Sprintf("%s=%s", sp.Name, sp.Exclusive().Round(time.Microsecond)),
+			))
+		}
+		lg.LogAttrs(context.Background(), slog.LevelWarn, "slow ingest", attrs...)
+	}
+	q.db.export(q.trace)
+}
+
+// ActiveQueries reports every query and ingest running right now, sorted
+// by query ID: SQL, phase, elapsed time, live per-operator row/batch
+// counts (a snapshot of the execution's stats map), and current memory
+// reservation. On a DB opened with WithoutTelemetry it returns nil.
+func (db *DB) ActiveQueries() []ActiveQuery {
+	if db.tel == nil {
+		return nil
+	}
+	return db.tel.active.Snapshot()
+}
+
+// Kill cooperatively cancels the running query or ingest with the given
+// ID. The statement unwinds through the engine's per-operator
+// cancellation points — slots, memory, and spill files are released
+// through the normal finish path — and reports outcome "killed" in
+// metrics, the slow-query log, and its trace. Kill returns ErrNoQuery
+// when no running statement has that ID (it may have just finished), and
+// on a DB opened with WithoutTelemetry.
+func (db *DB) Kill(id QueryID) error {
+	if db.tel == nil || !db.tel.active.Kill(id) {
+		return fmt.Errorf("%w: %s", ErrNoQuery, id)
+	}
+	return nil
+}
+
+// ParseQueryID parses a query ID as printed by the registry — "q-00000012"
+// — or as a bare integer.
+func ParseQueryID(s string) (QueryID, error) {
+	n, err := strconv.ParseUint(strings.TrimPrefix(s, "q-"), 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("repro: invalid query ID %q", s)
+	}
+	return QueryID(n), nil
 }
 
 // WithTrace collects a structured trace for this query: a span tree
@@ -494,6 +796,21 @@ func WithTraceSampling(fraction float64) Option {
 	return func(c *dbConfig) { c.traceSample, c.traceSampleSet = fraction, true }
 }
 
+// WithTraceExporter streams every sampled trace to w as OTLP/JSON, one
+// ExportTraceServiceRequest document per line: query span trees, ingest
+// durability pipelines (validate → WAL append → apply → fsync),
+// checkpoints, and startup recovery. With an exporter configured every
+// query becomes trace-eligible; WithTraceSampling still head-samples
+// which ones build (and therefore export) a span tree, and
+// WithoutTelemetry disables export entirely. Writes happen on the
+// query's finish path under one mutex — point w at a buffered file or a
+// background sink for high-throughput serving; rfidserve's -trace-export
+// flag does this. Export failures are counted in
+// repro_trace_export_errors_total and never fail the query.
+func WithTraceExporter(w io.Writer) Option {
+	return func(c *dbConfig) { c.traceExport = w }
+}
+
 // WithSlowQueryLog logs every query at or over threshold to logger: the
 // query text and ID, outcome, plan-cache status, peak memory, spill runs,
 // and the three slowest spans by self time. A zero threshold logs every
@@ -516,7 +833,14 @@ func applyTelemetry(db *DB, c *dbConfig) {
 		slowLogger:    c.slowLogger,
 		wantAddr:      c.metricsAddr,
 		traceEvery:    1,
+		active:        obs.NewActiveSet(),
 	}
+	if c.traceExport != nil {
+		t.exporter = obs.NewOTLPExporter(c.traceExport, "repro")
+	}
+	t.metrics.reg.GaugeFunc("repro_active_queries", "Queries and ingests running right now.", func() float64 {
+		return float64(t.active.Len())
+	})
 	if c.traceSampleSet {
 		switch f := c.traceSample; {
 		case f >= 1:
@@ -537,7 +861,17 @@ func applyTelemetry(db *DB, c *dbConfig) {
 		return
 	}
 	t.lis = lis
-	t.srv = &http.Server{Handler: t.metrics.reg.Handler()}
+	// The metrics listener doubles as the diagnostics port: the registry
+	// at every path except /debug/pprof/, which serves the standard Go
+	// profiles (heap, goroutine, CPU, execution trace).
+	mux := http.NewServeMux()
+	mux.Handle("/", t.metrics.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	t.srv = &http.Server{Handler: mux}
 	go func() { _ = t.srv.Serve(lis) }()
 }
 
